@@ -1,0 +1,212 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per artifact, at reduced scale so `go test -bench=.`
+// terminates in minutes), plus ablation and micro benchmarks for the design
+// choices DESIGN.md calls out. Run the full-scale reports with cmd/cadb-repro.
+package cadb
+
+import (
+	"io"
+	"testing"
+
+	"cadb/internal/compress"
+	"cadb/internal/core"
+	"cadb/internal/datagen"
+	"cadb/internal/estimator"
+	"cadb/internal/experiments"
+	"cadb/internal/index"
+	"cadb/internal/optimizer"
+	"cadb/internal/sampling"
+	"cadb/internal/sizing"
+	"cadb/internal/workloads"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	sc := experiments.QuickScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, sc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1MVCardinality(b *testing.B)        { benchExperiment(b, "table1") }
+func BenchmarkFig9SampleCFError(b *testing.B)          { benchExperiment(b, "fig9") }
+func BenchmarkTable2ErrorStability(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkFig10DeductionError(b *testing.B)        { benchExperiment(b, "fig10") }
+func BenchmarkTable3DeductionFits(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkTable4GraphSearch(b *testing.B)          { benchExperiment(b, "table4") }
+func BenchmarkFig11EstimationOverhead(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12TPCHSelectVariants(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13TPCHInsertVariants(b *testing.B)    { benchExperiment(b, "fig13") }
+func BenchmarkFig14SalesSelect(b *testing.B)           { benchExperiment(b, "fig14") }
+func BenchmarkFig15SalesInsert(b *testing.B)           { benchExperiment(b, "fig15") }
+func BenchmarkFig16TPCHAllFeatures(b *testing.B)       { benchExperiment(b, "fig16") }
+func BenchmarkFig17TPCHAllFeaturesInsert(b *testing.B) { benchExperiment(b, "fig17") }
+func BenchmarkMotivatingExamples(b *testing.B)         { benchExperiment(b, "motivating") }
+func BenchmarkExtMethodPalettes(b *testing.B)          { benchExperiment(b, "ext-methods") }
+
+// ---------------------------------------------------------------------------
+// Micro benchmarks: the substrates
+
+func benchDB() *Database {
+	return datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 8000, Seed: 9})
+}
+
+// BenchmarkCompressMethods measures raw page-compression throughput per
+// method on LINEITEM rows.
+func BenchmarkCompressMethods(b *testing.B) {
+	db := benchDB()
+	li := db.MustTable("lineitem")
+	for _, m := range compress.Methods {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				sink = compress.SizeRows(li.Schema, li.Rows, m)
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkIndexBuild measures full physical index builds (sort + pack +
+// compress), per method.
+func BenchmarkIndexBuild(b *testing.B) {
+	db := benchDB()
+	base := &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_extendedprice", "l_discount"}}
+	for _, m := range []compress.Method{compress.None, compress.Row, compress.Page} {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := index.Build(db, base.WithMethod(m)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSampleCF measures one SampleCF invocation (fresh estimator each
+// time so caching does not short-circuit the work).
+func BenchmarkSampleCF(b *testing.B) {
+	db := benchDB()
+	d := (&index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate", "l_shipmode"}}).WithMethod(compress.Page)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		est := estimator.New(db, sampling.NewManager(db, 0.05, int64(i)))
+		if _, err := est.SampleCF(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhatIfCost measures the optimizer's what-if API on the TPC-H
+// workload under a 10-index configuration.
+func BenchmarkWhatIfCost(b *testing.B) {
+	db := benchDB()
+	wl := workloads.MustTPCH()
+	cm := optimizer.NewCostModel(db)
+	var hypos []*optimizer.HypoIndex
+	li := db.MustTable("lineitem")
+	for i, c := range li.Schema.Names() {
+		if i >= 10 {
+			break
+		}
+		p, err := index.Build(db, (&index.Def{Table: "lineitem", KeyCols: []string{c}}).WithMethod(compress.Row))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hypos = append(hypos, optimizer.FromPhysical(p))
+	}
+	cfg := optimizer.NewConfiguration(hypos...)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cm.WorkloadCost(wl, cfg)
+	}
+}
+
+// BenchmarkGraphSearchGreedy measures the greedy estimation planner over
+// ~300 targets (the paper: "finishes within a second for more than 300
+// indexes").
+func BenchmarkGraphSearchGreedy(b *testing.B) {
+	db := benchDB()
+	est := estimator.New(db, sampling.NewManager(db, 0.05, 1))
+	var targets []*index.Def
+	for _, t := range db.Tables() {
+		if !t.Fact {
+			continue
+		}
+		cols := t.Schema.Names()
+		for i := range cols {
+			for j := range cols {
+				if i != j {
+					targets = append(targets, (&index.Def{Table: t.Name, KeyCols: []string{cols[i], cols[j]}}).WithMethod(compress.Row))
+				}
+			}
+		}
+	}
+	b.Logf("targets: %d", len(targets))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sizing.Greedy(est, targets, nil, 0.5, 0.9, 0.05)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benchmarks: advisor feature switches (reported as improvement in
+// custom metrics rather than wall time alone).
+
+func benchAdvisor(b *testing.B, mutate func(*core.Options)) {
+	db := benchDB()
+	wl := workloads.SelectIntensive(workloads.MustTPCH())
+	budget := db.TotalHeapBytes() / 8 // tight budget: where features matter
+	b.ReportAllocs()
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		opts := core.DefaultOptions(budget)
+		mutate(&opts)
+		rec, err := core.New(db, wl, opts).Recommend()
+		if err != nil {
+			b.Fatal(err)
+		}
+		imp = rec.Improvement
+	}
+	b.ReportMetric(imp, "improvement%")
+}
+
+func BenchmarkAblationFullDTAc(b *testing.B) {
+	benchAdvisor(b, func(o *core.Options) {})
+}
+
+func BenchmarkAblationNoSkyline(b *testing.B) {
+	benchAdvisor(b, func(o *core.Options) { o.Skyline = false })
+}
+
+func BenchmarkAblationNoBacktrack(b *testing.B) {
+	benchAdvisor(b, func(o *core.Options) { o.Backtrack = false })
+}
+
+func BenchmarkAblationDensityGreedy(b *testing.B) {
+	benchAdvisor(b, func(o *core.Options) { o.Density = true })
+}
+
+func BenchmarkAblationNoDeduction(b *testing.B) {
+	benchAdvisor(b, func(o *core.Options) { o.UseDeduction = false })
+}
+
+func BenchmarkAblationNoCompression(b *testing.B) {
+	benchAdvisor(b, func(o *core.Options) {
+		o.EnableCompression = false
+		o.Skyline = false
+		o.Backtrack = false
+	})
+}
+
+func BenchmarkAblationStaged(b *testing.B) {
+	benchAdvisor(b, func(o *core.Options) { o.Staged = true })
+}

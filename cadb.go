@@ -1,0 +1,244 @@
+// Package cadb is a compression-aware physical database design advisor — a
+// from-scratch Go reproduction of "Compression Aware Physical Database
+// Design" (Kimura, Narasayya, Syamala; PVLDB 4(10), 2011).
+//
+// The library bundles everything the paper's system needs, built on the
+// standard library only:
+//
+//   - a small row-store storage engine with real page-level compression
+//     (ROW/null-suppression, PAGE/prefix+local-dictionary, global
+//     dictionary, RLE) so index sizes are measured, not modeled;
+//   - a query optimizer with histogram-based cardinality estimation, a
+//     what-if API, and the paper's compression-aware cost model
+//     (α·tuples_written on updates, β·tuples_read·columns_read on reads);
+//   - the compressed-index size-estimation framework: amortized per-table
+//     samples, SampleCF, join synopses, MV samples with an Adaptive
+//     Estimator, ColSet/ColExt deductions, the stochastic error model, and
+//     the estimation-plan graph search (greedy + exact optimal);
+//   - the advisor itself (DTA/DTAc): per-query candidate generation,
+//     skyline candidate selection, index merging, and greedy enumeration
+//     with compressed-variant backtracking under a storage bound;
+//   - TPC-H-, TPC-DS- and Sales-shaped data generators with tunable Zipf
+//     skew, plus the corresponding SQL workloads;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	db := cadb.NewTPCH(cadb.TPCHConfig{LineitemRows: 20000, Seed: 1})
+//	wl := cadb.TPCHWorkload()
+//	opts := cadb.DefaultOptions(db.TotalHeapBytes() / 4) // 25% budget
+//	rec, err := cadb.Tune(db, wl, opts)
+//	if err != nil { ... }
+//	fmt.Println(rec)
+package cadb
+
+import (
+	"io"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/core"
+	"cadb/internal/datagen"
+	"cadb/internal/estimator"
+	"cadb/internal/experiments"
+	"cadb/internal/index"
+	"cadb/internal/optimizer"
+	"cadb/internal/sampling"
+	"cadb/internal/sizing"
+	"cadb/internal/sqlparse"
+	"cadb/internal/workload"
+	"cadb/internal/workloads"
+)
+
+// ---------------------------------------------------------------------------
+// Data model
+
+// Database is a set of tables with rows and statistics.
+type Database = catalog.Database
+
+// Table is one relation.
+type Table = catalog.Table
+
+// Workload is a weighted set of SQL statements.
+type Workload = workload.Workload
+
+// Statement is one workload entry (query or bulk insert).
+type Statement = workload.Statement
+
+// IndexDef describes a (possibly compressed, partial, clustered or MV)
+// index.
+type IndexDef = index.Def
+
+// MVDef describes a materialized view (fact, FK joins, WHERE, GROUP BY,
+// aggregates).
+type MVDef = index.MVDef
+
+// CompressionMethod identifies a compression method.
+type CompressionMethod = compress.Method
+
+// Compression methods supported by the storage engine.
+const (
+	// NoCompression stores plain rows.
+	NoCompression = compress.None
+	// RowCompression is null/blank suppression (SQL Server ROW).
+	RowCompression = compress.Row
+	// PageCompression is prefix + per-page dictionary (SQL Server PAGE).
+	PageCompression = compress.Page
+	// GlobalDictCompression is a whole-index per-column dictionary.
+	GlobalDictCompression = compress.GlobalDict
+	// RLECompression is per-page run-length encoding.
+	RLECompression = compress.RLE
+)
+
+// ---------------------------------------------------------------------------
+// Data and workload generation
+
+// TPCHConfig sizes the TPC-H-shaped generator.
+type TPCHConfig = datagen.TPCHConfig
+
+// SalesConfig sizes the Sales star-schema generator.
+type SalesConfig = datagen.SalesConfig
+
+// TPCDSConfig sizes the TPC-DS-shaped generator.
+type TPCDSConfig = datagen.TPCDSConfig
+
+// NewTPCH generates a TPC-H-shaped database (LineitemRows scales everything;
+// Zipf sets the paper's Z skew parameter).
+func NewTPCH(cfg TPCHConfig) *Database { return datagen.NewTPCH(cfg) }
+
+// NewSales generates the Sales star schema standing in for the paper's real
+// customer database.
+func NewSales(cfg SalesConfig) *Database { return datagen.NewSales(cfg) }
+
+// NewTPCDS generates a TPC-DS-shaped star schema (used by the error
+// stability analysis).
+func NewTPCDS(cfg TPCDSConfig) *Database { return datagen.NewTPCDS(cfg) }
+
+// TPCHWorkload returns the 22-query + 2-bulk-load TPC-H-shaped workload.
+func TPCHWorkload() *Workload { return workloads.MustTPCH() }
+
+// SalesWorkload returns the generated 50-query + 2-bulk-load Sales workload.
+func SalesWorkload(seed int64) *Workload { return workloads.MustSales(seed) }
+
+// SelectIntensive scales the bulk-load weights down by 10x.
+func SelectIntensive(wl *Workload) *Workload { return workloads.SelectIntensive(wl) }
+
+// InsertIntensive scales the bulk-load weights up by 10x.
+func InsertIntensive(wl *Workload) *Workload { return workloads.InsertIntensive(wl) }
+
+// ParseWorkload parses a SQL workload script (semicolon-separated statements
+// with optional "-- label: X weight: N" directives).
+func ParseWorkload(sql string) (*Workload, error) { return sqlparse.ParseScript(sql) }
+
+// ParseStatement parses a single SQL statement in the supported subset.
+func ParseStatement(sql string) (*Statement, error) { return sqlparse.ParseStatement(sql) }
+
+// ---------------------------------------------------------------------------
+// The advisor
+
+// Options configures an advisor run; see DefaultOptions and DTAOptions.
+type Options = core.Options
+
+// Recommendation is the advisor's output.
+type Recommendation = core.Recommendation
+
+// Advisor is the compression-aware physical design advisor.
+type Advisor = core.Advisor
+
+// DefaultOptions returns the full DTAc configuration (compression, skyline
+// selection and backtracking enabled) at the given storage budget in bytes.
+func DefaultOptions(budget int64) Options { return core.DefaultOptions(budget) }
+
+// DTAOptions returns the compression-blind baseline configuration.
+func DTAOptions(budget int64) Options { return core.DTAOptions(budget) }
+
+// NewAdvisor creates an advisor for a database and workload.
+func NewAdvisor(db *Database, wl *Workload, opts Options) *Advisor {
+	return core.New(db, wl, opts)
+}
+
+// Tune runs the advisor end to end.
+func Tune(db *Database, wl *Workload, opts Options) (*Recommendation, error) {
+	return core.New(db, wl, opts).Recommend()
+}
+
+// ---------------------------------------------------------------------------
+// What-if optimizer and size estimation (the substrate APIs)
+
+// CostModel is the compression-aware optimizer cost model with the what-if
+// API (Cost, Plan, WorkloadCost, Improvement).
+type CostModel = optimizer.CostModel
+
+// Configuration is a set of hypothetical indexes.
+type Configuration = optimizer.Configuration
+
+// HypoIndex is a hypothetical index with (estimated) size information.
+type HypoIndex = optimizer.HypoIndex
+
+// NewCostModel builds the default cost model for a database.
+func NewCostModel(db *Database) *CostModel { return optimizer.NewCostModel(db) }
+
+// NewConfiguration builds a configuration from hypothetical indexes.
+func NewConfiguration(idxs ...*HypoIndex) *Configuration {
+	return optimizer.NewConfiguration(idxs...)
+}
+
+// BuildIndex physically materializes an index and measures its exact size.
+func BuildIndex(db *Database, d *IndexDef) (*index.Physical, error) { return index.Build(db, d) }
+
+// FromPhysical wraps a built index as a hypothetical index with exact sizes.
+func FromPhysical(p *index.Physical) *HypoIndex { return optimizer.FromPhysical(p) }
+
+// SizeEstimator estimates compressed index sizes via SampleCF and deduction.
+type SizeEstimator = estimator.Estimator
+
+// SizeEstimate is one size estimate with its error distribution.
+type SizeEstimate = estimator.Estimate
+
+// NewSizeEstimator creates an estimator over a fresh sample manager with
+// sampling fraction f.
+func NewSizeEstimator(db *Database, f float64, seed int64) *SizeEstimator {
+	return estimator.New(db, sampling.NewManager(db, f, seed))
+}
+
+// EstimationPlan is a solved estimation strategy (which indexes to SampleCF,
+// which to deduce).
+type EstimationPlan = sizing.Plan
+
+// PlanEstimation runs the greedy graph search over the default sampling
+// fraction grid and returns the cheapest feasible plan plus the estimator to
+// execute it with (tolerance e, confidence q as in Section 5.1).
+func PlanEstimation(db *Database, targets []*IndexDef, e, q float64, seed int64) (*EstimationPlan, *SizeEstimator) {
+	return sizing.Sweep(db, targets, nil, e, q, nil, seed, sizing.Greedy)
+}
+
+// ExecuteEstimation runs a plan, returning estimates keyed by IndexDef.ID().
+func ExecuteEstimation(est *SizeEstimator, p *EstimationPlan) (map[string]*SizeEstimate, error) {
+	return sizing.Execute(est, p)
+}
+
+// ---------------------------------------------------------------------------
+// Experiments
+
+// ExperimentScale sizes experiment runs.
+type ExperimentScale = experiments.Scale
+
+// DefaultExperimentScale is the README-documented full scale.
+func DefaultExperimentScale() ExperimentScale { return experiments.DefaultScale() }
+
+// QuickExperimentScale is the reduced smoke-test scale.
+func QuickExperimentScale() ExperimentScale { return experiments.QuickScale() }
+
+// ExperimentIDs lists the reproducible tables/figures.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table/figure, writing a text report.
+func RunExperiment(id string, sc ExperimentScale, w io.Writer) error {
+	return experiments.Run(id, sc, w)
+}
+
+// RunAllExperiments regenerates every table and figure in paper order.
+func RunAllExperiments(sc ExperimentScale, w io.Writer) error {
+	return experiments.RunAll(sc, w)
+}

@@ -1,0 +1,135 @@
+// Command cadb-advisor runs the compression-aware physical design advisor
+// (DTAc) or its compression-blind baseline (DTA) over a generated database
+// and workload, printing the recommended configuration and its estimated
+// improvement.
+//
+// Usage:
+//
+//	cadb-advisor -db tpch -budget 0.25
+//	cadb-advisor -db sales -budget 0.1 -mix insert -baseline
+//	cadb-advisor -db tpch -budget 0.5 -features all -verbose
+//	cadb-advisor -db tpch -workload my_queries.sql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cadb"
+)
+
+func main() {
+	var (
+		dbName   = flag.String("db", "tpch", "database: tpch | sales | tpcds")
+		rows     = flag.Int("rows", 20000, "fact-table row count")
+		zipf     = flag.Float64("zipf", 0, "value skew Z (tpch only)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		budget   = flag.Float64("budget", 0.25, "storage budget as a fraction of the heap-only database size")
+		mix      = flag.String("mix", "select", "workload mix: select | insert | balanced")
+		baseline = flag.Bool("baseline", false, "run compression-blind DTA instead of DTAc")
+		staged   = flag.Bool("staged", false, "run the naive staged (select-then-compress) baseline")
+		features = flag.String("features", "simple", "candidate features: simple | all (adds partial indexes and MVs)")
+		wlFile   = flag.String("workload", "", "optional SQL workload file (overrides the built-in workload)")
+		verbose  = flag.Bool("verbose", false, "print per-phase timing and the estimation plan")
+	)
+	flag.Parse()
+
+	var db *cadb.Database
+	var wl *cadb.Workload
+	switch *dbName {
+	case "tpch":
+		db = cadb.NewTPCH(cadb.TPCHConfig{LineitemRows: *rows, Zipf: *zipf, Seed: *seed})
+		wl = cadb.TPCHWorkload()
+	case "sales":
+		db = cadb.NewSales(cadb.SalesConfig{FactRows: *rows, Zipf: 0.8, Seed: *seed})
+		wl = cadb.SalesWorkload(*seed)
+	case "tpcds":
+		db = cadb.NewTPCDS(cadb.TPCDSConfig{StoreSalesRows: *rows, Seed: *seed})
+		fmt.Fprintln(os.Stderr, "cadb-advisor: tpcds has no built-in workload; pass -workload")
+		if *wlFile == "" {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cadb-advisor: unknown db %q\n", *dbName)
+		os.Exit(1)
+	}
+	if *wlFile != "" {
+		text, err := os.ReadFile(*wlFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cadb-advisor:", err)
+			os.Exit(1)
+		}
+		wl, err = cadb.ParseWorkload(string(text))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cadb-advisor:", err)
+			os.Exit(1)
+		}
+	}
+	switch *mix {
+	case "select":
+		wl = cadb.SelectIntensive(wl)
+	case "insert":
+		wl = cadb.InsertIntensive(wl)
+	case "balanced":
+	default:
+		fmt.Fprintf(os.Stderr, "cadb-advisor: unknown mix %q\n", *mix)
+		os.Exit(1)
+	}
+
+	heap := db.TotalHeapBytes()
+	budgetBytes := int64(*budget * float64(heap))
+	var opts cadb.Options
+	if *baseline {
+		opts = cadb.DTAOptions(budgetBytes)
+	} else {
+		opts = cadb.DefaultOptions(budgetBytes)
+	}
+	opts.Staged = *staged
+	if *features == "all" {
+		opts.EnablePartial = true
+		opts.EnableMV = true
+	}
+	opts.Seed = *seed
+
+	fmt.Printf("database %s: %d tables, %.1f MB heap; budget %.1f MB (%.0f%%)\n",
+		*dbName, len(db.Tables()), mb(heap), mb(budgetBytes), 100**budget)
+	fmt.Printf("workload: %d statements (%d queries), mix=%s, tool=%s\n",
+		len(wl.Statements), len(wl.Queries()), *mix, toolName(*baseline, *staged))
+
+	start := time.Now()
+	rec, err := cadb.Tune(db, wl, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cadb-advisor:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nrecommendation (%v, %d candidates considered):\n", time.Since(start).Round(time.Millisecond), rec.CandidateCount)
+	fmt.Print(rec)
+	fmt.Printf("net storage: %.1f MB of %.1f MB budget\n", mb(rec.SizeBytes), mb(budgetBytes))
+
+	if *verbose {
+		t := rec.Timing
+		fmt.Printf("\ntiming: total=%v candgen=%v samples=%v table-est=%v partial-est=%v mv-est=%v enum=%v\n",
+			t.Total.Round(time.Millisecond), t.CandidateGen.Round(time.Millisecond),
+			t.SampleBuild.Round(time.Millisecond), t.TableEstimate.Round(time.Millisecond),
+			t.PartialEstim.Round(time.Millisecond), t.MVEstimate.Round(time.Millisecond),
+			t.Enumerate.Round(time.Millisecond))
+		if rec.EstimationPlan != nil {
+			fmt.Printf("\nestimation plan:\n%s", rec.EstimationPlan.Describe())
+		}
+	}
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }
+
+func toolName(baseline, staged bool) string {
+	switch {
+	case staged:
+		return "staged"
+	case baseline:
+		return "DTA"
+	default:
+		return "DTAc"
+	}
+}

@@ -1,0 +1,62 @@
+// Command cadb-repro regenerates the paper's evaluation tables and figures
+// as text reports.
+//
+// Usage:
+//
+//	cadb-repro                # run everything at full scale
+//	cadb-repro -exp fig12     # one experiment
+//	cadb-repro -quick         # reduced scale (fast smoke run)
+//	cadb-repro -rows 20000    # override database size
+//	cadb-repro -list          # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cadb"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (empty = all); comma-separated list allowed")
+		quick = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+		rows  = flag.Int("rows", 0, "override fact-table row count")
+		seed  = flag.Int64("seed", 42, "generator seed")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range cadb.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc := cadb.DefaultExperimentScale()
+	if *quick {
+		sc = cadb.QuickExperimentScale()
+	}
+	if *rows > 0 {
+		sc.LineitemRows = *rows
+		sc.SalesRows = *rows
+	}
+	sc.Seed = *seed
+
+	if *exp == "" {
+		if err := cadb.RunAllExperiments(sc, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cadb-repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		if err := cadb.RunExperiment(strings.TrimSpace(id), sc, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cadb-repro:", err)
+			os.Exit(1)
+		}
+	}
+}

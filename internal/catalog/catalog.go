@@ -1,0 +1,362 @@
+// Package catalog holds the logical database: tables with rows, primary and
+// foreign keys, and the per-column statistics (distinct counts, min/max,
+// equi-depth histograms) that the query optimizer and the size-estimation
+// framework consume for cardinality estimation — the same statistics the
+// paper assumes the optimizer maintains (Section 2.2).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadb/internal/storage"
+)
+
+// FK declares that Col references RefTable.RefCol (a key/foreign-key
+// relationship, used for join synopses and FK joins).
+type FK struct {
+	Col      string
+	RefTable string
+	RefCol   string
+}
+
+// Table is a named relation with materialized rows.
+type Table struct {
+	Name   string
+	Schema *storage.Schema
+	Rows   []storage.Row
+	// PK lists the primary key columns (also the default clustered key).
+	PK []string
+	// FKs lists foreign keys out of this table.
+	FKs []FK
+	// Fact marks fact tables (targets of bulk loads and join-synopsis roots).
+	Fact bool
+
+	stats       *Stats
+	avgRowWidth float64
+}
+
+// AvgRowWidth returns the average encoded row width, computed once from a
+// prefix sample of the rows.
+func (t *Table) AvgRowWidth() float64 {
+	if t.avgRowWidth == 0 {
+		rows := t.Rows
+		if len(rows) > 2000 {
+			rows = rows[:2000]
+		}
+		t.avgRowWidth = t.Schema.AvgRowWidth(rows)
+	}
+	return t.avgRowWidth
+}
+
+// RowCount returns the number of rows.
+func (t *Table) RowCount() int64 { return int64(len(t.Rows)) }
+
+// HeapBytes returns the uncompressed heap payload size.
+func (t *Table) HeapBytes() int64 {
+	_, total := storage.PackRows(t.Schema, t.Rows)
+	return total
+}
+
+// HeapPages returns the uncompressed heap size in pages.
+func (t *Table) HeapPages() int64 { return storage.PagesForBytes(t.HeapBytes()) }
+
+// Stats returns (building lazily) the table statistics.
+func (t *Table) Stats() *Stats {
+	if t.stats == nil {
+		t.stats = BuildStats(t, DefaultHistogramBuckets)
+	}
+	return t.stats
+}
+
+// InvalidateStats drops cached statistics (used after mutating Rows).
+func (t *Table) InvalidateStats() {
+	t.stats = nil
+	t.avgRowWidth = 0
+}
+
+// FKTo returns the foreign key referencing the given table, if any.
+func (t *Table) FKTo(ref string) (FK, bool) {
+	for _, fk := range t.FKs {
+		if strings.EqualFold(fk.RefTable, ref) {
+			return fk, true
+		}
+	}
+	return FK{}, false
+}
+
+// Database is a named set of tables.
+type Database struct {
+	Name   string
+	tables map[string]*Table
+	order  []string
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table; the name must be unique.
+func (db *Database) AddTable(t *Table) {
+	key := strings.ToLower(t.Name)
+	if _, dup := db.tables[key]; dup {
+		panic(fmt.Sprintf("catalog: duplicate table %q", t.Name))
+	}
+	db.tables[key] = t
+	db.order = append(db.order, key)
+}
+
+// Table returns the named table or nil.
+func (db *Database) Table(name string) *Table {
+	return db.tables[strings.ToLower(name)]
+}
+
+// MustTable returns the named table or panics.
+func (db *Database) MustTable(name string) *Table {
+	t := db.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("catalog: unknown table %q", name))
+	}
+	return t
+}
+
+// Tables returns all tables in registration order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(db.order))
+	for _, k := range db.order {
+		out = append(out, db.tables[k])
+	}
+	return out
+}
+
+// TotalHeapBytes is the uncompressed payload size of all tables — the "database
+// size without any indexes" that the paper scales space budgets against.
+func (db *Database) TotalHeapBytes() int64 {
+	var total int64
+	for _, t := range db.Tables() {
+		total += t.HeapBytes()
+	}
+	return total
+}
+
+// DefaultHistogramBuckets is the equi-depth histogram resolution.
+const DefaultHistogramBuckets = 64
+
+// MCV is one most-common-value entry.
+type MCV struct {
+	Key   storage.ValueKey
+	Count int64
+}
+
+// ColStats are per-column statistics.
+type ColStats struct {
+	Distinct  int64
+	NullCount int64
+	Min, Max  storage.Value
+	AvgWidth  float64
+	Hist      *Histogram // nil for all-NULL columns
+	// MCVs lists the most common values with exact frequencies (up to
+	// MCVLimit entries), used for equality selectivity on skewed columns.
+	MCVs []MCV
+}
+
+// MCVLimit caps the most-common-value list length.
+const MCVLimit = 8
+
+// MCVFreq returns the frequency of v among non-NULL values if v is a tracked
+// common value.
+func (c *ColStats) MCVFreq(v storage.Value, nonNull int64) (float64, bool) {
+	if nonNull <= 0 {
+		return 0, false
+	}
+	k := v.Key()
+	for _, m := range c.MCVs {
+		if m.Key == k {
+			return float64(m.Count) / float64(nonNull), true
+		}
+	}
+	return 0, false
+}
+
+// MCVMass returns the total fraction of non-NULL values covered by the MCV
+// list.
+func (c *ColStats) MCVMass(nonNull int64) float64 {
+	if nonNull <= 0 {
+		return 0
+	}
+	var total int64
+	for _, m := range c.MCVs {
+		total += m.Count
+	}
+	return float64(total) / float64(nonNull)
+}
+
+// NullFrac returns the fraction of NULLs given the table row count.
+func (c *ColStats) NullFrac(rowCount int64) float64 {
+	if rowCount == 0 {
+		return 0
+	}
+	return float64(c.NullCount) / float64(rowCount)
+}
+
+// Stats bundles table-level statistics.
+type Stats struct {
+	RowCount int64
+	Cols     map[string]*ColStats
+
+	distinctPrefix map[string]int64 // cache: joined lowercase col list -> count
+}
+
+// Col returns stats for the named column (nil if unknown).
+func (s *Stats) Col(name string) *ColStats { return s.Cols[strings.ToLower(name)] }
+
+// BuildStats scans the table once and produces statistics with the given
+// histogram bucket count.
+func BuildStats(t *Table, buckets int) *Stats {
+	st := &Stats{
+		RowCount:       t.RowCount(),
+		Cols:           make(map[string]*ColStats, len(t.Schema.Columns)),
+		distinctPrefix: make(map[string]int64),
+	}
+	for ci, col := range t.Schema.Columns {
+		cs := &ColStats{}
+		counts := make(map[storage.ValueKey]int64, 1024)
+		var widthSum int64
+		var nonNull []storage.Value
+		for _, r := range t.Rows {
+			v := r[ci]
+			if v.Null {
+				cs.NullCount++
+				continue
+			}
+			counts[v.Key()]++
+			widthSum += int64(valueWidth(col, v))
+			nonNull = append(nonNull, v)
+		}
+		cs.Distinct = int64(len(counts))
+		cs.MCVs = topMCVs(counts, MCVLimit)
+		if len(nonNull) > 0 {
+			sort.Slice(nonNull, func(i, j int) bool { return nonNull[i].Compare(nonNull[j]) < 0 })
+			cs.Min = nonNull[0]
+			cs.Max = nonNull[len(nonNull)-1]
+			cs.AvgWidth = float64(widthSum) / float64(len(nonNull))
+			cs.Hist = buildHistogram(nonNull, buckets)
+		}
+		st.Cols[strings.ToLower(col.Name)] = cs
+	}
+	return st
+}
+
+// topMCVs extracts the k most frequent values. Values that appear only once
+// are never "common"; an MCV list is only kept when it captures skew (the
+// top value must beat the uniform share).
+func topMCVs(counts map[storage.ValueKey]int64, k int) []MCV {
+	if len(counts) == 0 {
+		return nil
+	}
+	all := make([]MCV, 0, len(counts))
+	var total int64
+	for key, n := range counts {
+		all = append(all, MCV{Key: key, Count: n})
+		total += n
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return less(all[i].Key, all[j].Key)
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := all[:k]
+	uniform := float64(total) / float64(len(counts))
+	if float64(out[0].Count) <= uniform*1.05 && len(counts) > k {
+		return nil // no skew worth tracking
+	}
+	cp := make([]MCV, k)
+	copy(cp, out)
+	return cp
+}
+
+func less(a, b storage.ValueKey) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.Str != b.Str {
+		return a.Str < b.Str
+	}
+	if a.Int != b.Int {
+		return a.Int < b.Int
+	}
+	return a.Float < b.Float
+}
+
+func valueWidth(c storage.Column, v storage.Value) int {
+	if w := c.Width(); w > 0 {
+		return w
+	}
+	return 2 + len(v.Str)
+}
+
+// DistinctPrefix returns the exact number of distinct combinations of the
+// given columns in the table (computed once, then cached). The deduction
+// model (Section 4.2) needs |AB| in addition to |A| and |B| because columns
+// may be correlated.
+func (t *Table) DistinctPrefix(cols []string) int64 {
+	if len(cols) == 0 {
+		return 1
+	}
+	st := t.Stats()
+	key := strings.ToLower(strings.Join(cols, "\x00"))
+	if v, ok := st.distinctPrefix[key]; ok {
+		return v
+	}
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		idx[i] = t.Schema.ColIndex(c)
+		if idx[i] < 0 {
+			panic(fmt.Sprintf("catalog: table %s has no column %q", t.Name, c))
+		}
+	}
+	seen := make(map[string]struct{}, 1024)
+	var buf []byte
+	for _, r := range t.Rows {
+		buf = buf[:0]
+		for _, i := range idx {
+			buf = appendKey(buf, r[i])
+		}
+		seen[string(buf)] = struct{}{}
+	}
+	n := int64(len(seen))
+	st.distinctPrefix[key] = n
+	return n
+}
+
+func appendKey(dst []byte, v storage.Value) []byte {
+	if v.Null {
+		return append(dst, 0xFF, 0x00)
+	}
+	switch v.Kind {
+	case storage.KindString:
+		dst = append(dst, 0x01)
+		dst = append(dst, v.Str...)
+		return append(dst, 0x00)
+	case storage.KindFloat:
+		dst = append(dst, 0x02)
+		u := uint64(int64(v.Float * 1e9)) // good enough for distinct counting
+		for s := 56; s >= 0; s -= 8 {
+			dst = append(dst, byte(u>>uint(s)))
+		}
+		return append(dst, 0x00)
+	default:
+		dst = append(dst, 0x03)
+		u := uint64(v.Int)
+		for s := 56; s >= 0; s -= 8 {
+			dst = append(dst, byte(u>>uint(s)))
+		}
+		return append(dst, 0x00)
+	}
+}

@@ -1,0 +1,314 @@
+// Package core implements the paper's primary contribution: a
+// compression-aware physical database design advisor in the architecture of
+// Microsoft's Database Engine Tuning Advisor (Figure 1). The pipeline is:
+//
+//  1. Candidate selection — per query, generate syntactically relevant
+//     indexes (plus partial-index and MV candidates), expand compressed
+//     variants, and keep either the top-k cheapest configurations (classic
+//     DTA) or the full size/cost skyline (Section 6.1).
+//  2. Size estimation — estimate every compressed candidate's size through
+//     the SampleCF + deduction framework (Sections 4–5).
+//  3. Merging — combine candidates that serve multiple queries (index
+//     merging, with compressed variants of merged structures).
+//  4. Enumeration — greedy search under the storage bound, optionally
+//     density-based, with the backtracking recovery step that swaps members
+//     for their compressed variants when a greedy pick overshoots the
+//     budget (Section 6.2).
+//
+// Running with Options.EnableCompression=false reproduces the baseline DTA;
+// Options.Staged reproduces the decoupled select-then-compress strategy the
+// introduction's Example 1 warns about.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/estimator"
+	"cadb/internal/index"
+	"cadb/internal/optimizer"
+	"cadb/internal/sampling"
+	"cadb/internal/sizing"
+	"cadb/internal/workload"
+)
+
+// Options configures one advisor run.
+type Options struct {
+	// Budget is the storage bound in bytes (relative to the heap-only
+	// database; compressing a clustered index frees budget).
+	Budget int64
+
+	// EnableCompression turns the tool into DTAc; false reproduces DTA.
+	EnableCompression bool
+	// Methods lists the compression methods to consider (default ROW, PAGE —
+	// SQL Server's two packages).
+	Methods []compress.Method
+
+	// Skyline keeps the whole size/cost skyline per query instead of the
+	// top-k cheapest configurations (Section 6.1).
+	Skyline bool
+	// TopK is the per-query candidate count when Skyline is off (default 2).
+	TopK int
+	// Backtrack enables the oversized-pick recovery in enumeration
+	// (Section 6.2).
+	Backtrack bool
+	// Density uses benefit/size greedy scoring instead of pure benefit.
+	Density bool
+
+	// EnableClustered, EnablePartial and EnableMV widen the candidate space
+	// ("all features" runs of the paper enable all three).
+	EnableClustered bool
+	EnablePartial   bool
+	EnableMV        bool
+
+	// Staged reproduces the naive decoupled baseline: pick indexes without
+	// considering compression, then compress everything selected, repeat
+	// while space remains.
+	Staged bool
+
+	// UseDeduction controls whether size estimation may use the deduction
+	// framework (off reproduces the "w/o deduction" bar of Figure 11).
+	UseDeduction bool
+	// ErrTolerance (e) and Confidence (q) form the accuracy constraint of
+	// the size-estimation problem (Section 5.1).
+	ErrTolerance float64
+	Confidence   float64
+	// FGrid lists the candidate sampling fractions (default 1–10%).
+	FGrid []float64
+
+	// MaxIndexes caps the recommendation size; MaxKeyCols caps composite key
+	// width during candidate generation.
+	MaxIndexes int
+	MaxKeyCols int
+
+	Seed int64
+}
+
+// DefaultOptions returns the full DTAc configuration at the given budget.
+func DefaultOptions(budget int64) Options {
+	return Options{
+		Budget:            budget,
+		EnableCompression: true,
+		Methods:           []compress.Method{compress.Row, compress.Page},
+		Skyline:           true,
+		TopK:              2,
+		Backtrack:         true,
+		EnableClustered:   true,
+		UseDeduction:      true,
+		ErrTolerance:      0.5,
+		Confidence:        0.9,
+		MaxIndexes:        40,
+		MaxKeyCols:        3,
+		Seed:              1,
+	}
+}
+
+// DTAOptions returns the compression-blind baseline at the given budget.
+func DTAOptions(budget int64) Options {
+	o := DefaultOptions(budget)
+	o.EnableCompression = false
+	o.Skyline = false
+	o.Backtrack = false
+	return o
+}
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	Config      *optimizer.Configuration
+	BaseCost    float64
+	TotalCost   float64
+	Improvement float64 // percent, the paper's reporting metric
+	SizeBytes   int64
+
+	// Diagnostics.
+	CandidateCount int
+	SelectedCount  int
+	EstimationPlan *sizing.Plan
+	Timing         Timing
+}
+
+// Timing is the Figure 11 runtime split.
+type Timing struct {
+	Total          time.Duration
+	CandidateGen   time.Duration
+	SampleBuild    time.Duration // taking/joining samples
+	TableEstimate  time.Duration // SampleCF on plain table indexes
+	PartialEstim   time.Duration
+	MVEstimate     time.Duration
+	Enumerate      time.Duration
+	EstimationCost float64 // abstract cost units (sample pages)
+}
+
+// Other returns the non-estimation runtime ("Other" in Figure 11).
+func (t Timing) Other() time.Duration {
+	est := t.SampleBuild + t.TableEstimate + t.PartialEstim + t.MVEstimate
+	if t.Total < est {
+		return 0
+	}
+	return t.Total - est
+}
+
+// Advisor ties the pieces together for one database + workload.
+type Advisor struct {
+	DB   *catalog.Database
+	WL   *workload.Workload
+	Opts Options
+	CM   *optimizer.CostModel
+
+	// allHypos is the full candidate pool (every structure × method) used by
+	// backtracking to find compressed variants of configuration members.
+	allHypos []*optimizer.HypoIndex
+}
+
+// New creates an advisor with the default cost model.
+func New(db *catalog.Database, wl *workload.Workload, opts Options) *Advisor {
+	if opts.TopK <= 0 {
+		opts.TopK = 2
+	}
+	if opts.MaxIndexes <= 0 {
+		opts.MaxIndexes = 40
+	}
+	if opts.MaxKeyCols <= 0 {
+		opts.MaxKeyCols = 3
+	}
+	if len(opts.Methods) == 0 {
+		opts.Methods = []compress.Method{compress.Row, compress.Page}
+	}
+	if opts.ErrTolerance <= 0 {
+		opts.ErrTolerance = 0.5
+	}
+	if opts.Confidence <= 0 {
+		opts.Confidence = 0.9
+	}
+	return &Advisor{DB: db, WL: wl, Opts: opts, CM: optimizer.NewCostModel(db)}
+}
+
+// Recommend runs the full pipeline.
+func (a *Advisor) Recommend() (*Recommendation, error) {
+	start := time.Now()
+	rec := &Recommendation{}
+
+	// 1. Candidate structures per query.
+	tGen := time.Now()
+	structures := a.generateCandidates()
+	rec.Timing.CandidateGen = time.Since(tGen)
+
+	// 2. Expand compression variants and estimate sizes.
+	hypos, plan, est, err := a.estimateAll(structures)
+	if err != nil {
+		return nil, err
+	}
+	rec.EstimationPlan = plan
+	rec.CandidateCount = len(hypos)
+	if est != nil {
+		rec.Timing.SampleBuild = est.Mgr.SampleBuildTime + est.Mgr.SynopsisBuildTime
+		rec.Timing.TableEstimate = est.TableSampleCFTime
+		rec.Timing.PartialEstim = est.PartialSampleCFTime
+		rec.Timing.MVEstimate = est.MVSampleCFTime
+		rec.Timing.EstimationCost = est.TotalCost
+	}
+
+	// 3. Per-query candidate selection (top-k or skyline), then merging.
+	a.allHypos = a.allHypos[:0]
+	for _, h := range hypos {
+		a.allHypos = append(a.allHypos, h)
+	}
+	selected := a.selectCandidates(hypos)
+	selected = a.mergeCandidates(selected, est)
+	for _, h := range selected {
+		if a.lookupHypo(h.Def) == nil {
+			a.allHypos = append(a.allHypos, h)
+		}
+	}
+
+	// 4. Enumeration under the budget.
+	tEnum := time.Now()
+	var cfg *optimizer.Configuration
+	if a.Opts.Staged {
+		cfg = a.enumerateStaged(selected, est)
+	} else {
+		cfg = a.enumerate(selected)
+	}
+	rec.Timing.Enumerate = time.Since(tEnum)
+
+	rec.Config = cfg
+	rec.BaseCost = a.CM.WorkloadCost(a.WL, optimizer.NewConfiguration())
+	rec.TotalCost = a.CM.WorkloadCost(a.WL, cfg)
+	if rec.BaseCost > 0 {
+		rec.Improvement = 100 * (1 - rec.TotalCost/rec.BaseCost)
+	}
+	rec.SizeBytes = cfg.SizeBytes(a.DB)
+	rec.SelectedCount = len(cfg.Indexes)
+	rec.Timing.Total = time.Since(start)
+	return rec, nil
+}
+
+// estimateAll sizes every candidate structure and its compression variants.
+func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.HypoIndex, *sizing.Plan, *estimator.Estimator, error) {
+	var targets []*index.Def
+	var uncompressed []*index.Def
+	for _, d := range structures {
+		uncompressed = append(uncompressed, d.Uncompressed())
+		if a.Opts.EnableCompression || a.Opts.Staged {
+			for _, m := range a.Opts.Methods {
+				targets = append(targets, d.WithMethod(m))
+			}
+		}
+	}
+
+	solve := sizing.Greedy
+	if !a.Opts.UseDeduction {
+		solve = sizing.All
+	}
+	var plan *sizing.Plan
+	var est *estimator.Estimator
+	if len(targets) > 0 {
+		plan, est = sizing.Sweep(a.DB, targets, nil, a.Opts.ErrTolerance, a.Opts.Confidence, a.Opts.FGrid, a.Opts.Seed, solve)
+		if _, err := sizing.Execute(est, plan); err != nil {
+			return nil, nil, nil, err
+		}
+	} else {
+		est = estimator.New(a.DB, sampling.NewManager(a.DB, 0.05, a.Opts.Seed))
+	}
+
+	hypos := make(map[string]*optimizer.HypoIndex)
+	add := func(e *estimator.Estimate) {
+		hypos[e.Def.ID()] = &optimizer.HypoIndex{
+			Def:               e.Def,
+			Rows:              e.Rows,
+			Bytes:             e.Bytes,
+			UncompressedBytes: e.UncompressedBytes,
+		}
+	}
+	for _, d := range uncompressed {
+		e, err := est.EstimateUncompressed(d)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		add(e)
+	}
+	for _, d := range targets {
+		e, ok := est.Cached(d)
+		if !ok {
+			var err error
+			e, err = est.SampleCF(d)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		add(e)
+	}
+	return hypos, plan, est, nil
+}
+
+// String renders the recommendation for reports.
+func (r *Recommendation) String() string {
+	s := fmt.Sprintf("improvement %.1f%% (cost %.1f -> %.1f), size %d bytes, %d indexes:\n",
+		r.Improvement, r.BaseCost, r.TotalCost, r.SizeBytes, len(r.Config.Indexes))
+	for _, h := range r.Config.Indexes {
+		s += "  " + h.String() + "\n"
+	}
+	return s
+}

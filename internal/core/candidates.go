@@ -1,0 +1,330 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"cadb/internal/index"
+	"cadb/internal/optimizer"
+	"cadb/internal/workload"
+)
+
+// generateCandidates produces the syntactically relevant index structures
+// (uncompressed definitions; compression variants are expanded later) for
+// every query in the workload, de-duplicated by structure identity.
+func (a *Advisor) generateCandidates() []*index.Def {
+	seen := make(map[string]*index.Def)
+	add := func(d *index.Def) {
+		if d == nil || len(d.KeyCols) == 0 {
+			return
+		}
+		if len(d.KeyCols) > a.Opts.MaxKeyCols {
+			d.KeyCols = d.KeyCols[:a.Opts.MaxKeyCols]
+		}
+		id := d.StructureID()
+		if _, dup := seen[id]; !dup {
+			seen[id] = d
+		}
+	}
+	for _, s := range a.WL.Statements {
+		if s.Query == nil {
+			continue
+		}
+		a.candidatesForQuery(s.Query, add)
+	}
+	// Clustered-index candidates for fact tables: even at a 0% budget,
+	// compressing the base table frees space (Appendix D).
+	if a.Opts.EnableClustered {
+		for _, t := range a.DB.Tables() {
+			if len(t.PK) > 0 {
+				add(&index.Def{Table: t.Name, KeyCols: t.PK[:1], Clustered: true})
+			}
+		}
+	}
+	out := make([]*index.Def, 0, len(seen))
+	for _, d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StructureID() < out[j].StructureID() })
+	return out
+}
+
+// candidatesForQuery emits candidate structures for one query.
+func (a *Advisor) candidatesForQuery(q *workload.Query, add func(*index.Def)) {
+	has := func(table, col string) bool {
+		t := a.DB.Table(table)
+		return t != nil && t.Schema.Has(col)
+	}
+	for _, table := range q.Tables {
+		t := a.DB.Table(table)
+		if t == nil {
+			continue
+		}
+		preds := q.PredsOn(table, has)
+		used := q.ColumnsOn(table, has)
+
+		// Partition predicates into equality and range, ordering keys
+		// equality-first (the standard sarg rule).
+		var eqCols, rangeCols []string
+		for _, p := range preds {
+			if !p.Sargable() {
+				continue
+			}
+			if p.IsEquality() {
+				eqCols = appendUnique(eqCols, p.Col)
+			} else {
+				rangeCols = appendUnique(rangeCols, p.Col)
+			}
+		}
+		var keys []string
+		keys = append(keys, eqCols...)
+		if len(rangeCols) > 0 {
+			keys = append(keys, rangeCols[0])
+		}
+		if len(keys) > 0 {
+			include := minus(used, keys)
+			add(&index.Def{Table: table, KeyCols: keys})
+			if len(include) > 0 {
+				add(&index.Def{Table: table, KeyCols: keys, IncludeCols: include})
+			}
+			if a.Opts.EnableClustered {
+				add(&index.Def{Table: table, KeyCols: keys[:1], Clustered: true})
+			}
+		}
+
+		// Group-by driven covering index.
+		var groupCols []string
+		for _, g := range q.GroupBy {
+			if (g.Table == "" && t.Schema.Has(g.Col)) || strings.EqualFold(g.Table, table) {
+				groupCols = appendUnique(groupCols, g.Col)
+			}
+		}
+		if len(groupCols) > 0 {
+			add(&index.Def{Table: table, KeyCols: groupCols, IncludeCols: minus(used, groupCols)})
+		}
+
+		// Join-driven index on the fact-side join column.
+		for _, j := range q.Joins {
+			var jc string
+			if strings.EqualFold(j.LeftTable, table) {
+				jc = j.LeftCol
+			} else if strings.EqualFold(j.RightTable, table) {
+				jc = j.RightCol
+			} else {
+				continue
+			}
+			add(&index.Def{Table: table, KeyCols: []string{jc}, IncludeCols: minus(used, []string{jc})})
+		}
+
+		// Partial index: filter on one predicate, key on the others.
+		if a.Opts.EnablePartial && len(preds) >= 2 {
+			for i, fp := range preds {
+				if !fp.Sargable() {
+					continue
+				}
+				rest := make([]string, 0, len(preds)-1)
+				for k, p := range preds {
+					if k != i && p.Sargable() {
+						rest = appendUnique(rest, p.Col)
+					}
+				}
+				if len(rest) == 0 {
+					continue
+				}
+				add(&index.Def{
+					Table:       table,
+					KeyCols:     rest,
+					IncludeCols: minus(used, append(append([]string{}, rest...), fp.Col)),
+					Where:       []workload.Predicate{fp},
+				})
+				break // one partial candidate per query-table is plenty
+			}
+		}
+	}
+
+	// MV candidate mirroring the query's joins + grouping (Appendix B).
+	if a.Opts.EnableMV && (len(q.GroupBy) > 0 && len(q.Aggs) > 0) {
+		if mv := mvFromQuery(q); mv != nil {
+			add(MVIndexDef(mv))
+		}
+	}
+}
+
+// mvFromQuery derives the MV definition that can answer the query: same fact
+// and joins, WHERE restricted to predicates not on group-by columns (those
+// can filter the MV at query time, making the MV reusable across parameter
+// values).
+func mvFromQuery(q *workload.Query) *index.MVDef {
+	if len(q.Tables) == 0 {
+		return nil
+	}
+	mv := &index.MVDef{
+		Fact:    q.Tables[0],
+		Joins:   q.Joins,
+		GroupBy: q.GroupBy,
+		Aggs:    q.Aggs,
+	}
+	for _, p := range q.Preds {
+		onGroup := false
+		for _, g := range q.GroupBy {
+			if strings.EqualFold(g.Col, p.Col) {
+				onGroup = true
+				break
+			}
+		}
+		if !onGroup {
+			mv.Where = append(mv.Where, p)
+		}
+	}
+	mv.Name = "mv_" + shortHash(mv.Fingerprint())
+	return mv
+}
+
+// MVIndexDef builds the index definition over a materialized view: keyed by
+// the group-by columns, carrying the aggregates and the hidden count.
+func MVIndexDef(mv *index.MVDef) *index.Def {
+	var keys []string
+	for _, g := range mv.GroupBy {
+		keys = append(keys, index.QualifiedCol(g))
+	}
+	var include []string
+	for _, ag := range mv.Aggs {
+		name := strings.ToLower(ag.Func.String()) + "_" + index.QualifiedCol(ag.Col)
+		if ag.Col.Col == "" {
+			name = "count_star"
+		}
+		include = append(include, name)
+	}
+	include = append(include, "__count")
+	return &index.Def{Table: mv.Name, KeyCols: keys, IncludeCols: include, MV: mv}
+}
+
+func shortHash(s string) string {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	const digits = "0123456789abcdef"
+	out := make([]byte, 8)
+	for i := range out {
+		out[i] = digits[h&0xF]
+		h >>= 4
+	}
+	return string(out)
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+func minus(all, remove []string) []string {
+	var out []string
+	for _, c := range all {
+		found := false
+		for _, r := range remove {
+			if strings.EqualFold(c, r) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// selectCandidates runs per-query candidate selection: classic top-k by cost
+// or the size/cost skyline (Section 6.1). The union over queries is the
+// enumeration candidate set.
+func (a *Advisor) selectCandidates(hypos map[string]*optimizer.HypoIndex) []*optimizer.HypoIndex {
+	chosen := make(map[string]*optimizer.HypoIndex)
+
+	// Clustered candidates always survive selection: their benefit is
+	// space (when compressed), which per-query cost ranking cannot see.
+	for id, h := range hypos {
+		if h.Def.Clustered {
+			chosen[id] = h
+		}
+	}
+
+	for _, s := range a.WL.Statements {
+		if s.Query == nil {
+			continue
+		}
+		relevant := a.relevantHypos(s.Query, hypos)
+		if len(relevant) == 0 {
+			continue
+		}
+		type scored struct {
+			h    *optimizer.HypoIndex
+			cost float64
+			size int64
+		}
+		scoredList := make([]scored, 0, len(relevant))
+		for _, h := range relevant {
+			c := a.CM.Cost(s, optimizer.NewConfiguration(h))
+			scoredList = append(scoredList, scored{h: h, cost: c, size: h.Bytes})
+		}
+		if a.Opts.Skyline {
+			// Keep all non-dominated (cost, size) candidates.
+			for i, x := range scoredList {
+				dominated := false
+				for j, y := range scoredList {
+					if i == j {
+						continue
+					}
+					if y.cost <= x.cost && y.size <= x.size && (y.cost < x.cost || y.size < x.size) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					chosen[x.h.Def.ID()] = x.h
+				}
+			}
+		} else {
+			sort.Slice(scoredList, func(i, j int) bool { return scoredList[i].cost < scoredList[j].cost })
+			k := a.Opts.TopK
+			if k > len(scoredList) {
+				k = len(scoredList)
+			}
+			for _, x := range scoredList[:k] {
+				chosen[x.h.Def.ID()] = x.h
+			}
+		}
+	}
+	out := make([]*optimizer.HypoIndex, 0, len(chosen))
+	for _, h := range chosen {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.ID() < out[j].Def.ID() })
+	return out
+}
+
+// relevantHypos returns the hypothetical indexes that could plausibly serve
+// the query (same table or matching MV fact).
+func (a *Advisor) relevantHypos(q *workload.Query, hypos map[string]*optimizer.HypoIndex) []*optimizer.HypoIndex {
+	var out []*optimizer.HypoIndex
+	for _, h := range hypos {
+		if h.Def.MV != nil {
+			if len(q.Tables) > 0 && strings.EqualFold(h.Def.MV.Fact, q.Tables[0]) {
+				out = append(out, h)
+			}
+			continue
+		}
+		for _, t := range q.Tables {
+			if strings.EqualFold(h.Def.Table, t) {
+				out = append(out, h)
+				break
+			}
+		}
+	}
+	return out
+}

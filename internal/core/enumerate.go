@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"strings"
+
+	"cadb/internal/compress"
+	"cadb/internal/estimator"
+	"cadb/internal/index"
+	"cadb/internal/optimizer"
+)
+
+// mergeCandidates implements index merging [8]: when two selected candidates
+// on the same table share the leading key column, the merged index (union of
+// include columns) can serve both queries with one structure. The advisor
+// generates compressed variants of merged structures too (Section 6.2's
+// closing note).
+func (a *Advisor) mergeCandidates(selected []*optimizer.HypoIndex, est *estimator.Estimator) []*optimizer.HypoIndex {
+	if est == nil {
+		return selected
+	}
+	out := append([]*optimizer.HypoIndex{}, selected...)
+	have := make(map[string]bool, len(selected))
+	for _, h := range selected {
+		have[h.Def.ID()] = true
+	}
+	const maxMerges = 12
+	merges := 0
+	for i := 0; i < len(selected) && merges < maxMerges; i++ {
+		for j := i + 1; j < len(selected) && merges < maxMerges; j++ {
+			x, y := selected[i].Def, selected[j].Def
+			if x.MV != nil || y.MV != nil || x.Clustered || y.Clustered ||
+				x.IsPartial() || y.IsPartial() {
+				continue
+			}
+			if !strings.EqualFold(x.Table, y.Table) {
+				continue
+			}
+			if len(x.KeyCols) == 0 || len(y.KeyCols) == 0 ||
+				!strings.EqualFold(x.KeyCols[0], y.KeyCols[0]) {
+				continue
+			}
+			merged := &index.Def{
+				Table:       x.Table,
+				KeyCols:     x.KeyCols,
+				IncludeCols: unionCols(append(x.KeyCols[1:], x.IncludeCols...), append(y.KeyCols[1:], y.IncludeCols...)),
+			}
+			if len(merged.IncludeCols) == 0 {
+				continue
+			}
+			variants := []*index.Def{merged.Uncompressed()}
+			if a.Opts.EnableCompression {
+				for _, m := range a.Opts.Methods {
+					variants = append(variants, merged.WithMethod(m))
+				}
+			}
+			for _, v := range variants {
+				if have[v.ID()] {
+					continue
+				}
+				var e *estimator.Estimate
+				var err error
+				if v.Method == compress.None {
+					e, err = est.EstimateUncompressed(v)
+				} else {
+					e, err = est.SampleCF(v)
+				}
+				if err != nil {
+					continue
+				}
+				have[v.ID()] = true
+				out = append(out, &optimizer.HypoIndex{
+					Def:               e.Def,
+					Rows:              e.Rows,
+					Bytes:             e.Bytes,
+					UncompressedBytes: e.UncompressedBytes,
+				})
+			}
+			merges++
+		}
+	}
+	return out
+}
+
+func unionCols(a, b []string) []string {
+	var out []string
+	for _, c := range append(append([]string{}, a...), b...) {
+		out = appendUnique(out, c)
+	}
+	return out
+}
+
+// enumerate performs the greedy search under the storage bound (Section
+// 6.2): at each step add the candidate with the best score (cost reduction,
+// or reduction/size when Density is on) that fits the remaining budget. With
+// Backtrack on, an oversized best pick is recovered by swapping members of
+// the tentative configuration for their compressed variants.
+func (a *Advisor) enumerate(candidates []*optimizer.HypoIndex) *optimizer.Configuration {
+	cfg := optimizer.NewConfiguration()
+	curCost := a.CM.WorkloadCost(a.WL, cfg)
+
+	remaining := append([]*optimizer.HypoIndex{}, candidates...)
+	for len(cfg.Indexes) < a.Opts.MaxIndexes {
+		type pick struct {
+			h     *optimizer.HypoIndex
+			cfg   *optimizer.Configuration
+			cost  float64
+			score float64
+		}
+		var bestFit *pick // best scoring candidate that fits
+		var bestAny *pick // best scoring candidate ignoring the budget
+		for _, h := range remaining {
+			if !a.admissible(cfg, h) {
+				continue
+			}
+			next := a.addToConfig(cfg, h)
+			nextCost := a.CM.WorkloadCost(a.WL, next)
+			gain := curCost - nextCost
+			if gain <= 1e-9 {
+				continue
+			}
+			score := gain
+			if a.Opts.Density {
+				den := float64(h.Bytes)
+				if den < 1 {
+					den = 1
+				}
+				score = gain / den
+			}
+			p := &pick{h: h, cfg: next, cost: nextCost, score: score}
+			if next.SizeBytes(a.DB) <= a.Opts.Budget && (bestFit == nil || score > bestFit.score) {
+				bestFit = p
+			}
+			if bestAny == nil || score > bestAny.score {
+				bestAny = p
+			}
+		}
+		// Backtracking (Figure 8): the greedy choice overshot the budget —
+		// try recovering it by compressing members of the tentative
+		// configuration, then compare with the best in-budget choice.
+		if a.Opts.Backtrack && bestAny != nil && (bestFit == nil || bestAny.score > bestFit.score) {
+			if recovered, cost := a.recover(bestAny.cfg); recovered != nil {
+				if bestFit == nil || cost < bestFit.cost {
+					bestFit = &pick{h: bestAny.h, cfg: recovered, cost: cost, score: bestAny.score}
+				}
+			}
+		}
+		if bestFit == nil {
+			break
+		}
+		cfg = bestFit.cfg
+		curCost = bestFit.cost
+		remaining = removeHypo(remaining, bestFit.h)
+	}
+	return cfg
+}
+
+// admissible rejects candidates that conflict with the configuration: a
+// second clustered index on a table, or a compression variant of a structure
+// already present.
+func (a *Advisor) admissible(cfg *optimizer.Configuration, h *optimizer.HypoIndex) bool {
+	if cfg.ContainsStructure(h.Def) {
+		return false
+	}
+	if h.Def.Clustered && cfg.Clustered(h.Def.Table) != nil {
+		return false
+	}
+	return true
+}
+
+// addToConfig adds the index, replacing the existing clustered index if the
+// newcomer is clustered (should not happen via admissible, kept defensive).
+func (a *Advisor) addToConfig(cfg *optimizer.Configuration, h *optimizer.HypoIndex) *optimizer.Configuration {
+	return cfg.With(h)
+}
+
+// recover implements the backtracking step: the configuration exceeds the
+// budget; try replacing each member with each of its compressed variants
+// (and, if needed, several members), keeping the variant assignment that
+// performs fastest while fitting the budget. Returns nil when no assignment
+// fits.
+func (a *Advisor) recover(cfg *optimizer.Configuration) (*optimizer.Configuration, float64) {
+	if !a.Opts.EnableCompression {
+		return nil, 0
+	}
+	cur := cfg
+	for iter := 0; iter < len(cfg.Indexes)+1; iter++ {
+		if cur.SizeBytes(a.DB) <= a.Opts.Budget {
+			return cur, a.CM.WorkloadCost(a.WL, cur)
+		}
+		// One swap: pick the member+variant replacement that fits — or at
+		// least shrinks — while costing the least.
+		var best *optimizer.Configuration
+		bestCost := math.Inf(1)
+		bestShrink := int64(0)
+		for _, member := range cur.Indexes {
+			for _, variant := range a.variantsOf(member) {
+				if variant.Bytes >= member.Bytes {
+					continue
+				}
+				next := cur.Replace(member, variant)
+				cost := a.CM.WorkloadCost(a.WL, next)
+				fits := next.SizeBytes(a.DB) <= a.Opts.Budget
+				shrink := member.Bytes - variant.Bytes
+				switch {
+				case fits && cost < bestCost:
+					best, bestCost, bestShrink = next, cost, shrink
+				case !fits && best == nil && shrink > bestShrink:
+					// Track the biggest shrink as a stepping stone.
+					best, bestCost, bestShrink = next, cost, shrink
+				}
+			}
+		}
+		if best == nil {
+			return nil, 0
+		}
+		cur = best
+	}
+	if cur.SizeBytes(a.DB) <= a.Opts.Budget {
+		return cur, a.CM.WorkloadCost(a.WL, cur)
+	}
+	return nil, 0
+}
+
+// variantsOf returns the compressed variants of a member that the estimation
+// phase has produced (found among the advisor's candidate pool).
+func (a *Advisor) variantsOf(member *optimizer.HypoIndex) []*optimizer.HypoIndex {
+	var out []*optimizer.HypoIndex
+	sid := member.Def.StructureID()
+	for _, h := range a.allHypos {
+		if h != member && h.Def.StructureID() == sid {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func removeHypo(list []*optimizer.HypoIndex, h *optimizer.HypoIndex) []*optimizer.HypoIndex {
+	out := list[:0]
+	for _, x := range list {
+		if x != h {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// enumerateStaged is the decoupled baseline of Example 1: run compression-
+// blind greedy, compress everything selected with the heaviest method, and
+// repeat with the freed budget.
+func (a *Advisor) enumerateStaged(candidates []*optimizer.HypoIndex, est *estimator.Estimator) *optimizer.Configuration {
+	// Split candidates into uncompressed and a variant lookup.
+	var plain []*optimizer.HypoIndex
+	for _, h := range candidates {
+		if h.Def.Method == compress.None {
+			plain = append(plain, h)
+		}
+	}
+	heavy := compress.Page
+	if len(a.Opts.Methods) > 0 {
+		heavy = a.Opts.Methods[len(a.Opts.Methods)-1]
+	}
+
+	cfg := optimizer.NewConfiguration()
+	blind := *a
+	blindOpts := a.Opts
+	blindOpts.EnableCompression = false
+	blindOpts.Backtrack = false
+	blind.Opts = blindOpts
+
+	for round := 0; round < 3; round++ {
+		used := cfg.SizeBytes(a.DB)
+		blind.Opts.Budget = a.Opts.Budget - used
+		if blind.Opts.Budget <= 0 {
+			break
+		}
+		// Remove structures already chosen.
+		var pool []*optimizer.HypoIndex
+		for _, h := range plain {
+			if !cfg.ContainsStructure(h.Def) && !(h.Def.Clustered && cfg.Clustered(h.Def.Table) != nil) {
+				pool = append(pool, h)
+			}
+		}
+		add := blind.enumerate(pool)
+		if len(add.Indexes) == 0 {
+			break
+		}
+		// Blindly compress every addition with the heaviest method.
+		for _, h := range add.Indexes {
+			compressed := a.lookupHypo(h.Def.WithMethod(heavy))
+			if compressed != nil {
+				cfg = cfg.With(compressed)
+			} else {
+				cfg = cfg.With(h)
+			}
+		}
+	}
+	return cfg
+}
+
+func (a *Advisor) lookupHypo(d *index.Def) *optimizer.HypoIndex {
+	id := d.ID()
+	for _, h := range a.allHypos {
+		if h.Def.ID() == id {
+			return h
+		}
+	}
+	return nil
+}

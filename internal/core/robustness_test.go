@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/datagen"
+	"cadb/internal/index"
+	"cadb/internal/sqlparse"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+	"cadb/internal/workloads"
+)
+
+func tinyDB() *catalog.Database {
+	return datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 300, Seed: 99})
+}
+
+func TestAdvisorEmptyWorkload(t *testing.T) {
+	rec, err := New(tinyDB(), &workload.Workload{}, DefaultOptions(1<<20)).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No queries -> only (possibly compressed) clustered candidates can pay
+	// off; with no reads they cannot, so the recommendation is empty or
+	// cost-neutral.
+	if rec.TotalCost > rec.BaseCost {
+		t.Fatalf("empty workload must not regress: %v > %v", rec.TotalCost, rec.BaseCost)
+	}
+}
+
+func TestAdvisorInsertOnlyWorkload(t *testing.T) {
+	s, err := sqlparse.ParseStatement("INSERT INTO lineitem BULK 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Weight = 1
+	wl := &workload.Workload{Statements: []*workload.Statement{s}}
+	rec, err := New(tinyDB(), wl, DefaultOptions(1<<20)).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure write workloads get no secondary indexes (they only cost).
+	for _, h := range rec.Config.Indexes {
+		if !h.Def.Clustered {
+			t.Fatalf("insert-only workload should not add secondary indexes: %s", h.Def)
+		}
+	}
+	if rec.Improvement < 0 {
+		t.Fatalf("advisor regressed an insert-only workload: %.1f%%", rec.Improvement)
+	}
+}
+
+func TestAdvisorUnknownTableStatementsIgnored(t *testing.T) {
+	good, err := sqlparse.ParseStatement("SELECT SUM(o_totalprice) FROM orders WHERE o_orderdate >= DATE 9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := sqlparse.ParseStatement("SELECT COUNT(*) FROM no_such_table WHERE x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Weight, bad.Weight = 1, 1
+	wl := &workload.Workload{Statements: []*workload.Statement{good, bad}}
+	rec, err := New(tinyDB(), wl, DefaultOptions(1<<20)).Recommend()
+	if err != nil {
+		t.Fatalf("unknown tables must be skipped, not fatal: %v", err)
+	}
+	if rec.Improvement < 0 {
+		t.Fatal("regression")
+	}
+}
+
+func TestAdvisorNegativeBudget(t *testing.T) {
+	wl := workloads.SelectIntensive(workloads.MustTPCH())
+	rec, err := New(tinyDB(), wl, DefaultOptions(-1<<20)).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SizeBytes > -1<<20 {
+		// A negative budget can only be met by compressing clustered
+		// indexes below the heap size; if impossible, the config must be
+		// empty rather than over budget.
+		if len(rec.Config.Indexes) != 0 {
+			t.Fatalf("negative budget violated: size=%d with %d indexes", rec.SizeBytes, len(rec.Config.Indexes))
+		}
+	}
+}
+
+func TestAdvisorTinyTables(t *testing.T) {
+	// Single-digit row counts: samples of 1 row, degenerate histograms.
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 12, Seed: 1})
+	wl := workloads.SelectIntensive(workloads.MustTPCH())
+	rec, err := New(db, wl, DefaultOptions(db.TotalHeapBytes())).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rec.Improvement) || math.IsInf(rec.Improvement, 0) {
+		t.Fatalf("degenerate improvement: %v", rec.Improvement)
+	}
+}
+
+func TestAdvisorDuplicateStatements(t *testing.T) {
+	s, err := sqlparse.ParseStatement("SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate >= DATE 9500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Weight = 1
+	dup := *s
+	wl := &workload.Workload{Statements: []*workload.Statement{s, &dup, s}}
+	rec, err := New(tinyDB(), wl, DefaultOptions(1<<20)).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates must not duplicate structures in the recommendation.
+	seen := map[string]bool{}
+	for _, h := range rec.Config.Indexes {
+		id := h.Def.StructureID()
+		if seen[id] {
+			t.Fatalf("duplicate structure recommended: %s", h.Def)
+		}
+		seen[id] = true
+	}
+}
+
+func TestRecommendedSizesMatchPhysicalBuilds(t *testing.T) {
+	// Close the loop: physically build every recommended index and check
+	// the advisor's estimated sizes against ground truth.
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 3000, Seed: 13})
+	wl := workloads.SelectIntensive(workloads.MustTPCH())
+	rec, err := New(db, wl, DefaultOptions(db.TotalHeapBytes()/4)).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Config.Indexes) == 0 {
+		t.Fatal("nothing recommended")
+	}
+	for _, h := range rec.Config.Indexes {
+		phys, err := index.Build(db, h.Def)
+		if err != nil {
+			t.Fatalf("recommended index does not build: %s: %v", h.Def, err)
+		}
+		if phys.Rows == 0 {
+			continue
+		}
+		re := math.Abs(float64(h.Bytes-phys.Bytes)) / float64(phys.Bytes)
+		if re > 0.5 {
+			t.Errorf("%s: estimated %d vs built %d (err %.0f%%)", h.Def, h.Bytes, phys.Bytes, 100*re)
+		}
+	}
+}
+
+func TestAdvisorSingleMethodPalette(t *testing.T) {
+	wl := workloads.SelectIntensive(workloads.MustTPCH())
+	opts := DefaultOptions(1 << 20)
+	opts.Methods = []compress.Method{compress.Row}
+	rec, err := New(tinyDB(), wl, opts).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range rec.Config.Indexes {
+		if h.Def.Method != compress.None && h.Def.Method != compress.Row {
+			t.Fatalf("method outside palette: %s", h.Def)
+		}
+	}
+}
+
+func TestAdvisorStatsEdgeAllNullColumn(t *testing.T) {
+	// A table with an all-NULL column must not break stats or estimation.
+	sch := storage.NewSchema(
+		storage.Column{Name: "id", Kind: storage.KindInt},
+		storage.Column{Name: "void", Kind: storage.KindString, FixedWidth: 10, Nullable: true},
+	)
+	rows := make([]storage.Row, 200)
+	for i := range rows {
+		rows[i] = storage.Row{storage.IntVal(int64(i)), storage.NullValue(storage.KindString)}
+	}
+	db := catalog.NewDatabase("edge")
+	db.AddTable(&catalog.Table{Name: "t", Schema: sch, Rows: rows, PK: []string{"id"}, Fact: true})
+	s, err := sqlparse.ParseStatement("SELECT COUNT(*) FROM t WHERE id <= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Weight = 1
+	wl := &workload.Workload{Statements: []*workload.Statement{s}}
+	if _, err := New(db, wl, DefaultOptions(1<<20)).Recommend(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cadb/internal/catalog"
+	"cadb/internal/storage"
+)
+
+// TPCDSConfig sizes the TPC-DS-shaped database, used only for the estimation
+// error-stability analysis (Table 2): a different schema shape than TPC-H.
+type TPCDSConfig struct {
+	StoreSalesRows int
+	Seed           int64
+}
+
+// DefaultTPCDS is a laptop-scale configuration.
+var DefaultTPCDS = TPCDSConfig{StoreSalesRows: 20000, Seed: 99}
+
+// NewTPCDS generates a TPC-DS-shaped star schema: STORE_SALES fact plus
+// DATE_DIM, ITEM and STORE dimensions. Column mix differs from TPC-H (more
+// NULL-able numerics, wider CHARs, surrogate keys), which is what Table 2
+// uses it for.
+func NewTPCDS(cfg TPCDSConfig) *catalog.Database {
+	if cfg.StoreSalesRows <= 0 {
+		cfg.StoreSalesRows = DefaultTPCDS.StoreSalesRows
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := catalog.NewDatabase("tpcds")
+
+	nItem := maxInt(cfg.StoreSalesRows/20, 20)
+	nStore := maxInt(cfg.StoreSalesRows/2000, 5)
+	nDates := 1826 // five years
+
+	db.AddTable(genDateDim(nDates))
+	db.AddTable(genItem(rng, nItem))
+	db.AddTable(genDSStore(rng, nStore))
+	db.AddTable(genStoreSales(rng, cfg.StoreSalesRows, nDates, nItem, nStore))
+	return db
+}
+
+func genDateDim(n int) *catalog.Table {
+	sch := storage.NewSchema(
+		storage.Column{Name: "d_date_sk", Kind: storage.KindInt},
+		storage.Column{Name: "d_date", Kind: storage.KindDate},
+		storage.Column{Name: "d_year", Kind: storage.KindInt},
+		storage.Column{Name: "d_moy", Kind: storage.KindInt},
+		storage.Column{Name: "d_dow", Kind: storage.KindInt},
+		storage.Column{Name: "d_quarter", Kind: storage.KindString, FixedWidth: 6},
+	)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		day := int64(11323 + i) // ~2001-01-01 onward
+		rows[i] = storage.Row{
+			storage.IntVal(int64(i)),
+			storage.DateVal(day),
+			storage.IntVal(int64(2001 + i/365)),
+			storage.IntVal(int64((i/30)%12 + 1)),
+			storage.IntVal(int64(i % 7)),
+			storage.StringVal(fmt.Sprintf("%dQ%d", 2001+i/365, (i/91)%4+1)),
+		}
+	}
+	return &catalog.Table{Name: "date_dim", Schema: sch, Rows: rows, PK: []string{"d_date_sk"}}
+}
+
+func genItem(rng *rand.Rand, n int) *catalog.Table {
+	sch := storage.NewSchema(
+		storage.Column{Name: "i_item_sk", Kind: storage.KindInt},
+		storage.Column{Name: "i_item_id", Kind: storage.KindString, FixedWidth: 16},
+		storage.Column{Name: "i_category", Kind: storage.KindString, FixedWidth: 20},
+		storage.Column{Name: "i_class", Kind: storage.KindString, FixedWidth: 20},
+		storage.Column{Name: "i_brand", Kind: storage.KindString, FixedWidth: 20},
+		storage.Column{Name: "i_current_price", Kind: storage.KindFloat, Nullable: true},
+	)
+	classes := []string{"blouses", "shirts", "pants", "dresses", "accessories", "fragrances", "computers", "audio", "cameras"}
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		price := storage.FloatVal(float64(rng.Intn(20000))/100 + 0.99)
+		if rng.Intn(20) == 0 {
+			price = storage.NullValue(storage.KindFloat)
+		}
+		rows[i] = storage.Row{
+			storage.IntVal(int64(i)),
+			storage.StringVal(fmt.Sprintf("AAAAAAAA%08d", i)),
+			storage.StringVal(categories[rng.Intn(len(categories))]),
+			storage.StringVal(classes[rng.Intn(len(classes))]),
+			storage.StringVal(fmt.Sprintf("brand#%d", rng.Intn(100))),
+			price,
+		}
+	}
+	return &catalog.Table{Name: "item", Schema: sch, Rows: rows, PK: []string{"i_item_sk"}}
+}
+
+func genDSStore(rng *rand.Rand, n int) *catalog.Table {
+	sch := storage.NewSchema(
+		storage.Column{Name: "s_store_sk", Kind: storage.KindInt},
+		storage.Column{Name: "s_store_id", Kind: storage.KindString, FixedWidth: 16},
+		storage.Column{Name: "s_state", Kind: storage.KindString, FixedWidth: 2},
+		storage.Column{Name: "s_market", Kind: storage.KindInt},
+	)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{
+			storage.IntVal(int64(i)),
+			storage.StringVal(fmt.Sprintf("AAAAAAAA%04dstore", i)),
+			storage.StringVal(usStates[rng.Intn(len(usStates))]),
+			storage.IntVal(int64(rng.Intn(10))),
+		}
+	}
+	return &catalog.Table{Name: "store", Schema: sch, Rows: rows, PK: []string{"s_store_sk"}}
+}
+
+func genStoreSales(rng *rand.Rand, n, nDates, nItem, nStore int) *catalog.Table {
+	sch := storage.NewSchema(
+		storage.Column{Name: "ss_sold_date_sk", Kind: storage.KindInt},
+		storage.Column{Name: "ss_item_sk", Kind: storage.KindInt},
+		storage.Column{Name: "ss_store_sk", Kind: storage.KindInt},
+		storage.Column{Name: "ss_customer_sk", Kind: storage.KindInt, Nullable: true},
+		storage.Column{Name: "ss_quantity", Kind: storage.KindInt},
+		storage.Column{Name: "ss_sales_price", Kind: storage.KindFloat},
+		storage.Column{Name: "ss_ext_discount_amt", Kind: storage.KindFloat, Nullable: true},
+		storage.Column{Name: "ss_net_profit", Kind: storage.KindFloat, Nullable: true},
+		storage.Column{Name: "ss_promo", Kind: storage.KindString, FixedWidth: 12, Nullable: true},
+	)
+	iz := NewZipf(rng, nItem, 1.1)
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		cust := storage.NullValue(storage.KindInt)
+		if rng.Intn(10) != 0 {
+			cust = storage.IntVal(int64(rng.Intn(nItem * 3)))
+		}
+		disc := storage.NullValue(storage.KindFloat)
+		if rng.Intn(3) == 0 {
+			disc = storage.FloatVal(float64(rng.Intn(500)) / 100)
+		}
+		profit := storage.NullValue(storage.KindFloat)
+		if rng.Intn(5) != 0 {
+			profit = storage.FloatVal(float64(rng.Intn(10000))/100 - 20)
+		}
+		promo := storage.NullValue(storage.KindString)
+		if rng.Intn(4) == 0 {
+			promo = storage.StringVal(fmt.Sprintf("promo_%02d", rng.Intn(20)))
+		}
+		rows[i] = storage.Row{
+			storage.IntVal(int64(i * nDates / n)),
+			storage.IntVal(int64(iz.Next())),
+			storage.IntVal(int64(rng.Intn(nStore))),
+			cust,
+			storage.IntVal(int64(rng.Intn(100) + 1)),
+			storage.FloatVal(float64(rng.Intn(20000)) / 100),
+			disc,
+			profit,
+			promo,
+		}
+	}
+	return &catalog.Table{
+		Name: "store_sales", Schema: sch, Rows: rows, Fact: true,
+		PK: []string{"ss_item_sk", "ss_sold_date_sk"},
+		FKs: []catalog.FK{
+			{Col: "ss_sold_date_sk", RefTable: "date_dim", RefCol: "d_date_sk"},
+			{Col: "ss_item_sk", RefTable: "item", RefCol: "i_item_sk"},
+			{Col: "ss_store_sk", RefTable: "store", RefCol: "s_store_sk"},
+		},
+	}
+}

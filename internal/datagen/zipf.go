@@ -1,0 +1,69 @@
+// Package datagen generates the synthetic databases the experiments run on:
+// a TPC-H-shaped database with a tunable Zipf skew (the paper's Z=0/1/3
+// variants), a TPC-DS-shaped star schema, and the "Sales" star schema that
+// stands in for the paper's real customer workload. Generated columns are
+// deliberately compression-relevant: fixed-width CHAR columns with short
+// values, low-cardinality flags, clustered dates, NULL-able padding columns
+// and correlated column pairs.
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf draws ranks in [0, n) with probability proportional to 1/(rank+1)^z.
+// z = 0 degenerates to the uniform distribution. Unlike rand.Zipf it supports
+// any z >= 0 (the paper uses Z = 0, 1 and 3).
+type Zipf struct {
+	rng *rand.Rand
+	cum []float64 // cumulative weights, exact for n <= maxExact
+	n   int
+	z   float64
+}
+
+const maxExactZipf = 1 << 16
+
+// NewZipf builds a sampler over n ranks with exponent z.
+func NewZipf(rng *rand.Rand, n int, z float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	zp := &Zipf{rng: rng, n: n, z: z}
+	if z == 0 {
+		return zp
+	}
+	m := n
+	if m > maxExactZipf {
+		m = maxExactZipf // tail ranks beyond this are uniform leftovers
+	}
+	cum := make([]float64, m)
+	var total float64
+	for i := 0; i < m; i++ {
+		total += math.Pow(float64(i+1), -z)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	zp.cum = cum
+	return zp
+}
+
+// Next draws one rank.
+func (zp *Zipf) Next() int {
+	if zp.z == 0 {
+		return zp.rng.Intn(zp.n)
+	}
+	u := zp.rng.Float64()
+	i := sort.SearchFloat64s(zp.cum, u)
+	if i >= len(zp.cum) {
+		i = len(zp.cum) - 1
+	}
+	if len(zp.cum) < zp.n && i == len(zp.cum)-1 {
+		// Smear the truncated tail uniformly over the remaining ranks.
+		return len(zp.cum) - 1 + zp.rng.Intn(zp.n-len(zp.cum)+1)
+	}
+	return i
+}

@@ -1,0 +1,293 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cadb/internal/compress"
+	"cadb/internal/index"
+	"cadb/internal/storage"
+)
+
+// DeduceColSet estimates the size of target from an index with the same
+// column set (Section 4.2, "Column Set Deduction"). Valid only for
+// order-independent compression: Size(I_AB) = Size(I_BA). Zero cost.
+func (e *Estimator) DeduceColSet(target *index.Def, known *Estimate) (*Estimate, error) {
+	if est, ok := e.Cached(target); ok {
+		return est, nil
+	}
+	if target.Method != known.Def.Method {
+		return nil, fmt.Errorf("estimator: colset deduction across methods (%s vs %s)", target.Method, known.Def.Method)
+	}
+	if target.Method.Class() != compress.OrderIndependent {
+		return nil, fmt.Errorf("estimator: colset deduction invalid for ORD-DEP method %s", target.Method)
+	}
+	if !sameBase(target, known.Def) {
+		return nil, fmt.Errorf("estimator: colset deduction across different bases")
+	}
+	tCols, kCols := colsOf(e, target), colsOf(e, known.Def)
+	if colsKey(tCols) != colsKey(kCols) {
+		return nil, fmt.Errorf("estimator: column sets differ: %v vs %v", tCols, kCols)
+	}
+	mean, std := compose(
+		known.Mean, known.Std,
+		1, e.Model.ColSetStd,
+	)
+	est := &Estimate{
+		Def:               target,
+		Rows:              known.Rows,
+		UncompressedBytes: known.UncompressedBytes,
+		Bytes:             known.Bytes,
+		CF:                known.CF,
+		Source:            SourceColSet,
+		Mean:              mean,
+		Std:               std,
+		Cost:              0,
+	}
+	e.Put(est)
+	return est, nil
+}
+
+// DeduceColExt estimates the size of target by extrapolating from indexes on
+// subsets of its columns (Section 4.2, "Column Extrapolation"). parts must
+// partition the target's column list in key order (e.g. AB+C or A+B+C for
+// target ABC). For ORD-IND methods the size reductions simply add; for
+// ORD-DEP methods each part's reduction is discounted by the fragmentation
+// factor F(target, part)/F(part, part) computed from average run lengths.
+func (e *Estimator) DeduceColExt(target *index.Def, parts []*Estimate) (*Estimate, error) {
+	if est, ok := e.Cached(target); ok {
+		return est, nil
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("estimator: no parts to extrapolate from")
+	}
+	if target.MV != nil || target.IsPartial() {
+		return nil, fmt.Errorf("estimator: colext deduction supports plain table indexes only")
+	}
+	t := e.DB.Table(target.Table)
+	if t == nil {
+		return nil, fmt.Errorf("estimator: unknown table %q", target.Table)
+	}
+	// Validate the partition.
+	tCols := colsOf(e, target)
+	var joined []string
+	for _, p := range parts {
+		if p.Def.Method != target.Method {
+			return nil, fmt.Errorf("estimator: part method %s != target %s", p.Def.Method, target.Method)
+		}
+		if !sameBase(target, p.Def) {
+			return nil, fmt.Errorf("estimator: part on different base")
+		}
+		joined = append(joined, colsOf(e, p.Def)...)
+	}
+	if colsKey(joined) != colsKey(tCols) {
+		return nil, fmt.Errorf("estimator: parts %v do not partition target columns %v", joined, tCols)
+	}
+
+	// Uncompressed size of the target from statistics (cheap and accurate).
+	uncEst, err := e.EstimateUncompressed(target)
+	if err != nil {
+		return nil, err
+	}
+	unc := uncEst.UncompressedBytes
+	rows := uncEst.Rows
+
+	// Sum part reductions, fragmentation-corrected for ORD-DEP methods.
+	var reduction float64
+	ordDep := target.Method.Class() == compress.OrderDependent
+	prefix := []string{}
+	tTuplesPerPage := tuplesPerPage(unc, rows)
+	for _, p := range parts {
+		pCols := colsOf(e, p.Def)
+		prefix = append(prefix, pCols...)
+		r := float64(p.UncompressedBytes - p.Bytes)
+		// Scale the part's reduction to the target's row count (normally
+		// identical since both live on the same table).
+		if p.Rows > 0 && rows != p.Rows {
+			r *= float64(rows) / float64(p.Rows)
+		}
+		if ordDep {
+			// F(I_target, Y) / F(I_part, Y) with Y = this part's columns.
+			nDistinctPart := float64(t.DistinctPrefix(pCols))
+			nDistinctPrefix := float64(t.DistinctPrefix(append([]string{}, prefix...)))
+			n := float64(rows)
+			pTuplesPerPage := tuplesPerPage(p.UncompressedBytes, p.Rows)
+			// Run lengths fragment by the distinct prefix combinations, but
+			// the per-page distinct count of this part's values can never
+			// exceed the part's own domain |Y|.
+			fOwn := replacedFraction(n/nDistinctPart, nDistinctPart, pTuplesPerPage)
+			fTarget := replacedFraction(n/nDistinctPrefix, nDistinctPart, tTuplesPerPage)
+			if fOwn > 1e-9 {
+				r *= fTarget / fOwn
+			}
+		}
+		reduction += r
+	}
+	// Each non-clustered part index carries its own RID column whose
+	// compression savings were counted once per part; the target has a
+	// single RID. Remove the (len(parts)-1) over-counted copies.
+	if !target.Clustered && len(parts) > 1 {
+		reduction -= float64(len(parts)-1) * ridSavingPerRow(rows) * float64(rows)
+	}
+	bytes := float64(unc) - reduction
+	minBytes := 0.05 * float64(unc)
+	if bytes < minBytes {
+		bytes = minBytes
+	}
+	if bytes > float64(unc) {
+		bytes = float64(unc)
+	}
+
+	// Compose errors: X_target = X_colext(a) * Π X_part.
+	mean, std := 1.0, 0.0
+	for _, p := range parts {
+		mean, std = compose(mean, std, p.Mean, p.Std)
+	}
+	dm, ds := e.Model.ColExtError(target.Method, len(parts))
+	mean, std = compose(mean, std, dm, ds)
+
+	est := &Estimate{
+		Def:               target,
+		Rows:              rows,
+		UncompressedBytes: unc,
+		Bytes:             int64(bytes),
+		CF:                bytes / maxf(1, float64(unc)),
+		Source:            SourceColExt,
+		Mean:              mean,
+		Std:               std,
+		Cost:              0,
+	}
+	e.Put(est)
+	return est, nil
+}
+
+// ridSavingPerRow estimates how many bytes ROW-style minimal encoding saves
+// on an 8-byte RID column per row: 8 bytes shrink to a 1-byte length
+// descriptor plus the minimal zigzag payload.
+func ridSavingPerRow(rows int64) float64 {
+	if rows <= 0 {
+		return 0
+	}
+	// Average minimal payload bytes of zigzag(i) = 2i for i in [0, rows).
+	var weighted float64
+	counted := int64(1) // i = 0 encodes in 0 payload bytes
+	for k := 1; k <= 8 && counted < rows; k++ {
+		// u = 2i takes k bytes when u in [2^(8(k-1)), 2^(8k)), u > 0.
+		var lo uint64 = 1
+		if k > 1 {
+			lo = 1 << uint(8*(k-1))
+		}
+		hi := uint64(1) << uint(8*k)
+		iLo := (lo + 1) / 2
+		iHi := hi / 2
+		if iLo < 1 {
+			iLo = 1
+		}
+		if iHi > uint64(rows) {
+			iHi = uint64(rows)
+		}
+		if iHi > iLo {
+			n := int64(iHi - iLo)
+			weighted += float64(n) * float64(k)
+			counted += n
+		}
+	}
+	avgPayload := weighted / float64(rows)
+	saving := 8 - 1 - avgPayload
+	if saving < 0 {
+		return 0
+	}
+	return saving
+}
+
+// tuplesPerPage estimates T(I_X): how many leaf entries share a page.
+func tuplesPerPage(uncBytes, rows int64) float64 {
+	if rows <= 0 || uncBytes <= 0 {
+		return 100
+	}
+	entry := float64(uncBytes) / float64(rows)
+	t := storage.UsablePageBytes / entry
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// replacedFraction computes F(I_X, Y) = (T - DV)/T where DV is the average
+// number of distinct values of Y per page, derived from the average run
+// length L (Section 4.2):
+//
+//	L > 1:  DV = T / L
+//	L <= 1: DV = |Y| · (1 - (1 - 1/|Y|)^T)   (distinct sides of a |Y|-dice)
+func replacedFraction(runLen, domain, tuplesPerPage float64) float64 {
+	if domain < 1 {
+		domain = 1
+	}
+	var dv float64
+	if runLen > 1 {
+		dv = tuplesPerPage / runLen
+	} else {
+		dv = domain * (1 - math.Pow(1-1/domain, tuplesPerPage))
+	}
+	// A page cannot hold more distinct values than the domain has, nor more
+	// than it has tuples.
+	if dv > domain {
+		dv = domain
+	}
+	if dv > tuplesPerPage {
+		dv = tuplesPerPage
+	}
+	f := (tuplesPerPage - dv) / tuplesPerPage
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// colsOf returns the full physical column list of the index (clustered
+// indexes carry every table column).
+func colsOf(e *Estimator, d *index.Def) []string {
+	if d.Clustered && d.MV == nil {
+		if t := e.DB.Table(d.Table); t != nil {
+			return t.Schema.Names()
+		}
+	}
+	return d.Columns()
+}
+
+// sameBase reports whether two defs are over the same row source (same
+// table, same filter, same MV).
+func sameBase(a, b *index.Def) bool {
+	if !strings.EqualFold(a.Table, b.Table) {
+		return false
+	}
+	if (a.MV == nil) != (b.MV == nil) {
+		return false
+	}
+	if a.MV != nil && a.MV.Fingerprint() != b.MV.Fingerprint() {
+		return false
+	}
+	if len(a.Where) != len(b.Where) {
+		return false
+	}
+	for i := range a.Where {
+		if !strings.EqualFold(a.Where[i].String(), b.Where[i].String()) {
+			return false
+		}
+	}
+	return true
+}
+
+// compose multiplies two error random variables: E[XY] = E[X]E[Y] (assuming
+// independence) and V[XY] = Π(Vi+Ei²) − ΠEi² (Goodman 1962), as Section 5.1
+// prescribes.
+func compose(m1, s1, m2, s2 float64) (mean, std float64) {
+	mean = m1 * m2
+	v := (s1*s1 + m1*m1) * (s2*s2 + m2*m2)
+	v -= m1 * m1 * m2 * m2
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}

@@ -1,0 +1,413 @@
+// Package estimator implements compressed-index size estimation (Section 4):
+// SampleCF (build the index on the table's amortized sample, compress it,
+// return the compression fraction), the zero-cost deduction methods (ColSet
+// and ColExt for order-independent methods; the fragmentation-corrected
+// ColExt for order-dependent methods), and the stochastic error model used
+// by the estimation-plan graph search (Section 5, Appendix C).
+package estimator
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/index"
+	"cadb/internal/sampling"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+// Source records how an estimate was produced.
+type Source uint8
+
+const (
+	// SourceExact comes from a fully built index (zero cost, zero error) —
+	// the "existing index" case of Section 5.1.
+	SourceExact Source = iota
+	// SourceSampled comes from SampleCF.
+	SourceSampled
+	// SourceColSet comes from the column-set deduction.
+	SourceColSet
+	// SourceColExt comes from column extrapolation.
+	SourceColExt
+	// SourceUncompressed is the statistics-only estimate for uncompressed
+	// indexes (no sampling needed, as the paper notes).
+	SourceUncompressed
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceExact:
+		return "exact"
+	case SourceSampled:
+		return "samplecf"
+	case SourceColSet:
+		return "colset"
+	case SourceColExt:
+		return "colext"
+	case SourceUncompressed:
+		return "stats"
+	}
+	return "?"
+}
+
+// Estimate is a size estimate for one index definition, with its error
+// distribution (the random variable X = estimate/truth, Appendix C).
+type Estimate struct {
+	Def               *index.Def
+	Rows              int64
+	UncompressedBytes int64
+	Bytes             int64
+	CF                float64
+	Source            Source
+	// Mean is E[X] (1 = unbiased); Std is the standard deviation of X.
+	Mean, Std float64
+	// Cost is the estimation cost paid, in sample-index pages (Section 5.1:
+	// "the amount of data we need to index").
+	Cost float64
+}
+
+// Pages returns the estimated page count.
+func (e *Estimate) Pages() int64 { return storage.PagesForBytes(e.Bytes) }
+
+// String renders the estimate.
+func (e *Estimate) String() string {
+	return fmt.Sprintf("%s: %d rows, %d bytes (cf=%.3f) via %s ±%.3f", e.Def, e.Rows, e.Bytes, e.CF, e.Source, e.Std)
+}
+
+// Estimator caches size estimates for one database + sample manager.
+type Estimator struct {
+	DB    *catalog.Database
+	Mgr   *sampling.Manager
+	Model *ErrorModel
+
+	cache map[string]*Estimate
+
+	// Accounting for the Figure 11 runtime split.
+	TableSampleCFTime   time.Duration
+	PartialSampleCFTime time.Duration
+	MVSampleCFTime      time.Duration
+	// TotalCost accumulates the abstract estimation cost (sample pages).
+	TotalCost float64
+	// SampleCFCalls counts invocations that actually built a sample index.
+	SampleCFCalls int
+}
+
+// New creates an estimator.
+func New(db *catalog.Database, mgr *sampling.Manager) *Estimator {
+	return &Estimator{DB: db, Mgr: mgr, Model: DefaultErrorModel(), cache: make(map[string]*Estimate)}
+}
+
+// Cached returns the cached estimate for the definition, if any.
+func (e *Estimator) Cached(d *index.Def) (*Estimate, bool) {
+	est, ok := e.cache[d.ID()]
+	return est, ok
+}
+
+// Put inserts an estimate into the cache (used for existing indexes with
+// exactly known sizes).
+func (e *Estimator) Put(est *Estimate) { e.cache[est.Def.ID()] = est }
+
+// Forget drops the cached estimate for a definition (used by error studies
+// that re-derive the same index through different deduction routes).
+func (e *Estimator) Forget(d *index.Def) { delete(e.cache, d.ID()) }
+
+// PutExact records a fully built index as a zero-cost, zero-error estimate.
+func (e *Estimator) PutExact(p *index.Physical) *Estimate {
+	est := &Estimate{
+		Def:               p.Def,
+		Rows:              p.Rows,
+		UncompressedBytes: p.UncompressedBytes,
+		Bytes:             p.Bytes,
+		CF:                p.CF(),
+		Source:            SourceExact,
+		Mean:              1,
+		Std:               0,
+	}
+	e.Put(est)
+	return est
+}
+
+// sampleBase returns the sample rows the index should be built over,
+// classifying the index for the time accounting.
+func (e *Estimator) sampleBase(d *index.Def) (*storage.Schema, []storage.Row, int64, *time.Duration, error) {
+	switch {
+	case d.MV != nil:
+		ms, err := e.Mgr.MVSampleFor(d.MV)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		return ms.Schema, ms.Rows, ms.EstimatedRows, &e.MVSampleCFTime, nil
+	case d.IsPartial():
+		s, err := e.Mgr.Sample(d.Table)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		rows, err := e.Mgr.FilteredSample(d.Table, d.Where)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		frac := float64(len(rows)) / maxf(1, float64(len(s.Rows)))
+		full := int64(frac * float64(s.Table.RowCount()))
+		return s.Table.Schema, rows, full, &e.PartialSampleCFTime, nil
+	default:
+		s, err := e.Mgr.Sample(d.Table)
+		if err != nil {
+			return nil, nil, 0, nil, err
+		}
+		return s.Table.Schema, s.Rows, s.Table.RowCount(), &e.TableSampleCFTime, nil
+	}
+}
+
+// SampleCF estimates the index size by building it on the sample and
+// compressing it (Section 2.2 / 4.1). The result is cached.
+func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
+	if est, ok := e.Cached(d); ok {
+		return est, nil
+	}
+	start := time.Now()
+	baseSchema, baseRows, fullRows, timer, err := e.sampleBase(d)
+	if err != nil {
+		return nil, err
+	}
+	// For a clustered MV-less index the leaf carries the whole row set.
+	schema, leafRows, err := index.MaterializeOver(baseSchema, baseRows, d)
+	if err != nil {
+		return nil, err
+	}
+	// Spread the sample's row locators over the full table's RID range:
+	// real row locators are full-width regardless of sample size, and
+	// letting the sample's small sequential RIDs compress would bias CF low.
+	if ri := schema.ColIndex("__rid"); ri >= 0 && len(leafRows) > 0 && fullRows > int64(len(leafRows)) {
+		scale := fullRows / int64(len(leafRows))
+		if scale < 1 {
+			scale = 1
+		}
+		for _, r := range leafRows {
+			r[ri] = storage.IntVal(r[ri].Int * scale)
+		}
+	}
+	uncSample := compress.SizeRows(schema, leafRows, compress.None)
+	compSample := uncSample
+	if d.Method != compress.None {
+		compSample = compress.SizeRows(schema, leafRows, d.Method)
+	}
+	cf := 1.0
+	if uncSample > 0 {
+		cf = float64(compSample) / float64(uncSample)
+	}
+	entryW := 40.0
+	if len(leafRows) > 0 {
+		entryW = float64(uncSample) / float64(len(leafRows))
+	}
+	// Partial-index leaf rows on the sample may themselves be filtered.
+	if d.IsPartial() && d.MV == nil {
+		frac := float64(len(leafRows)) / maxf(1, float64(len(baseRows)))
+		_ = frac // fullRows already includes the filter factor
+	}
+	unc := int64(entryW * float64(fullRows))
+	est := &Estimate{
+		Def:               d,
+		Rows:              fullRows,
+		UncompressedBytes: unc,
+		Bytes:             int64(cf * float64(unc)),
+		CF:                cf,
+		Source:            SourceSampled,
+		Cost:              float64(storage.PagesForBytes(uncSample)),
+	}
+	est.Mean, est.Std = e.Model.SampleError(d.Method, e.Mgr.F)
+	e.TotalCost += est.Cost
+	e.SampleCFCalls++
+	*timer += time.Since(start)
+	e.Put(est)
+	return est, nil
+}
+
+// EstimateUncompressed produces the statistics-only estimate for the
+// uncompressed variant of an index — no sampling needed, as the paper notes
+// ("for an uncompressed index, it is relatively straightforward to estimate
+// the size once the number of rows and average row length is known").
+// For MV indexes the row count still needs an MV sample (Appendix B.3).
+func (e *Estimator) EstimateUncompressed(d *index.Def) (*Estimate, error) {
+	key := d.Uncompressed().ID()
+	if est, ok := e.cache[key]; ok {
+		return est, nil
+	}
+	var rows int64
+	var entryW float64
+	switch {
+	case d.MV != nil:
+		ms, err := e.Mgr.MVSampleFor(d.MV)
+		if err != nil {
+			return nil, err
+		}
+		rows = ms.EstimatedRows
+		sch, leaf, err := index.MaterializeOver(ms.Schema, ms.Rows, d.Uncompressed())
+		if err != nil {
+			return nil, err
+		}
+		entryW = float64(compress.SizeRows(sch, leaf, compress.None)) / maxf(1, float64(len(leaf)))
+	default:
+		t := e.DB.Table(d.Table)
+		if t == nil {
+			return nil, fmt.Errorf("estimator: unknown table %q", d.Table)
+		}
+		rows = t.RowCount()
+		if d.IsPartial() {
+			s, err := e.Mgr.Sample(d.Table)
+			if err != nil {
+				return nil, err
+			}
+			filtered, err := e.Mgr.FilteredSample(d.Table, d.Where)
+			if err != nil {
+				return nil, err
+			}
+			rows = int64(float64(len(filtered)) / maxf(1, float64(len(s.Rows))) * float64(t.RowCount()))
+		}
+		entryW = e.entryWidthFromStats(t, d)
+	}
+	unc := int64(entryW * float64(rows))
+	est := &Estimate{
+		Def:               d.Uncompressed(),
+		Rows:              rows,
+		UncompressedBytes: unc,
+		Bytes:             unc,
+		CF:                1,
+		Source:            SourceUncompressed,
+		Mean:              1,
+		Std:               0.002, // avg-row-width estimates are near exact
+	}
+	e.cache[key] = est
+	return est, nil
+}
+
+// entryWidthFromStats computes the average leaf entry width from catalog
+// statistics (fixed widths + average varchar widths + bitmap/slot/RID
+// overhead).
+func (e *Estimator) entryWidthFromStats(t *catalog.Table, d *index.Def) float64 {
+	cols := d.Columns()
+	if d.Clustered {
+		cols = t.Schema.Names()
+	}
+	w := float64((len(cols)+7)/8 + storage.SlotSize)
+	if !d.Clustered {
+		w += 8 // RID
+		w += 1.0 / 8
+	}
+	st := t.Stats()
+	for _, c := range cols {
+		col := t.Schema.Col(c)
+		if cw := col.Width(); cw > 0 {
+			w += float64(cw)
+			continue
+		}
+		if cs := st.Col(c); cs != nil && cs.AvgWidth > 0 {
+			w += cs.AvgWidth
+		} else {
+			w += 16
+		}
+	}
+	return w
+}
+
+// PlanCost returns the abstract cost of running SampleCF on the index at
+// sampling fraction f, before actually doing it: the number of data pages of
+// the index built on the sample (Section 5.1's cost model). Used by the
+// graph-search planner to compare strategies without paying for them.
+func (e *Estimator) PlanCost(d *index.Def, f float64) float64 {
+	rows, entryW := e.planShape(d)
+	pages := f * rows * entryW / storage.UsablePageBytes
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// planShape estimates (rows, entry width) from statistics only.
+func (e *Estimator) planShape(d *index.Def) (float64, float64) {
+	if d.MV != nil {
+		fact := e.DB.Table(d.MV.Fact)
+		if fact == nil {
+			return 1000, 40
+		}
+		rows := float64(fact.RowCount())
+		if len(d.MV.GroupBy) > 0 {
+			// Independence-capped product of distincts — rough but cheap.
+			prod := 1.0
+			for _, g := range d.MV.GroupBy {
+				if t := resolveStatsTable(e.DB, d.MV, g.Table, g.Col); t != nil {
+					if cs := t.Stats().Col(g.Col); cs != nil && cs.Distinct > 0 {
+						prod *= float64(cs.Distinct)
+					}
+				}
+			}
+			if prod < rows {
+				rows = prod
+			}
+		}
+		w := 16.0 + 12*float64(len(d.MV.GroupBy)+len(d.MV.Aggs))
+		return rows, w
+	}
+	t := e.DB.Table(d.Table)
+	if t == nil {
+		return 1000, 40
+	}
+	rows := float64(t.RowCount())
+	if d.IsPartial() {
+		// Cheap distinct-count selectivity; good enough for cost planning.
+		for _, p := range d.Where {
+			if cs := t.Stats().Col(p.Col); cs != nil && cs.Distinct > 0 {
+				if p.Op == workload.OpEq {
+					rows /= float64(cs.Distinct)
+				} else {
+					rows *= 0.3
+				}
+			}
+		}
+	}
+	return rows, e.entryWidthFromStats(t, d)
+}
+
+func resolveStatsTable(db *catalog.Database, mv *index.MVDef, table, col string) *catalog.Table {
+	if table != "" {
+		if t := db.Table(table); t != nil && t.Schema.Has(col) {
+			return t
+		}
+	}
+	if t := db.Table(mv.Fact); t != nil && t.Schema.Has(col) {
+		return t
+	}
+	for _, j := range mv.Joins {
+		if t := db.Table(j.RightTable); t != nil && t.Schema.Has(col) {
+			return t
+		}
+	}
+	return nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func colsKey(cols []string) string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = strings.ToLower(c)
+	}
+	sortStrings(out)
+	return strings.Join(out, ",")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

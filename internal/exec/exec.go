@@ -1,0 +1,203 @@
+// Package exec is a reference query executor for the workload subset:
+// FK hash joins, predicate filtering, grouping/aggregation, projection and
+// ordering. The advisor never needs it (it optimizes optimizer-estimated
+// costs, like the paper's tool), but the test suite uses it to validate
+// workload semantics end-to-end and to check the optimizer's cardinality
+// estimates against ground truth.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadb/internal/catalog"
+	"cadb/internal/index"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+// Result is an executed query's output.
+type Result struct {
+	Schema *storage.Schema
+	Rows   []storage.Row
+}
+
+// Run executes the query against the database and returns the result rows.
+func Run(db *catalog.Database, q *workload.Query) (*Result, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("exec: query has no tables")
+	}
+	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
+		return runAggregate(db, q)
+	}
+	return runProjection(db, q)
+}
+
+// runAggregate evaluates grouped/aggregated queries by reusing the MV
+// materializer (the semantics are identical by construction).
+func runAggregate(db *catalog.Database, q *workload.Query) (*Result, error) {
+	mv := &index.MVDef{
+		Name:    "q",
+		Fact:    q.Tables[0],
+		Joins:   q.Joins,
+		Where:   q.Preds,
+		GroupBy: q.GroupBy,
+		Aggs:    q.Aggs,
+	}
+	schema, rows, err := index.MaterializeMV(db, mv)
+	if err != nil {
+		return nil, err
+	}
+	// Project away the hidden __count column and order the output.
+	keep := make([]string, 0, len(schema.Columns))
+	for _, c := range schema.Columns {
+		if c.Name != "__count" {
+			keep = append(keep, c.Name)
+		}
+	}
+	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
+	if len(q.OrderBy) > 0 {
+		if err := orderBy(res, q.OrderBy); err != nil {
+			return nil, err
+		}
+	} else {
+		sortCanonical(res)
+	}
+	return res, nil
+}
+
+// runProjection evaluates plain select-project-join queries.
+func runProjection(db *catalog.Database, q *workload.Query) (*Result, error) {
+	schema, rows, err := index.JoinRows(db, q.Tables[0], q.Joins)
+	if err != nil {
+		return nil, err
+	}
+	rows, err = index.FilterRows(schema, rows, q.Preds)
+	if err != nil {
+		return nil, err
+	}
+	cols := q.Select
+	if len(cols) == 0 {
+		// SELECT *: every column of the driving table.
+		t := db.MustTable(q.Tables[0])
+		for _, c := range t.Schema.Names() {
+			cols = append(cols, workload.ColRef{Table: q.Tables[0], Col: c})
+		}
+	}
+	keep := make([]string, 0, len(cols))
+	for _, c := range cols {
+		name, err := resolveName(schema, c)
+		if err != nil {
+			return nil, err
+		}
+		keep = append(keep, name)
+	}
+	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
+	if len(q.OrderBy) > 0 {
+		if err := orderBy(res, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func projectRows(schema *storage.Schema, rows []storage.Row, keep []string) []storage.Row {
+	idx := make([]int, len(keep))
+	for i, n := range keep {
+		idx[i] = schema.ColIndex(n)
+	}
+	out := make([]storage.Row, len(rows))
+	for i, r := range rows {
+		row := make(storage.Row, len(idx))
+		for j, k := range idx {
+			row[j] = r[k]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// resolveName maps a query column reference onto the wide schema's
+// table_col naming (or MV output naming).
+func resolveName(schema *storage.Schema, c workload.ColRef) (string, error) {
+	if c.Table != "" {
+		q := strings.ToLower(c.Table + "_" + c.Col)
+		if schema.Has(q) {
+			return q, nil
+		}
+	}
+	if schema.Has(c.Col) {
+		return strings.ToLower(c.Col), nil
+	}
+	suffix := "_" + strings.ToLower(c.Col)
+	var found string
+	for _, col := range schema.Columns {
+		if strings.HasSuffix(strings.ToLower(col.Name), suffix) {
+			if found != "" {
+				return "", fmt.Errorf("exec: ambiguous column %q", c)
+			}
+			found = col.Name
+		}
+	}
+	if found == "" {
+		return "", fmt.Errorf("exec: column %q not found", c)
+	}
+	return found, nil
+}
+
+func orderBy(res *Result, keys []workload.ColRef) error {
+	idx := make([]int, len(keys))
+	for i, k := range keys {
+		name, err := resolveName(res.Schema, k)
+		if err != nil {
+			return err
+		}
+		idx[i] = res.Schema.ColIndex(name)
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for _, k := range idx {
+			if c := res.Rows[a][k].Compare(res.Rows[b][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// sortCanonical orders grouped output deterministically for test comparison.
+func sortCanonical(res *Result) {
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		for k := range res.Schema.Columns {
+			if c := res.Rows[a][k].Compare(res.Rows[b][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// CountMatching returns the number of driving-table rows satisfying the
+// query's predicates on that table — the ground truth for selectivity
+// validation.
+func CountMatching(db *catalog.Database, table string, preds []workload.Predicate) (int64, error) {
+	t := db.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("exec: unknown table %q", table)
+	}
+	var n int64
+	for _, r := range t.Rows {
+		ok := true
+		for _, p := range preds {
+			if !p.Matches(t.Schema, r) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	return n, nil
+}

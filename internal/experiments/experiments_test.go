@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct converts "12.3%" to 0.123.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad pct %q: %v", s, err)
+	}
+	return v / 100
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTable1ShapeAEBeatsBaselines(t *testing.T) {
+	rep := Table1(QuickScale())
+	summary := rep.Tables[1]
+	if len(summary.Rows) != 1 {
+		t.Fatalf("summary rows=%d", len(summary.Rows))
+	}
+	opt := parsePct(t, summary.Rows[0][0])
+	mult := parsePct(t, summary.Rows[0][1])
+	ae := parsePct(t, summary.Rows[0][2])
+	if !(ae < opt && opt < mult) {
+		t.Fatalf("shape violated: AE=%v Optimizer=%v Multiply=%v (want AE < Opt < Mult)", ae, opt, mult)
+	}
+	if ae > 0.3 {
+		t.Fatalf("AE error too large: %v", ae)
+	}
+}
+
+func TestFig9ShapeErrorsShrinkWithF(t *testing.T) {
+	rep := Fig9(QuickScale())
+	rows := rep.Tables[0].Rows
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// LD-Stddev (col 2) at f=1% must exceed LD-Stddev at f=10%.
+	first := parsePct(t, rows[0][2])
+	last := parsePct(t, rows[len(rows)-1][2])
+	if first <= last {
+		t.Fatalf("LD stddev should shrink with f: %v -> %v", first, last)
+	}
+	// NS bias (col 3) stays small everywhere.
+	for _, r := range rows {
+		if b := parsePct(t, r[3]); b > 0.1 || b < -0.1 {
+			t.Fatalf("NS bias should be near zero, got %v", b)
+		}
+	}
+}
+
+func TestTable4ShapeGreedyBetweenOptimalAndAll(t *testing.T) {
+	rep := Table4(QuickScale())
+	for _, r := range rep.Tables[0].Rows {
+		all := parseF(t, r[1])
+		greedy := parseF(t, r[2])
+		if greedy > all {
+			t.Fatalf("greedy (%v) must not exceed all (%v)", greedy, all)
+		}
+		if r[3] != "-" {
+			opt := parseF(t, r[3])
+			if opt > greedy+1e-9 {
+				t.Fatalf("optimal (%v) must not exceed greedy (%v)", opt, greedy)
+			}
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Registry) != len(Order) {
+		t.Fatalf("registry (%d) and order (%d) out of sync", len(Registry), len(Order))
+	}
+	for _, id := range Order {
+		if _, ok := Registry[id]; !ok {
+			t.Fatalf("order references unknown experiment %q", id)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", QuickScale(), &buf); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunRendersReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("table1", QuickScale(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== table1", "Optimizer", "AE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig12ShapeDTAcBeatsDTAAtTightBudget(t *testing.T) {
+	sc := QuickScale()
+	sc.Budgets = []float64{0.08}
+	rep := Fig12(sc)
+	row := rep.Tables[0].Rows[0]
+	// Columns: budget, DTAc(Both), Skyline, Backtrack, DTAc(None), DTA.
+	both := parseF(t, row[1])
+	dta := parseF(t, row[5])
+	if both < dta {
+		t.Fatalf("DTAc(Both)=%v must be >= DTA=%v at tight budget", both, dta)
+	}
+}
+
+func TestMotivatingIntegratedAtLeastStaged(t *testing.T) {
+	rep := Motivating(QuickScale())
+	for _, tb := range rep.Tables {
+		for _, r := range tb.Rows {
+			integrated := parseF(t, r[1])
+			staged := parseF(t, r[2])
+			if staged > integrated+1.5 {
+				t.Fatalf("staged (%v) should not beat integrated (%v): %v", staged, integrated, r)
+			}
+		}
+	}
+}

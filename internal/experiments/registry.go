@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner is one experiment entry point.
+type Runner func(Scale) *Report
+
+// Registry maps experiment IDs to their runners, in paper order.
+var Registry = map[string]Runner{
+	"table1":      Table1,
+	"fig9":        Fig9,
+	"table2":      Table2,
+	"fig10":       Fig10,
+	"table3":      Table3,
+	"table4":      Table4,
+	"fig11":       Fig11,
+	"fig12":       Fig12,
+	"fig13":       Fig13,
+	"fig14":       Fig14,
+	"fig15":       Fig15,
+	"fig16":       Fig16,
+	"fig17":       Fig17,
+	"motivating":  Motivating,
+	"ext-methods": ExtMethods,
+}
+
+// Order is the canonical presentation order.
+var Order = []string{
+	"motivating", "table1", "fig9", "table2", "fig10", "table3",
+	"table4", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+	"ext-methods",
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID and writes its report.
+func Run(id string, sc Scale, w io.Writer) error {
+	r, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	r(sc).Render(w)
+	return nil
+}
+
+// RunAll executes every experiment in canonical order.
+func RunAll(sc Scale, w io.Writer) error {
+	for _, id := range Order {
+		if err := Run(id, sc, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

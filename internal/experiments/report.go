@@ -1,0 +1,148 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (Section 7, Appendices C–D). Each harness generates its
+// dataset(s), runs the relevant subsystem, and prints the same rows/series
+// the paper reports. Absolute numbers differ (the substrate is a simulator,
+// not SQL Server on 2011 hardware); the shapes — who wins, by what factor,
+// where the curves converge — are the reproduction target, recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string // e.g. "table1", "fig12"
+	Title  string
+	Tables []*Table
+	Notes  []string
+}
+
+// NewTable adds a table to the report.
+func (r *Report) NewTable(title string, header ...string) *Table {
+	t := &Table{Title: title, Header: header}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the whole report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		fmt.Fprintln(w)
+		t.Render(w)
+	}
+	if len(r.Notes) > 0 {
+		fmt.Fprintln(w)
+		for _, n := range r.Notes {
+			fmt.Fprintf(w, "  note: %s\n", n)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale controls experiment sizes so benches can run reduced versions.
+type Scale struct {
+	// LineitemRows sizes the TPC-H databases.
+	LineitemRows int
+	// SalesRows sizes the Sales database.
+	SalesRows int
+	// IndexSampleCount caps how many indexes error studies measure.
+	IndexSampleCount int
+	// Budgets are the space budgets as fractions of the heap-only DB size.
+	Budgets []float64
+	// Seed drives all generators.
+	Seed int64
+}
+
+// DefaultScale is the full (README-documented) experiment scale.
+func DefaultScale() Scale {
+	return Scale{
+		LineitemRows:     12000,
+		SalesRows:        12000,
+		IndexSampleCount: 48,
+		Budgets:          []float64{0.03, 0.1, 0.25, 0.5, 1.0},
+		Seed:             42,
+	}
+}
+
+// QuickScale is a reduced scale for benchmarks and smoke tests.
+func QuickScale() Scale {
+	return Scale{
+		LineitemRows:     4000,
+		SalesRows:        4000,
+		IndexSampleCount: 12,
+		Budgets:          []float64{0.1, 0.5},
+		Seed:             42,
+	}
+}

@@ -1,0 +1,198 @@
+// Package optimizer implements the simulated query optimizer: cardinality
+// estimation from catalog statistics, access-path selection (heap scan,
+// clustered/secondary index scan and seek, RID lookups, MV scans, hash
+// joins), and — the paper's Appendix A extension — a compression-aware cost
+// model with CPU terms for compressing tuples on update
+// (α·#tuples_written) and decompressing columns on read
+// (β·#tuples_read·#columns_read). The what-if API costs statements under
+// hypothetical configurations whose index sizes come from the estimation
+// framework.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/index"
+	"cadb/internal/storage"
+)
+
+// HypoIndex is a hypothetical index: a definition plus (possibly estimated)
+// size information. The optimizer never needs the index contents — exactly
+// like a real what-if interface.
+type HypoIndex struct {
+	Def *index.Def
+	// Rows is the number of leaf entries.
+	Rows int64
+	// Bytes is the leaf payload under Def.Method.
+	Bytes int64
+	// UncompressedBytes is the leaf payload before compression.
+	UncompressedBytes int64
+}
+
+// Pages returns the leaf page count.
+func (h *HypoIndex) Pages() int64 { return storage.PagesForBytes(h.Bytes) }
+
+// CF returns the (estimated) compression fraction.
+func (h *HypoIndex) CF() float64 {
+	if h.UncompressedBytes == 0 {
+		return 1
+	}
+	return float64(h.Bytes) / float64(h.UncompressedBytes)
+}
+
+// FromPhysical wraps a fully built index as a HypoIndex with exact sizes.
+func FromPhysical(p *index.Physical) *HypoIndex {
+	return &HypoIndex{
+		Def:               p.Def,
+		Rows:              p.Rows,
+		Bytes:             p.Bytes,
+		UncompressedBytes: p.UncompressedBytes,
+	}
+}
+
+// String renders the hypothetical index.
+func (h *HypoIndex) String() string {
+	return fmt.Sprintf("%s [rows=%d pages=%d cf=%.2f]", h.Def, h.Rows, h.Pages(), h.CF())
+}
+
+// Configuration is a set of hypothetical indexes (at most one clustered
+// index per table).
+type Configuration struct {
+	Indexes []*HypoIndex
+}
+
+// NewConfiguration builds a configuration from indexes.
+func NewConfiguration(idxs ...*HypoIndex) *Configuration {
+	return &Configuration{Indexes: idxs}
+}
+
+// Clone returns a shallow copy whose index slice can be extended safely.
+func (c *Configuration) Clone() *Configuration {
+	out := &Configuration{Indexes: make([]*HypoIndex, len(c.Indexes))}
+	copy(out.Indexes, c.Indexes)
+	return out
+}
+
+// With returns a copy of the configuration with the index added.
+func (c *Configuration) With(h *HypoIndex) *Configuration {
+	out := c.Clone()
+	out.Indexes = append(out.Indexes, h)
+	return out
+}
+
+// Without returns a copy with the given index removed (by pointer identity).
+func (c *Configuration) Without(h *HypoIndex) *Configuration {
+	out := &Configuration{}
+	for _, x := range c.Indexes {
+		if x != h {
+			out.Indexes = append(out.Indexes, x)
+		}
+	}
+	return out
+}
+
+// Replace returns a copy with old swapped for new.
+func (c *Configuration) Replace(old, new *HypoIndex) *Configuration {
+	out := &Configuration{Indexes: make([]*HypoIndex, 0, len(c.Indexes))}
+	for _, x := range c.Indexes {
+		if x == old {
+			out.Indexes = append(out.Indexes, new)
+		} else {
+			out.Indexes = append(out.Indexes, x)
+		}
+	}
+	return out
+}
+
+// Contains reports whether an index with the same ID is present.
+func (c *Configuration) Contains(d *index.Def) bool {
+	id := d.ID()
+	for _, x := range c.Indexes {
+		if x.Def.ID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsStructure reports whether any compression variant of the structure
+// is present.
+func (c *Configuration) ContainsStructure(d *index.Def) bool {
+	id := d.StructureID()
+	for _, x := range c.Indexes {
+		if x.Def.StructureID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// OnTable returns the indexes on the named table (including MV indexes whose
+// fact table matches when includeMV is set).
+func (c *Configuration) OnTable(table string, includeMV bool) []*HypoIndex {
+	var out []*HypoIndex
+	for _, x := range c.Indexes {
+		if x.Def.MV != nil {
+			if includeMV && strings.EqualFold(x.Def.MV.Fact, table) {
+				out = append(out, x)
+			}
+			continue
+		}
+		if strings.EqualFold(x.Def.Table, table) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Clustered returns the clustered index on the table, if any.
+func (c *Configuration) Clustered(table string) *HypoIndex {
+	for _, x := range c.Indexes {
+		if x.Def.Clustered && strings.EqualFold(x.Def.Table, table) {
+			return x
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the storage the configuration consumes relative to the
+// base database (heaps only). Secondary, partial and MV indexes add their
+// full size; a clustered index replaces the table's heap, so it contributes
+// its size minus the heap it replaces — which is how compressing a clustered
+// index can free space for more indexes even under a 0% budget (Appendix D).
+func (c *Configuration) SizeBytes(db *catalog.Database) int64 {
+	var total int64
+	for _, x := range c.Indexes {
+		if x.Def.Clustered && x.Def.MV == nil {
+			if t := db.Table(x.Def.Table); t != nil {
+				total += x.Bytes - t.HeapBytes()
+				continue
+			}
+		}
+		total += x.Bytes
+	}
+	return total
+}
+
+// String renders the configuration compactly.
+func (c *Configuration) String() string {
+	if len(c.Indexes) == 0 {
+		return "{base tables only}"
+	}
+	parts := make([]string, len(c.Indexes))
+	for i, x := range c.Indexes {
+		parts[i] = x.Def.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// methodOf is a nil-safe accessor.
+func methodOf(h *HypoIndex) compress.Method {
+	if h == nil {
+		return compress.None
+	}
+	return h.Def.Method
+}

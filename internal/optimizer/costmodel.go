@@ -1,0 +1,667 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/index"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+// CostModel is the simulated optimizer cost model. Cost units are arbitrary
+// but consistent: one sequential page read costs SeqPageIO.
+//
+// The compression-aware extension follows Appendix A exactly:
+//
+//	CPUCost_update = BaseCPUCost + α(method) · #tuples_written
+//	CPUCost_read   = BaseCPUCost + β(method) · #tuples_read · #columns_read
+//
+// and the I/O model is unchanged — compressed indexes simply occupy fewer
+// pages, which implicitly reduces their I/O cost.
+type CostModel struct {
+	DB *catalog.Database
+
+	// SeqPageIO is the cost of reading one page sequentially.
+	SeqPageIO float64
+	// RandPageIO is the cost of one random page access (seeks, RID lookups).
+	RandPageIO float64
+	// CPUTuple is the per-tuple processing cost during reads.
+	CPUTuple float64
+	// CPUInsert is the per-tuple cost of inserting into a structure.
+	CPUInsert float64
+	// CPUJoinTuple is the per-tuple hash-join build/probe cost.
+	CPUJoinTuple float64
+	// Fanout approximates the B+-tree interior fanout (for seek heights).
+	Fanout float64
+
+	// Alpha is the per-tuple compression CPU cost on writes, per method —
+	// larger for PAGE than ROW, mirroring the microbenchmarks of [13].
+	Alpha map[compress.Method]float64
+	// Beta is the per-tuple per-column decompression CPU cost on reads.
+	Beta map[compress.Method]float64
+}
+
+// NewCostModel returns a model with default constants. The absolute values
+// are arbitrary; their ratios encode the paper's qualitative calibration:
+// random I/O ≫ sequential I/O ≫ per-tuple CPU, and PAGE compression costs
+// roughly 3–4× ROW compression in CPU on both reads and writes.
+func NewCostModel(db *catalog.Database) *CostModel {
+	return &CostModel{
+		DB:           db,
+		SeqPageIO:    1.0,
+		RandPageIO:   4.0,
+		CPUTuple:     0.002,
+		CPUInsert:    0.005,
+		CPUJoinTuple: 0.001,
+		Fanout:       256,
+		Alpha: map[compress.Method]float64{
+			compress.None:       0,
+			compress.Row:        0.004,
+			compress.Page:       0.014,
+			compress.GlobalDict: 0.006,
+			compress.RLE:        0.005,
+		},
+		Beta: map[compress.Method]float64{
+			compress.None:       0,
+			compress.Row:        0.0003,
+			compress.Page:       0.0010,
+			compress.GlobalDict: 0.0005,
+			compress.RLE:        0.0004,
+		},
+	}
+}
+
+// AccessPath describes the chosen plan for one table of a query.
+type AccessPath struct {
+	Table   string
+	Index   *HypoIndex // nil = heap
+	Kind    string     // "heap-scan", "clustered-scan", "index-scan", "index-seek", "mv-scan", "mv-seek"
+	Rows    float64    // rows produced
+	Cost    float64
+	Lookups float64 // RID lookups performed
+}
+
+// Plan is the costed plan of a statement.
+type Plan struct {
+	Total float64
+	Paths []AccessPath
+	Note  string
+}
+
+// String renders the plan compactly.
+func (p *Plan) String() string {
+	parts := make([]string, 0, len(p.Paths)+1)
+	for _, ap := range p.Paths {
+		name := "heap"
+		if ap.Index != nil {
+			name = ap.Index.Def.String()
+		}
+		parts = append(parts, fmt.Sprintf("%s on %s via %s cost=%.2f", ap.Kind, ap.Table, name, ap.Cost))
+	}
+	if p.Note != "" {
+		parts = append(parts, p.Note)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Cost returns the estimated cost of a statement under the configuration —
+// the what-if API.
+func (cm *CostModel) Cost(stmt *workload.Statement, cfg *Configuration) float64 {
+	p := cm.Plan(stmt, cfg)
+	return p.Total
+}
+
+// Plan costs a statement and returns the full plan.
+func (cm *CostModel) Plan(stmt *workload.Statement, cfg *Configuration) *Plan {
+	switch {
+	case stmt.Query != nil:
+		return cm.planQuery(stmt.Query, cfg)
+	case stmt.Insert != nil:
+		return cm.planInsert(stmt.Insert, cfg)
+	}
+	return &Plan{}
+}
+
+// WorkloadCost returns the weighted total cost of the workload under the
+// configuration.
+func (cm *CostModel) WorkloadCost(wl *workload.Workload, cfg *Configuration) float64 {
+	var total float64
+	for _, s := range wl.Statements {
+		total += s.Weight * cm.Cost(s, cfg)
+	}
+	return total
+}
+
+// Improvement returns the percentage improvement of cfg over the base
+// configuration (no indexes), the paper's evaluation metric.
+func (cm *CostModel) Improvement(wl *workload.Workload, cfg *Configuration) float64 {
+	base := cm.WorkloadCost(wl, NewConfiguration())
+	if base <= 0 {
+		return 0
+	}
+	got := cm.WorkloadCost(wl, cfg)
+	return 100 * (1 - got/base)
+}
+
+// ---------------------------------------------------------------------------
+// Query costing
+
+func (cm *CostModel) planQuery(q *workload.Query, cfg *Configuration) *Plan {
+	// MV path: if an MV index matches the whole query, it can replace the
+	// joins entirely.
+	bestMV := cm.bestMVPath(q, cfg)
+
+	has := func(table, col string) bool {
+		t := cm.DB.Table(table)
+		return t != nil && t.Schema.Has(col)
+	}
+	plan := &Plan{}
+	var joinRows float64
+	for ti, table := range q.Tables {
+		t := cm.DB.Table(table)
+		if t == nil {
+			continue
+		}
+		preds := q.PredsOn(table, has)
+		cols := q.NonPredColumnsOn(table, has)
+		ap := cm.bestAccess(t, preds, cols, cfg)
+		plan.Paths = append(plan.Paths, ap)
+		plan.Total += ap.Cost
+		if ti == 0 {
+			joinRows = ap.Rows
+		} else {
+			// FK join: build on the dimension, probe with the running side.
+			plan.Total += cm.CPUJoinTuple * (ap.Rows + joinRows)
+		}
+	}
+	// Grouping/aggregation CPU on the final row stream.
+	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
+		plan.Total += cm.CPUTuple * joinRows * 0.5
+	}
+	if bestMV != nil && bestMV.Cost < plan.Total {
+		return &Plan{Total: bestMV.Cost, Paths: []AccessPath{*bestMV}, Note: "answered from MV"}
+	}
+	return plan
+}
+
+// bestAccess picks the cheapest access path for one table. cols lists the
+// columns the query needs beyond its WHERE predicates; predicate columns are
+// accounted per-index, because a partial index's filter can subsume a
+// predicate entirely.
+func (cm *CostModel) bestAccess(t *catalog.Table, preds []workload.Predicate, cols []string, cfg *Configuration) AccessPath {
+	rows := float64(t.RowCount())
+	sel := CombinedSelectivity(t, preds)
+	outRows := rows * sel
+
+	// Base path: clustered index scan/seek if present, else heap scan.
+	best := cm.baseScan(t, preds, cols, cfg, outRows)
+
+	for _, h := range cfg.OnTable(t.Name, false) {
+		if h.Def.Clustered {
+			if ap, ok := cm.indexPath(t, h, preds, cols, true); ok && ap.Cost < best.Cost {
+				best = ap
+			}
+			continue
+		}
+		if ap, ok := cm.indexPath(t, h, preds, cols, false); ok && ap.Cost < best.Cost {
+			best = ap
+		}
+	}
+	best.Rows = outRows
+	return best
+}
+
+// baseScan costs the full scan of the base structure (heap or clustered).
+func (cm *CostModel) baseScan(t *catalog.Table, preds []workload.Predicate, cols []string, cfg *Configuration, outRows float64) AccessPath {
+	rows := float64(t.RowCount())
+	if cl := cfg.Clustered(t.Name); cl != nil {
+		// Try a clustered seek first; fall back to clustered scan.
+		if ap, ok := cm.indexPath(t, cl, preds, cols, true); ok {
+			return ap
+		}
+	}
+	pages := float64(t.HeapPages())
+	cost := cm.SeqPageIO*pages + cm.CPUTuple*rows
+	return AccessPath{Table: t.Name, Kind: "heap-scan", Rows: outRows, Cost: cost}
+}
+
+// indexPath costs using the given index for the table, returning ok=false
+// when the index is unusable (partial filter not implied, or non-covering
+// with no seekable prefix).
+func (cm *CostModel) indexPath(t *catalog.Table, h *HypoIndex, preds []workload.Predicate, cols []string, clustered bool) (AccessPath, bool) {
+	// Partial index: usable only if its filter is implied by the query.
+	remaining := preds
+	if h.Def.IsPartial() {
+		for _, ip := range h.Def.Where {
+			if !impliedBy(ip, preds) {
+				return AccessPath{}, false
+			}
+		}
+		// Predicates exactly matching the filter are already applied inside
+		// the index; drop them from further selectivity so we don't double
+		// count.
+		remaining = nil
+		for _, qp := range preds {
+			matched := false
+			for _, ip := range h.Def.Where {
+				if equalFoldCol(ip, qp) && implies(qp, ip) && implies(ip, qp) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				remaining = append(remaining, qp)
+			}
+		}
+	}
+
+	idxCols := h.Def.Columns()
+	if clustered {
+		idxCols = t.Schema.Names()
+	}
+	// Needed columns: non-predicate usage plus the columns of predicates
+	// that are not subsumed by the index filter.
+	needed := append([]string{}, cols...)
+	for _, p := range remaining {
+		if !containsFold(needed, p.Col) {
+			needed = append(needed, p.Col)
+		}
+	}
+	covering := clustered || containsAll(idxCols, needed)
+
+	// Seek: contiguous sargable prefix of the key columns. Equality
+	// predicates extend the prefix; the first range predicate ends it.
+	seekSel := 1.0
+	matchedAny := false
+	for _, key := range h.Def.KeyCols {
+		p, ok := predOn(remaining, key)
+		if !ok || !p.Sargable() {
+			break
+		}
+		seekSel *= PredicateSelectivity(t, p)
+		matchedAny = true
+		if !p.IsEquality() {
+			break
+		}
+	}
+
+	idxRows := float64(h.Rows)
+	pages := float64(h.Pages())
+	usedCols := countUsedCols(idxCols, needed)
+	beta := cm.Beta[methodOf(h)]
+	residualSel := CombinedSelectivity(t, remaining)
+
+	if matchedAny {
+		matched := idxRows * seekSel
+		height := cm.treeHeight(pages)
+		cost := cm.RandPageIO*height + cm.SeqPageIO*math.Ceil(seekSel*pages)
+		cost += cm.CPUTuple*matched + beta*matched*float64(usedCols)
+		kind := "index-seek"
+		if clustered {
+			kind = "clustered-seek"
+		}
+		ap := AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost}
+		if !covering {
+			// RID lookups for rows surviving all predicates resolvable on
+			// the index; remaining predicates are applied after the lookup.
+			lookups := idxRows * seekSel * residualFraction(t, remaining, idxCols)
+			ap.Lookups = lookups
+			ap.Cost += cm.RandPageIO*lookups + cm.CPUTuple*lookups
+		}
+		return ap, true
+	}
+
+	if !covering {
+		return AccessPath{}, false // non-covering scan is never competitive
+	}
+	kind := "index-scan"
+	if clustered {
+		kind = "clustered-scan"
+	}
+	if h.Def.IsMV() {
+		kind = "mv-scan"
+	}
+	cost := cm.SeqPageIO*pages + cm.CPUTuple*idxRows + beta*idxRows*float64(usedCols)
+	_ = residualSel
+	return AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost}, true
+}
+
+// residualFraction estimates the fraction of prefix-matched rows that
+// survive the predicates evaluable on the index columns (those reduce RID
+// lookups).
+func residualFraction(t *catalog.Table, preds []workload.Predicate, idxCols []string) float64 {
+	frac := 1.0
+	for _, p := range preds {
+		if containsFold(idxCols, p.Col) {
+			frac *= PredicateSelectivity(t, p)
+		}
+	}
+	return frac
+}
+
+func (cm *CostModel) treeHeight(leafPages float64) float64 {
+	if leafPages <= 1 {
+		return 1
+	}
+	return 1 + math.Ceil(math.Log(leafPages)/math.Log(cm.Fanout))
+}
+
+func predOn(preds []workload.Predicate, col string) (workload.Predicate, bool) {
+	for _, p := range preds {
+		if storageEqualFold(p.Col, col) {
+			return p, true
+		}
+	}
+	return workload.Predicate{}, false
+}
+
+func containsAll(haystack, needles []string) bool {
+	for _, n := range needles {
+		if !containsFold(haystack, n) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsFold(list []string, s string) bool {
+	for _, x := range list {
+		if storageEqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func countUsedCols(idxCols, queryCols []string) int {
+	n := 0
+	for _, c := range queryCols {
+		if containsFold(idxCols, c) {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// MV matching
+
+// bestMVPath returns the cheapest MV-based path answering the whole query,
+// or nil.
+func (cm *CostModel) bestMVPath(q *workload.Query, cfg *Configuration) *AccessPath {
+	var best *AccessPath
+	for _, h := range cfg.Indexes {
+		if h.Def.MV == nil {
+			continue
+		}
+		residual, ok := mvMatches(h.Def.MV, q)
+		if !ok {
+			continue
+		}
+		ap := cm.mvAccess(h, residual, q)
+		if best == nil || ap.Cost < best.Cost {
+			a := ap
+			best = &a
+		}
+	}
+	return best
+}
+
+// mvMatches checks whether the MV can answer the query, returning the
+// residual predicates that must still be applied against the MV's group-by
+// columns.
+func mvMatches(mv *index.MVDef, q *workload.Query) ([]workload.Predicate, bool) {
+	if len(q.Tables) == 0 || !strings.EqualFold(mv.Fact, q.Tables[0]) {
+		return nil, false
+	}
+	if !sameJoins(mv.Joins, q.Joins) {
+		return nil, false
+	}
+	if !sameColRefs(mv.GroupBy, q.GroupBy) {
+		return nil, false
+	}
+	// Every query aggregate must be computable from the MV's aggregates.
+	for _, qa := range q.Aggs {
+		if !hasAgg(mv.Aggs, qa) {
+			return nil, false
+		}
+	}
+	// Plain selected columns must be group-by columns.
+	for _, c := range q.Select {
+		if !colRefIn(mv.GroupBy, c) {
+			return nil, false
+		}
+	}
+	// Every MV WHERE predicate must appear in the query (exact match); the
+	// remaining query predicates must be on group-by columns so they can
+	// filter the MV rows.
+	var residual []workload.Predicate
+	for _, qp := range q.Preds {
+		matched := false
+		for _, mp := range mv.Where {
+			if predEqual(mp, qp) {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		onGroup := false
+		for _, g := range mv.GroupBy {
+			if storageEqualFold(g.Col, qp.Col) {
+				onGroup = true
+				break
+			}
+		}
+		if !onGroup {
+			return nil, false
+		}
+		residual = append(residual, qp)
+	}
+	// Conversely every MV predicate must be present in the query, otherwise
+	// the MV is missing rows... no: MV.Where ⊆ q.Preds means the MV may be a
+	// superset of what the query needs only when residuals filter the rest.
+	for _, mp := range mv.Where {
+		found := false
+		for _, qp := range q.Preds {
+			if predEqual(mp, qp) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return residual, true
+}
+
+// mvAccess costs scanning/seeking the MV index with the residual predicates.
+func (cm *CostModel) mvAccess(h *HypoIndex, residual []workload.Predicate, q *workload.Query) AccessPath {
+	rows := float64(h.Rows)
+	pages := float64(h.Pages())
+	beta := cm.Beta[methodOf(h)]
+	usedCols := len(h.Def.Columns())
+	if usedCols == 0 {
+		usedCols = 1
+	}
+	// Residual selectivity estimated from the underlying fact/dimension
+	// column statistics.
+	sel := 1.0
+	for _, p := range residual {
+		sel *= cm.mvPredSelectivity(p, q)
+	}
+	// Seek when the leading MV key column matches a residual predicate.
+	seek := false
+	if len(h.Def.KeyCols) > 0 && len(residual) > 0 {
+		lead := h.Def.KeyCols[0]
+		for _, p := range residual {
+			if strings.EqualFold(index.QualifiedCol(workload.ColRef{Table: p.Table, Col: p.Col}), lead) ||
+				storageEqualFold(p.Col, lead) {
+				seek = true
+				break
+			}
+		}
+	}
+	var cost float64
+	kind := "mv-scan"
+	if seek {
+		kind = "mv-seek"
+		cost = cm.RandPageIO*cm.treeHeight(pages) + cm.SeqPageIO*math.Ceil(sel*pages)
+		cost += cm.CPUTuple*sel*rows + beta*sel*rows*float64(usedCols)
+	} else {
+		cost = cm.SeqPageIO*pages + cm.CPUTuple*rows + beta*rows*float64(usedCols)
+	}
+	return AccessPath{Table: h.Def.Table, Index: h, Kind: kind, Rows: sel * rows, Cost: cost}
+}
+
+// mvPredSelectivity estimates a residual predicate's selectivity using the
+// underlying base-table statistics.
+func (cm *CostModel) mvPredSelectivity(p workload.Predicate, q *workload.Query) float64 {
+	if p.Table != "" {
+		if t := cm.DB.Table(p.Table); t != nil && t.Schema.Has(p.Col) {
+			return PredicateSelectivity(t, p)
+		}
+	}
+	for _, tn := range q.Tables {
+		if t := cm.DB.Table(tn); t != nil && t.Schema.Has(p.Col) {
+			return PredicateSelectivity(t, p)
+		}
+	}
+	return 0.3
+}
+
+func sameJoins(a, b []workload.Join) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if strings.EqualFold(x.String(), y.String()) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func sameColRefs(a, b []workload.ColRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		if !colRefIn(b, x) {
+			return false
+		}
+	}
+	return true
+}
+
+func colRefIn(list []workload.ColRef, c workload.ColRef) bool {
+	for _, x := range list {
+		if storageEqualFold(x.Col, c.Col) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasAgg(list []workload.Aggregate, a workload.Aggregate) bool {
+	for _, x := range list {
+		if x.Func == a.Func && storageEqualFold(x.Col.Col, a.Col.Col) {
+			return true
+		}
+		// AVG is derivable from SUM + COUNT(*); COUNT(*) always present via
+		// the hidden __count column.
+	}
+	if a.Func == workload.AggCount && a.Col.Col == "" {
+		return true // hidden __count column
+	}
+	if a.Func == workload.AggAvg {
+		return hasAgg(list, workload.Aggregate{Func: workload.AggSum, Col: a.Col})
+	}
+	return false
+}
+
+func predEqual(a, b workload.Predicate) bool {
+	return strings.EqualFold(a.String(), b.String())
+}
+
+// ---------------------------------------------------------------------------
+// Update costing
+
+func (cm *CostModel) planInsert(ins *workload.Insert, cfg *Configuration) *Plan {
+	t := cm.DB.Table(ins.Table)
+	if t == nil {
+		return &Plan{}
+	}
+	n := float64(ins.Rows)
+	plan := &Plan{}
+
+	// Base structure: heap append or clustered insert.
+	rowW := t.AvgRowWidth()
+	basePages := n * rowW / storage.UsablePageBytes
+	baseCPU := cm.CPUInsert * n
+	var baseIO float64
+	cl := cfg.Clustered(t.Name)
+	if cl != nil {
+		// Clustered insert: bulk sort + merge, plus compression CPU.
+		baseIO = cm.SeqPageIO * basePages * 2 * cl.CF()
+		baseCPU += cm.Alpha[methodOf(cl)] * n
+	} else {
+		baseIO = cm.SeqPageIO * basePages
+	}
+	plan.Total += baseIO + baseCPU
+	plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: cl, Kind: "base-insert", Rows: n, Cost: baseIO + baseCPU})
+
+	// Maintenance of secondary, partial and MV indexes.
+	for _, h := range cfg.OnTable(t.Name, true) {
+		if h == cl {
+			continue
+		}
+		affected := n
+		if h.Def.IsPartial() {
+			affected = n * CombinedSelectivity(t, h.Def.Where)
+		}
+		if h.Def.MV != nil {
+			affected = n * mvWhereSelectivity(cm.DB, h.Def.MV)
+		}
+		entryW := float64(32)
+		if h.Rows > 0 {
+			entryW = float64(h.UncompressedBytes) / float64(h.Rows)
+		}
+		writePages := affected * entryW / storage.UsablePageBytes * h.CF()
+		io := cm.SeqPageIO * writePages * 2
+		cpu := cm.CPUInsert*affected + cm.Alpha[methodOf(h)]*affected
+		plan.Total += io + cpu
+		plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: h, Kind: "index-maintain", Rows: affected, Cost: io + cpu})
+	}
+	return plan
+}
+
+func mvWhereSelectivity(db *catalog.Database, mv *index.MVDef) float64 {
+	t := db.Table(mv.Fact)
+	if t == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, p := range mv.Where {
+		if t.Schema.Has(p.Col) {
+			sel *= PredicateSelectivity(t, p)
+		}
+	}
+	return sel
+}

@@ -1,0 +1,338 @@
+package optimizer
+
+import (
+	"sync"
+	"testing"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/datagen"
+	"cadb/internal/index"
+	"cadb/internal/sqlparse"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+var (
+	dbOnce sync.Once
+	db     *catalog.Database
+)
+
+func testDB(t testing.TB) *catalog.Database {
+	dbOnce.Do(func() {
+		db = datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 8000, Seed: 3})
+	})
+	return db
+}
+
+func build(t testing.TB, d *index.Def) *HypoIndex {
+	t.Helper()
+	p, err := index.Build(testDB(t), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromPhysical(p)
+}
+
+func parseQ(t testing.TB, sql string) *workload.Statement {
+	t.Helper()
+	s, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Weight = 1
+	return s
+}
+
+func TestPredicateSelectivityRange(t *testing.T) {
+	d := testDB(t)
+	li := d.MustTable("lineitem")
+	// Half the ship-date range should select roughly half the rows.
+	mid := (8035 + 10561) / 2
+	sel := PredicateSelectivity(li, workload.Predicate{Col: "l_shipdate", Op: workload.OpLe, Lo: storage.DateVal(int64(mid))})
+	if sel < 0.3 || sel > 0.7 {
+		t.Fatalf("mid-range selectivity=%v want ~0.5", sel)
+	}
+	selEq := PredicateSelectivity(li, workload.Predicate{Col: "l_shipmode", Op: workload.OpEq, Lo: storage.StringVal("AIR")})
+	if selEq < 0.05 || selEq > 0.3 {
+		t.Fatalf("shipmode eq selectivity=%v want ~1/7", selEq)
+	}
+}
+
+func TestCombinedSelectivityIndependence(t *testing.T) {
+	d := testDB(t)
+	li := d.MustTable("lineitem")
+	p1 := workload.Predicate{Col: "l_shipmode", Op: workload.OpEq, Lo: storage.StringVal("AIR")}
+	p2 := workload.Predicate{Col: "l_quantity", Op: workload.OpLe, Lo: storage.IntVal(10)}
+	c := CombinedSelectivity(li, []workload.Predicate{p1, p2})
+	s1 := PredicateSelectivity(li, p1)
+	s2 := PredicateSelectivity(li, p2)
+	if diff := c - s1*s2; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("combined %v != product %v", c, s1*s2)
+	}
+}
+
+func TestImplication(t *testing.T) {
+	le10 := workload.Predicate{Col: "x", Op: workload.OpLe, Lo: storage.IntVal(10)}
+	le20 := workload.Predicate{Col: "x", Op: workload.OpLe, Lo: storage.IntVal(20)}
+	eq5 := workload.Predicate{Col: "x", Op: workload.OpEq, Lo: storage.IntVal(5)}
+	bet := workload.Predicate{Col: "x", Op: workload.OpBetween, Lo: storage.IntVal(2), Hi: storage.IntVal(8)}
+	if !implies(le10, le20) {
+		t.Error("x<=10 implies x<=20")
+	}
+	if implies(le20, le10) {
+		t.Error("x<=20 must not imply x<=10")
+	}
+	if !implies(eq5, le10) {
+		t.Error("x=5 implies x<=10")
+	}
+	if !implies(bet, le10) {
+		t.Error("2<=x<=8 implies x<=10")
+	}
+	if implies(le10, bet) {
+		t.Error("x<=10 must not imply the BETWEEN")
+	}
+	if !impliedBy(le20, []workload.Predicate{le10}) {
+		t.Error("impliedBy should find the implication")
+	}
+}
+
+func TestCoveringIndexBeatsHeapScan(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	q := parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9200")
+	base := cm.Cost(q, NewConfiguration())
+	cover := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_extendedprice"}})
+	withIdx := cm.Cost(q, NewConfiguration(cover))
+	if withIdx >= base {
+		t.Fatalf("covering index should win: base=%v with=%v", base, withIdx)
+	}
+	if withIdx > base/3 {
+		t.Fatalf("selective covering seek should win big: base=%v with=%v", base, withIdx)
+	}
+}
+
+func TestNonCoveringSeekLookupCost(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	// Query needs a column the index lacks -> RID lookups.
+	narrow := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}})
+	selective := parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9020")
+	wide := parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate >= DATE 8035")
+	cfg := NewConfiguration(narrow)
+	base := NewConfiguration()
+	if cm.Cost(selective, cfg) >= cm.Cost(selective, base) {
+		t.Fatal("selective non-covering seek should beat heap scan")
+	}
+	// For an unselective predicate the lookups should make the index lose.
+	if cm.Cost(wide, cfg) < cm.Cost(wide, base) {
+		t.Fatal("unselective non-covering seek must lose to heap scan")
+	}
+}
+
+func TestCompressedIndexTradeoff(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	defUnc := &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"},
+		IncludeCols: []string{"l_extendedprice", "l_discount", "l_quantity", "l_returnflag", "l_linestatus", "l_shipmode", "l_shipinstruct", "l_tax"}}
+	unc := build(t, defUnc)
+	page := build(t, defUnc.WithMethod(compress.Page))
+	if page.Bytes >= unc.Bytes {
+		t.Fatalf("PAGE should compress: %d vs %d", page.Bytes, unc.Bytes)
+	}
+	// A query reading many columns of the whole index: decompression CPU
+	// must appear in the cost.
+	q := parseQ(t, "SELECT SUM(l_extendedprice), SUM(l_discount), SUM(l_tax), COUNT(*) FROM lineitem WHERE l_shipdate >= DATE 8035")
+	cu := cm.Cost(q, NewConfiguration(unc))
+	cc := cm.Cost(q, NewConfiguration(page))
+	// The compressed scan reads fewer pages but pays beta per tuple-column;
+	// both effects must be visible: cost difference smaller than the pure
+	// I/O difference.
+	pureIO := cm.SeqPageIO * float64(unc.Pages()-page.Pages())
+	saved := cu - cc
+	if saved >= pureIO {
+		t.Fatalf("decompression CPU missing: saved=%v >= pure IO delta=%v", saved, pureIO)
+	}
+}
+
+func TestUpdateCostGrowsWithIndexesAndCompression(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	ins := parseQ(t, "INSERT INTO lineitem BULK 10000")
+	base := cm.Cost(ins, NewConfiguration())
+	idx := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_partkey"}})
+	withIdx := cm.Cost(ins, NewConfiguration(idx))
+	if withIdx <= base {
+		t.Fatal("index maintenance must cost something")
+	}
+	pageIdx := build(t, (&index.Def{Table: "lineitem", KeyCols: []string{"l_partkey"}}).WithMethod(compress.Page))
+	withPage := cm.Cost(ins, NewConfiguration(pageIdx))
+	if withPage <= withIdx {
+		t.Fatalf("PAGE-compressed maintenance must cost more: %v vs %v", withPage, withIdx)
+	}
+	rowIdx := build(t, (&index.Def{Table: "lineitem", KeyCols: []string{"l_partkey"}}).WithMethod(compress.Row))
+	withRow := cm.Cost(ins, NewConfiguration(rowIdx))
+	if !(withIdx < withRow && withRow < withPage) {
+		t.Fatalf("alpha ordering violated: none=%v row=%v page=%v", withIdx, withRow, withPage)
+	}
+}
+
+func TestPartialIndexUsability(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	part := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"},
+		IncludeCols: []string{"l_extendedprice"},
+		Where:       []workload.Predicate{{Col: "l_quantity", Op: workload.OpLe, Lo: storage.IntVal(10)}}})
+	// The query predicate exactly matches the index filter, so the filter
+	// column need not be stored in the index (covering via subsumption).
+	matching := parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity <= 10 AND l_shipdate >= DATE 9800")
+	nonMatching := parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity <= 50 AND l_shipdate >= DATE 9000")
+	cfg := NewConfiguration(part)
+	base := NewConfiguration()
+	if cm.Cost(matching, cfg) >= cm.Cost(matching, base) {
+		t.Fatal("implied partial index should be used")
+	}
+	if cm.Cost(nonMatching, cfg) != cm.Cost(nonMatching, base) {
+		t.Fatal("non-implied partial index must be ignored")
+	}
+}
+
+func TestClusteredIndexReplacesHeap(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	cl := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}, Clustered: true})
+	q := parseQ(t, "SELECT SUM(o_totalprice) FROM orders WHERE o_orderdate BETWEEN DATE 9000 AND DATE 9100")
+	base := cm.Cost(q, NewConfiguration())
+	withCl := cm.Cost(q, NewConfiguration(cl))
+	if withCl >= base {
+		t.Fatal("clustered seek should beat heap scan")
+	}
+	// Size accounting: the clustered index replaces the heap.
+	cfg := NewConfiguration(cl)
+	delta := cfg.SizeBytes(d)
+	if delta >= cl.Bytes {
+		t.Fatalf("clustered index size should be net of the heap: %d vs %d", delta, cl.Bytes)
+	}
+	// A ROW-compressed clustered index should have negative net size.
+	clRow := build(t, (&index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}, Clustered: true}).WithMethod(compress.Row))
+	if NewConfiguration(clRow).SizeBytes(d) >= 0 {
+		t.Fatal("compressing the clustered index should free space")
+	}
+}
+
+func TestMVAnswersAggregateQuery(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	mv := &index.MVDef{
+		Name:    "mv_mode",
+		Fact:    "lineitem",
+		GroupBy: []workload.ColRef{{Table: "lineitem", Col: "l_shipmode"}},
+		Aggs:    []workload.Aggregate{{Func: workload.AggSum, Col: workload.ColRef{Table: "lineitem", Col: "l_extendedprice"}}},
+	}
+	mvIdx := build(t, &index.Def{Table: "mv_mode", KeyCols: []string{"lineitem_l_shipmode"}, MV: mv})
+	q := parseQ(t, "SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem GROUP BY l_shipmode")
+	base := cm.Cost(q, NewConfiguration())
+	withMV := cm.Cost(q, NewConfiguration(mvIdx))
+	if withMV >= base/10 {
+		t.Fatalf("MV should be dramatically cheaper: base=%v mv=%v", base, withMV)
+	}
+	// A query with different group-by must not match.
+	other := parseQ(t, "SELECT l_returnflag, SUM(l_extendedprice) FROM lineitem GROUP BY l_returnflag")
+	if cm.Cost(other, NewConfiguration(mvIdx)) != cm.Cost(other, NewConfiguration()) {
+		t.Fatal("non-matching MV must not be used")
+	}
+}
+
+func TestMVMaintenanceCost(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	mv := &index.MVDef{
+		Name:    "mv_mode2",
+		Fact:    "lineitem",
+		GroupBy: []workload.ColRef{{Table: "lineitem", Col: "l_shipmode"}},
+		Aggs:    []workload.Aggregate{{Func: workload.AggSum, Col: workload.ColRef{Table: "lineitem", Col: "l_extendedprice"}}},
+	}
+	mvIdx := build(t, &index.Def{Table: "mv_mode2", KeyCols: []string{"lineitem_l_shipmode"}, MV: mv})
+	ins := parseQ(t, "INSERT INTO lineitem BULK 5000")
+	base := cm.Cost(ins, NewConfiguration())
+	withMV := cm.Cost(ins, NewConfiguration(mvIdx))
+	if withMV <= base {
+		t.Fatal("MV maintenance on fact inserts must cost")
+	}
+}
+
+func TestJoinQueryCosting(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	q := parseQ(t, `SELECT SUM(lineitem.l_extendedprice) FROM lineitem
+		JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
+		WHERE supplier.s_nationkey = 3`)
+	base := cm.Cost(q, NewConfiguration())
+	if base <= 0 {
+		t.Fatal("join query must have positive cost")
+	}
+	// An index on the fact side join/projection columns should help.
+	idx := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_suppkey"}, IncludeCols: []string{"l_extendedprice"}})
+	with := cm.Cost(q, NewConfiguration(idx))
+	if with >= base {
+		t.Fatalf("covering fact index should reduce join cost: %v vs %v", with, base)
+	}
+}
+
+func TestImprovementMetric(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	wl := &workload.Workload{Statements: []*workload.Statement{
+		parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9100"),
+	}}
+	cover := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_extendedprice"}})
+	imp := cm.Improvement(wl, NewConfiguration(cover))
+	if imp <= 0 || imp >= 100 {
+		t.Fatalf("improvement=%v want in (0,100)", imp)
+	}
+	if base := cm.Improvement(wl, NewConfiguration()); base != 0 {
+		t.Fatalf("base improvement=%v want 0", base)
+	}
+}
+
+func TestConfigurationOps(t *testing.T) {
+	d := testDB(t)
+	_ = d
+	a := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}})
+	b := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_custkey"}})
+	cfg := NewConfiguration(a)
+	cfg2 := cfg.With(b)
+	if len(cfg.Indexes) != 1 || len(cfg2.Indexes) != 2 {
+		t.Fatal("With must not mutate the receiver")
+	}
+	if !cfg2.Contains(a.Def) || !cfg2.Contains(b.Def) {
+		t.Fatal("Contains broken")
+	}
+	cfg3 := cfg2.Without(a)
+	if len(cfg3.Indexes) != 1 || cfg3.Contains(a.Def) {
+		t.Fatal("Without broken")
+	}
+	rowVariant := build(t, (&index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}}).WithMethod(compress.Row))
+	if !cfg.ContainsStructure(rowVariant.Def) {
+		t.Fatal("ContainsStructure must match across methods")
+	}
+	cfg4 := cfg.Replace(a, rowVariant)
+	if !cfg4.Contains(rowVariant.Def) || cfg4.Contains(a.Def) {
+		t.Fatal("Replace broken")
+	}
+}
+
+func TestWorkloadCostWeighting(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	s := parseQ(t, "SELECT COUNT(*) FROM orders")
+	wl1 := &workload.Workload{Statements: []*workload.Statement{s}}
+	c1 := cm.WorkloadCost(wl1, NewConfiguration())
+	s2 := *s
+	s2.Weight = 3
+	wl3 := &workload.Workload{Statements: []*workload.Statement{&s2}}
+	c3 := cm.WorkloadCost(wl3, NewConfiguration())
+	if diff := c3 - 3*c1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("weighting broken: %v vs %v", c3, 3*c1)
+	}
+}

@@ -1,0 +1,203 @@
+package optimizer
+
+import (
+	"cadb/internal/catalog"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+// PredicateSelectivity estimates the fraction of a table's rows satisfying
+// the predicate, using per-column statistics (equi-depth histograms for
+// ranges, distinct counts for equality), discounted by the NULL fraction.
+func PredicateSelectivity(t *catalog.Table, p workload.Predicate) float64 {
+	st := t.Stats()
+	cs := st.Col(p.Col)
+	if cs == nil {
+		return 0.3 // unknown column: be conservative
+	}
+	nonNull := 1 - cs.NullFrac(st.RowCount)
+	if nonNull <= 0 {
+		return 0
+	}
+	kind := t.Schema.Col(p.Col).Kind
+	lo := p.Lo.CoerceTo(kind)
+	hi := p.Hi.CoerceTo(kind)
+	nonNullCount := st.RowCount - cs.NullCount
+	var sel float64
+	switch p.Op {
+	case workload.OpEq:
+		sel = eqSelectivity(cs, lo, nonNullCount)
+	case workload.OpNe:
+		sel = 1 - eqSelectivity(cs, lo, nonNullCount)
+	case workload.OpLt, workload.OpLe:
+		if cs.Hist != nil {
+			if p.Op == workload.OpLt {
+				sel = cs.Hist.SelectivityLT(lo)
+			} else {
+				sel = cs.Hist.SelectivityLE(lo)
+			}
+		} else {
+			sel = 0.3
+		}
+	case workload.OpGt, workload.OpGe:
+		if cs.Hist != nil {
+			if p.Op == workload.OpGt {
+				sel = 1 - cs.Hist.SelectivityLE(lo)
+			} else {
+				sel = 1 - cs.Hist.SelectivityLT(lo)
+			}
+		} else {
+			sel = 0.3
+		}
+	case workload.OpBetween:
+		if cs.Hist != nil {
+			sel = cs.Hist.SelectivityRange(lo, hi, true, true)
+		} else {
+			sel = 0.25
+		}
+	default:
+		sel = 0.3
+	}
+	return clamp01(sel * nonNull)
+}
+
+// eqSelectivity estimates P(col = v | col not NULL): exact frequency when v
+// is a tracked most-common value, otherwise the residual mass spread evenly
+// over the non-MCV distinct values — the standard MCV+uniform model.
+func eqSelectivity(cs *catalog.ColStats, v storage.Value, nonNull int64) float64 {
+	if cs.Distinct <= 0 {
+		return 1
+	}
+	if f, ok := cs.MCVFreq(v, nonNull); ok {
+		return f
+	}
+	rest := float64(cs.Distinct) - float64(len(cs.MCVs))
+	if rest < 1 {
+		return 1 / float64(cs.Distinct)
+	}
+	return (1 - cs.MCVMass(nonNull)) / rest
+}
+
+// CombinedSelectivity multiplies selectivities assuming independence (the
+// standard optimizer assumption the paper also leans on).
+func CombinedSelectivity(t *catalog.Table, preds []workload.Predicate) float64 {
+	sel := 1.0
+	for _, p := range preds {
+		sel *= PredicateSelectivity(t, p)
+	}
+	return sel
+}
+
+// impliedBy reports whether index predicate ip is implied by some query
+// predicate qp on the same column — the condition for a partial index to be
+// usable by the query. The check is conservative (sound but incomplete).
+func impliedBy(ip workload.Predicate, qps []workload.Predicate) bool {
+	for _, qp := range qps {
+		if !equalFoldCol(ip, qp) {
+			continue
+		}
+		if implies(qp, ip) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalFoldCol(a, b workload.Predicate) bool {
+	return storageEqualFold(a.Col, b.Col)
+}
+
+func storageEqualFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// implies reports whether predicate q (query) implies predicate p (index
+// filter): every row satisfying q also satisfies p.
+func implies(q, p workload.Predicate) bool {
+	// Normalize both to interval form [lo, hi] with openness flags.
+	qi, ok1 := interval(q)
+	pi, ok2 := interval(p)
+	if !ok1 || !ok2 {
+		// Fall back to exact-match implication for <>.
+		return q.Op == p.Op && q.Lo.Compare(p.Lo) == 0 && q.Hi.Compare(p.Hi) == 0
+	}
+	return pi.contains(qi)
+}
+
+type ival struct {
+	hasLo, hasHi   bool
+	lo, hi         storage.Value
+	loOpen, hiOpen bool
+}
+
+func interval(p workload.Predicate) (ival, bool) {
+	switch p.Op {
+	case workload.OpEq:
+		return ival{hasLo: true, hasHi: true, lo: p.Lo, hi: p.Lo}, true
+	case workload.OpLt:
+		return ival{hasHi: true, hi: p.Lo, hiOpen: true}, true
+	case workload.OpLe:
+		return ival{hasHi: true, hi: p.Lo}, true
+	case workload.OpGt:
+		return ival{hasLo: true, lo: p.Lo, loOpen: true}, true
+	case workload.OpGe:
+		return ival{hasLo: true, lo: p.Lo}, true
+	case workload.OpBetween:
+		return ival{hasLo: true, hasHi: true, lo: p.Lo, hi: p.Hi}, true
+	}
+	return ival{}, false
+}
+
+// contains reports whether the receiver interval contains the other.
+func (a ival) contains(b ival) bool {
+	if a.hasLo {
+		if !b.hasLo {
+			return false
+		}
+		c := b.lo.Compare(a.lo.CoerceTo(b.lo.Kind))
+		if c < 0 {
+			return false
+		}
+		if c == 0 && a.loOpen && !b.loOpen {
+			return false
+		}
+	}
+	if a.hasHi {
+		if !b.hasHi {
+			return false
+		}
+		c := b.hi.Compare(a.hi.CoerceTo(b.hi.Kind))
+		if c > 0 {
+			return false
+		}
+		if c == 0 && a.hiOpen && !b.hiOpen {
+			return false
+		}
+	}
+	return true
+}
+
+func clamp01(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}

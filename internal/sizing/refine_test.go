@@ -1,0 +1,92 @@
+package sizing
+
+import (
+	"testing"
+
+	"cadb/internal/compress"
+	"cadb/internal/index"
+)
+
+// TestSubsetDeductionSharing: a wide ROW target that contains a narrower
+// target's columns should end up deduced once the narrow target and leftover
+// singletons are sampled — the sharing that makes deduction pay off at tool
+// scale.
+func TestSubsetDeductionSharing(t *testing.T) {
+	targets := []*index.Def{
+		liDef(compress.Row, "l_shipdate", "l_shipmode"),
+		liDef(compress.Row, "l_quantity"),
+		liDef(compress.Row, "l_shipdate", "l_shipmode", "l_quantity"),
+	}
+	p := Greedy(newEst(0.05), targets, nil, 1.0, 0.85, 0.05)
+	if !p.Feasible {
+		t.Fatalf("infeasible:\n%s", p.Describe())
+	}
+	wide := p.ByID[targets[2].ID()]
+	if wide == nil {
+		t.Fatal("wide target missing from plan")
+	}
+	if wide.State != StateDeduced {
+		t.Fatalf("wide target should be deduced from shared parts:\n%s", p.Describe())
+	}
+	// Its cost must not have been paid.
+	all := All(newEst(0.05), targets, nil, 1.0, 0.85, 0.05)
+	if p.TotalCost >= all.TotalCost {
+		t.Fatalf("sharing saved nothing: greedy=%v all=%v", p.TotalCost, all.TotalCost)
+	}
+}
+
+// TestRefinePassNoCycles: mutual ColSet permutations must not both flip to
+// DEDUCED (someone has to hold the sampled truth).
+func TestRefinePassNoCycles(t *testing.T) {
+	targets := []*index.Def{
+		liDef(compress.Row, "l_shipdate", "l_shipmode"),
+		liDef(compress.Row, "l_shipmode", "l_shipdate"),
+	}
+	p := Greedy(newEst(0.05), targets, nil, 1.0, 0.8, 0.05)
+	sampled := 0
+	for _, d := range targets {
+		n := p.ByID[d.ID()]
+		if n == nil {
+			t.Fatalf("target missing: %s", d)
+		}
+		if n.State == StateSampled {
+			sampled++
+		}
+		if n.State == StateDeduced && n.Chosen != nil {
+			for _, c := range n.Chosen.Children {
+				if c.State == StateDeduced && c.Chosen != nil {
+					for _, cc := range c.Chosen.Children {
+						if cc == n {
+							t.Fatal("deduction cycle detected")
+						}
+					}
+				}
+			}
+		}
+	}
+	if sampled == 0 {
+		t.Fatalf("at least one permutation must be sampled:\n%s", p.Describe())
+	}
+}
+
+// TestRefineRespectsAccuracy: refinement never flips a target whose
+// deduction would violate the accuracy constraint.
+func TestRefineRespectsAccuracy(t *testing.T) {
+	targets := []*index.Def{
+		liDef(compress.Page, "l_shipdate", "l_shipmode"),
+		liDef(compress.Page, "l_shipdate"),
+		liDef(compress.Page, "l_shipmode"),
+	}
+	// PAGE deduction noise is calibrated high; at a tight constraint the
+	// composite must stay sampled even though its parts are known.
+	p := Greedy(newEst(0.1), targets, nil, 0.2, 0.95, 0.1)
+	n := p.ByID[targets[0].ID()]
+	if n.State == StateDeduced {
+		t.Fatalf("tight constraint must block noisy PAGE deduction:\n%s", p.Describe())
+	}
+	for _, node := range p.Nodes {
+		if node.Target && node.Prob(0.2) < 0.95 && p.Feasible {
+			t.Fatalf("feasible plan contains violating node: %s", node.Def)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package sizing implements the estimation-plan optimization of Section 5:
+// given a set of compressed indexes whose sizes are needed (targets), a
+// tolerable error ratio e and a confidence q, decide for each index whether
+// to run SampleCF (costly, accurate) or deduce its size from other indexes
+// (free, noisier), and pick the sampling fraction f — minimizing total
+// sampling cost subject to P(error <= e) >= q for every target.
+//
+// The search is over a graph of index nodes and deduction nodes (Figure 3).
+// Greedy is the paper's fast heuristic (Section 5.2); Optimal is the exact
+// exponential algorithm used as the quality baseline in Table 4.
+package sizing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cadb/internal/compress"
+	"cadb/internal/estimator"
+	"cadb/internal/index"
+)
+
+// State of an index node.
+type State uint8
+
+const (
+	// StateNone means no decision yet.
+	StateNone State = iota
+	// StateSampled means run SampleCF on this index.
+	StateSampled
+	// StateDeduced means derive the size from the chosen deduction.
+	StateDeduced
+)
+
+// String renders the state.
+func (s State) String() string {
+	switch s {
+	case StateSampled:
+		return "SAMPLED"
+	case StateDeduced:
+		return "DEDUCED"
+	default:
+		return "NONE"
+	}
+}
+
+// DeductionKind distinguishes the deduction methods.
+type DeductionKind uint8
+
+const (
+	// DeduceColSet is the column-set deduction (same columns, ORD-IND).
+	DeduceColSet DeductionKind = iota
+	// DeduceColExt is column extrapolation from a partition of the columns.
+	DeduceColExt
+)
+
+// Deduction is one candidate deduction node: parent deduced from children.
+type Deduction struct {
+	Kind     DeductionKind
+	Children []*Node
+}
+
+// Node is one index node in the graph.
+type Node struct {
+	Def      *index.Def
+	Target   bool
+	Existing bool
+	State    State
+	// Chosen is the deduction used when State == StateDeduced.
+	Chosen *Deduction
+	// Deductions are the candidate deduction nodes for this index.
+	Deductions []*Deduction
+	// Mean/Std describe the error random variable X of the node's estimate
+	// under the current assignment.
+	Mean, Std float64
+	// Cost is the sampling cost paid if SAMPLED (0 for existing indexes).
+	Cost float64
+}
+
+// Prob returns P(error within e) for the node's current error.
+func (n *Node) Prob(e float64) float64 {
+	return estimator.ProbWithin(n.Mean, n.Std, e)
+}
+
+// Plan is a complete assignment for all targets.
+type Plan struct {
+	F         float64
+	Nodes     []*Node // narrow-to-wide order; includes helper nodes
+	ByID      map[string]*Node
+	TotalCost float64
+	Feasible  bool
+}
+
+// Describe renders the plan for reports.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "f=%.3f cost=%.1f feasible=%v\n", p.F, p.TotalCost, p.Feasible)
+	for _, n := range p.Nodes {
+		if n.State == StateNone {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-9s %s", n.State, n.Def)
+		if n.Chosen != nil {
+			parts := make([]string, len(n.Chosen.Children))
+			for i, c := range n.Chosen.Children {
+				parts[i] = strings.Join(c.Def.Columns(), ",")
+			}
+			fmt.Fprintf(&b, "  <= %s", strings.Join(parts, " + "))
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}
+
+// graph builds the node universe for a target set: each target node plus the
+// helper nodes its candidate deductions reference (single-column indexes and
+// the widest proper prefix).
+type graph struct {
+	est   *estimator.Estimator
+	f     float64
+	nodes map[string]*Node
+	order []*Node
+}
+
+func buildGraph(est *estimator.Estimator, targets []*index.Def, existing []*index.Def, f float64) *graph {
+	g := &graph{est: est, f: f, nodes: make(map[string]*Node)}
+	for _, d := range existing {
+		n := g.node(d)
+		n.Existing = true
+		n.State = StateSampled // size known exactly from the catalog
+		n.Cost = 0
+		n.Mean, n.Std = 1, 0
+	}
+	for _, d := range targets {
+		n := g.node(d)
+		n.Target = true
+	}
+	// Candidate deductions (adds helper nodes).
+	for _, n := range g.order {
+		if n.Target {
+			g.addDeductions(n)
+		}
+	}
+	// Narrow-to-wide processing order.
+	sort.SliceStable(g.order, func(i, j int) bool {
+		a, b := g.order[i], g.order[j]
+		ca, cb := len(a.Def.Columns()), len(b.Def.Columns())
+		if ca != cb {
+			return ca < cb
+		}
+		return a.Def.ID() < b.Def.ID()
+	})
+	return g
+}
+
+func (g *graph) node(d *index.Def) *Node {
+	id := d.ID()
+	if n, ok := g.nodes[id]; ok {
+		return n
+	}
+	n := &Node{Def: d, Cost: g.est.PlanCost(d, g.f)}
+	g.nodes[id] = n
+	g.order = append(g.order, n)
+	return n
+}
+
+// addDeductions attaches the candidate deductions for a target node:
+//   - ColSet from any same-column-set node (ORD-IND methods only);
+//   - ColExt from all singleton columns (a = #cols);
+//   - ColExt from (widest proper prefix) + (last column) (a = 2).
+//
+// Partial and MV indexes get no deductions (their row sources differ from
+// plain table samples), matching the paper's framework where those always go
+// through their special samples.
+func (g *graph) addDeductions(n *Node) {
+	d := n.Def
+	if d.MV != nil || d.IsPartial() || d.Method == compress.None {
+		return
+	}
+	cols := d.Columns()
+	if d.Clustered {
+		if t := g.est.DB.Table(d.Table); t != nil {
+			cols = t.Schema.Names()
+		}
+	}
+	// ColSet: same column set, different order, ORD-IND only.
+	if d.Method.Class() == compress.OrderIndependent {
+		key := setKey(cols)
+		for _, other := range g.order {
+			if other == n || other.Def.Method != d.Method {
+				continue
+			}
+			if other.Def.MV != nil || other.Def.IsPartial() {
+				continue
+			}
+			if !strings.EqualFold(other.Def.Table, d.Table) {
+				continue
+			}
+			oCols := other.Def.Columns()
+			if other.Def.Clustered {
+				if t := g.est.DB.Table(other.Def.Table); t != nil {
+					oCols = t.Schema.Names()
+				}
+			}
+			if setKey(oCols) == key {
+				n.Deductions = append(n.Deductions, &Deduction{Kind: DeduceColSet, Children: []*Node{other}})
+			}
+		}
+	}
+	if len(cols) < 2 || d.Clustered {
+		return
+	}
+	// ColExt from singletons: A+B+...+K.
+	var singles []*Node
+	for _, c := range cols {
+		child := (&index.Def{Table: d.Table, KeyCols: []string{c}}).WithMethod(d.Method)
+		singles = append(singles, g.node(child))
+	}
+	n.Deductions = append(n.Deductions, &Deduction{Kind: DeduceColExt, Children: singles})
+	// ColExt from prefix + last: AB+C.
+	if len(cols) >= 3 {
+		prefix := (&index.Def{Table: d.Table, KeyCols: cols[:len(cols)-1]}).WithMethod(d.Method)
+		last := (&index.Def{Table: d.Table, KeyCols: []string{cols[len(cols)-1]}}).WithMethod(d.Method)
+		n.Deductions = append(n.Deductions, &Deduction{Kind: DeduceColExt, Children: []*Node{g.node(prefix), g.node(last)}})
+	}
+	// ColExt from another target that is a column subset, plus singletons
+	// for the leftover columns. Valid for ORD-IND methods, where column
+	// order inside the parts does not matter; this is the sharing that lets
+	// the planner reuse sampled targets across wide candidates.
+	if d.Method.Class() != compress.OrderIndependent {
+		return
+	}
+	const maxSubsetDeductions = 4
+	added := 0
+	have := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		have[strings.ToLower(c)] = true
+	}
+	for _, other := range g.order {
+		if added >= maxSubsetDeductions {
+			break
+		}
+		if other == n || other.Def.Method != d.Method || !other.Target {
+			continue
+		}
+		if other.Def.MV != nil || other.Def.IsPartial() || other.Def.Clustered {
+			continue
+		}
+		if !strings.EqualFold(other.Def.Table, d.Table) {
+			continue
+		}
+		oCols := other.Def.Columns()
+		if len(oCols) < 2 || len(oCols) >= len(cols) {
+			continue
+		}
+		subset := true
+		for _, c := range oCols {
+			if !have[strings.ToLower(c)] {
+				subset = false
+				break
+			}
+		}
+		if !subset {
+			continue
+		}
+		children := []*Node{other}
+		covered := make(map[string]bool, len(oCols))
+		for _, c := range oCols {
+			covered[strings.ToLower(c)] = true
+		}
+		for _, c := range cols {
+			if !covered[strings.ToLower(c)] {
+				children = append(children, g.node((&index.Def{Table: d.Table, KeyCols: []string{c}}).WithMethod(d.Method)))
+			}
+		}
+		n.Deductions = append(n.Deductions, &Deduction{Kind: DeduceColExt, Children: children})
+		added++
+	}
+}
+
+func setKey(cols []string) string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = strings.ToLower(c)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// deducedError composes the error of a deduction applied to its children's
+// current errors.
+func (g *graph) deducedError(n *Node, ded *Deduction) (mean, std float64) {
+	mean, std = 1.0, 0.0
+	for _, c := range ded.Children {
+		mean, std = composeErr(mean, std, c.Mean, c.Std)
+	}
+	switch ded.Kind {
+	case DeduceColSet:
+		mean, std = composeErr(mean, std, 1, g.est.Model.ColSetStd)
+	case DeduceColExt:
+		dm, ds := g.est.Model.ColExtError(n.Def.Method, len(ded.Children))
+		mean, std = composeErr(mean, std, dm, ds)
+	}
+	return mean, std
+}
+
+func composeErr(m1, s1, m2, s2 float64) (float64, float64) {
+	mean := m1 * m2
+	v := (s1*s1+m1*m1)*(s2*s2+m2*m2) - m1*m1*m2*m2
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+func (g *graph) sampleError(n *Node) (float64, float64) {
+	if n.Existing {
+		return 1, 0
+	}
+	return g.est.Model.SampleError(n.Def.Method, g.f)
+}
+
+func (g *graph) known(n *Node) bool { return n.State != StateNone }

@@ -1,0 +1,204 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+func mustParse(t *testing.T, sql string) *workload.Statement {
+	t.Helper()
+	s, err := ParseStatement(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustParse(t, "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 30")
+	q := s.Query
+	if q == nil {
+		t.Fatal("expected query")
+	}
+	if len(q.Tables) != 1 || q.Tables[0] != "lineitem" {
+		t.Fatalf("tables=%v", q.Tables)
+	}
+	if len(q.Select) != 2 || q.Select[0].Col != "l_orderkey" {
+		t.Fatalf("select=%v", q.Select)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Op != workload.OpGt || q.Preds[0].Lo.Int != 30 {
+		t.Fatalf("preds=%v", q.Preds)
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	s := mustParse(t, "SELECT l_returnflag, SUM(l_extendedprice), COUNT(*), AVG(l_discount) FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag")
+	q := s.Query
+	if len(q.Aggs) != 3 {
+		t.Fatalf("aggs=%v", q.Aggs)
+	}
+	if q.Aggs[0].Func != workload.AggSum || q.Aggs[1].Func != workload.AggCount || q.Aggs[2].Func != workload.AggAvg {
+		t.Fatalf("agg funcs wrong: %v", q.Aggs)
+	}
+	if q.Aggs[1].Col.Col != "" {
+		t.Fatal("COUNT(*) must have empty col")
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Col != "l_returnflag" {
+		t.Fatalf("group by=%v", q.GroupBy)
+	}
+	if len(q.OrderBy) != 1 {
+		t.Fatalf("order by=%v", q.OrderBy)
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	s := mustParse(t, `SELECT supplier.s_name, SUM(lineitem.l_extendedprice)
+		FROM lineitem JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
+		WHERE lineitem.l_shipdate >= DATE 9000
+		GROUP BY supplier.s_name`)
+	q := s.Query
+	if len(q.Tables) != 2 || len(q.Joins) != 1 {
+		t.Fatalf("tables=%v joins=%v", q.Tables, q.Joins)
+	}
+	j := q.Joins[0]
+	if j.LeftTable != "lineitem" || j.RightCol != "s_suppkey" {
+		t.Fatalf("join=%v", j)
+	}
+	if q.Preds[0].Lo.Kind != storage.KindDate || q.Preds[0].Lo.Int != 9000 {
+		t.Fatalf("date literal=%v", q.Preds[0].Lo)
+	}
+	if q.Preds[0].Table != "lineitem" {
+		t.Fatal("predicate should keep table qualifier")
+	}
+}
+
+func TestParseBetweenAndStrings(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM sales WHERE state = 'CA' AND price BETWEEN 10.5 AND 99.5 AND channel <> 'WEB'")
+	q := s.Query
+	if len(q.Preds) != 3 {
+		t.Fatalf("preds=%d", len(q.Preds))
+	}
+	if q.Preds[0].Lo.Str != "CA" {
+		t.Fatalf("string literal=%v", q.Preds[0].Lo)
+	}
+	b := q.Preds[1]
+	if b.Op != workload.OpBetween || b.Lo.Float != 10.5 || b.Hi.Float != 99.5 {
+		t.Fatalf("between=%+v", b)
+	}
+	if q.Preds[2].Op != workload.OpNe {
+		t.Fatalf("op=%v", q.Preds[2].Op)
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM t WHERE name = 'O''Brien'")
+	if got := s.Query.Preds[0].Lo.Str; got != "O'Brien" {
+		t.Fatalf("escaped string=%q", got)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s := mustParse(t, "INSERT INTO lineitem BULK 50000")
+	if s.Insert == nil || s.Insert.Table != "lineitem" || s.Insert.Rows != 50000 {
+		t.Fatalf("insert=%+v", s.Insert)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM orders WHERE o_orderdate < DATE 9500")
+	if s.Query == nil || len(s.Query.Select) != 0 {
+		t.Fatal("SELECT * should leave Select empty (resolved later)")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DELETE FROM t",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a ==",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a BETWEEN 1 OR 2",
+		"INSERT INTO t",
+		"INSERT INTO t BULK x",
+		"SELECT a FROM t JOIN u ON a = b", // join cols must be qualified
+		"SELECT a FROM t WHERE name = 'unterminated",
+		"SELECT a FROM t GROUP",
+	}
+	for _, sql := range bad {
+		if _, err := ParseStatement(sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestParseScriptWithDirectives(t *testing.T) {
+	src := `
+-- label: Q1 weight: 2
+SELECT l_returnflag, SUM(l_quantity) FROM lineitem GROUP BY l_returnflag;
+
+-- label: LOAD weight: 0.5
+INSERT INTO lineitem BULK 1000;
+
+SELECT COUNT(*) FROM orders;
+`
+	wl, err := ParseScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Statements) != 3 {
+		t.Fatalf("statements=%d", len(wl.Statements))
+	}
+	if wl.Statements[0].Label != "Q1" || wl.Statements[0].Weight != 2 {
+		t.Fatalf("stmt0=%+v", wl.Statements[0])
+	}
+	if wl.Statements[1].Insert == nil || wl.Statements[1].Weight != 0.5 {
+		t.Fatalf("stmt1=%+v", wl.Statements[1])
+	}
+	if wl.Statements[2].Weight != 1 || wl.Statements[2].Label == "" {
+		t.Fatalf("stmt2=%+v", wl.Statements[2])
+	}
+}
+
+func TestParseScriptSemicolonInString(t *testing.T) {
+	wl, err := ParseScript(`SELECT COUNT(*) FROM t WHERE x = 'a;b';`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Statements) != 1 {
+		t.Fatalf("statements=%d want 1", len(wl.Statements))
+	}
+	if wl.Statements[0].Query.Preds[0].Lo.Str != "a;b" {
+		t.Fatalf("literal=%q", wl.Statements[0].Query.Preds[0].Lo.Str)
+	}
+}
+
+func TestParseScriptPropagatesErrors(t *testing.T) {
+	if _, err := ParseScript("SELECT bogus syntax here;"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	s := mustParse(t, "select Sum(x) from T where Y between 1 and 2 group by Z")
+	if s.Query == nil || len(s.Query.Aggs) != 1 || len(s.Query.GroupBy) != 1 {
+		t.Fatal("lowercase keywords should parse")
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// Query.String() output is not guaranteed parseable (JOIN format), but
+	// simple single-table queries should render readably.
+	s := mustParse(t, "SELECT a, SUM(b) FROM t WHERE c = 5 GROUP BY a")
+	out := s.Query.String()
+	for _, want := range []string{"SELECT", "SUM(b)", "FROM t", "c = 5", "GROUP BY a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String()=%q missing %q", out, want)
+		}
+	}
+}

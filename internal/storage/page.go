@@ -1,0 +1,77 @@
+package storage
+
+// PageSize is the fixed size of a database page in bytes (SQL Server uses
+// 8 KB pages; so do we).
+const PageSize = 8192
+
+// PageHeaderSize approximates the per-page header + slot array overhead of a
+// slotted page. Rows are packed into PageSize-PageHeaderSize usable bytes.
+const PageHeaderSize = 96
+
+// SlotSize is the per-row slot entry in the slot array.
+const SlotSize = 2
+
+// UsablePageBytes is the space available for row payloads on a page.
+const UsablePageBytes = PageSize - PageHeaderSize
+
+// PagesForBytes returns the number of pages needed to hold n payload bytes,
+// at least 1 for non-empty payloads.
+func PagesForBytes(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	p := (n + UsablePageBytes - 1) / UsablePageBytes
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// PageGroup is a run of rows that share a physical page in the uncompressed
+// layout. Page-local (order-dependent) compression operates on these groups.
+type PageGroup struct {
+	Start, End int // half-open row range [Start, End)
+	Bytes      int // payload bytes of the group, uncompressed
+}
+
+// PackRows partitions rows (already in index order) into page groups using
+// the uncompressed encoding size of each row. It returns the groups and the
+// total uncompressed payload size in bytes.
+//
+// Packing follows the first-fit rule of a bulk-loaded B+-tree leaf level with
+// a 100% fill factor: rows are appended until the next row would overflow the
+// page.
+func PackRows(s *Schema, rows []Row) ([]PageGroup, int64) {
+	var groups []PageGroup
+	var total int64
+	start := 0
+	used := 0
+	for i, r := range rows {
+		sz := EncodedRowSize(s, r) + SlotSize
+		if sz > UsablePageBytes {
+			sz = UsablePageBytes // oversized rows take a full page
+		}
+		if used+sz > UsablePageBytes && used > 0 {
+			groups = append(groups, PageGroup{Start: start, End: i, Bytes: used})
+			start = i
+			used = 0
+		}
+		used += sz
+		total += int64(sz)
+	}
+	if used > 0 || len(rows) > 0 && start < len(rows) {
+		groups = append(groups, PageGroup{Start: start, End: len(rows), Bytes: used})
+	}
+	return groups, total
+}
+
+// RowsPerPage estimates how many rows of the given schema fit on one page,
+// using the fixed part of the row width. It is at least 1.
+func RowsPerPage(s *Schema) int {
+	w := s.RowWidth() + SlotSize
+	n := UsablePageBytes / w
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a table or index.
+type Column struct {
+	Name string
+	Kind Kind
+	// FixedWidth, when non-zero for KindString, means the column is CHAR(n):
+	// values are stored padded to n bytes in the uncompressed format. This is
+	// what makes NULL/blank suppression profitable, mirroring SQL Server's
+	// ROW compression of fixed-width columns.
+	FixedWidth int
+	Nullable   bool
+}
+
+// Width returns the number of bytes the column occupies in the uncompressed
+// row format.
+func (c Column) Width() int {
+	switch c.Kind {
+	case KindInt:
+		return 8
+	case KindFloat:
+		return 8
+	case KindDate:
+		return 4
+	case KindString:
+		if c.FixedWidth > 0 {
+			return c.FixedWidth
+		}
+		return 0 // variable width: 2-byte length prefix + bytes
+	}
+	return 8
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema and its name index. Column names must be unique
+// (case-insensitive).
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			panic(fmt.Sprintf("storage: duplicate column %q", c.Name))
+		}
+		s.byName[key] = i
+	}
+	return s
+}
+
+// ColIndex returns the ordinal of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Col returns the named column; it panics if the column does not exist.
+func (s *Schema) Col(name string) Column {
+	i := s.ColIndex(name)
+	if i < 0 {
+		panic(fmt.Sprintf("storage: unknown column %q", name))
+	}
+	return s.Columns[i]
+}
+
+// Has reports whether the schema contains the named column.
+func (s *Schema) Has(name string) bool { return s.ColIndex(name) >= 0 }
+
+// Names returns the column names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Project returns a new schema containing only the named columns, in the
+// given order.
+func (s *Schema) Project(names []string) *Schema {
+	cols := make([]Column, 0, len(names))
+	for _, n := range names {
+		cols = append(cols, s.Col(n))
+	}
+	return NewSchema(cols...)
+}
+
+// RowWidth returns the uncompressed byte width of a row: a null bitmap plus
+// each column's storage (variable-width strings add their length at call
+// time, so this is the fixed part; see EncodeRow for the exact size).
+func (s *Schema) RowWidth() int {
+	w := (len(s.Columns) + 7) / 8 // null bitmap
+	for _, c := range s.Columns {
+		if cw := c.Width(); cw > 0 {
+			w += cw
+		} else {
+			w += 2 // variable-length size prefix
+		}
+	}
+	return w
+}
+
+// AvgRowWidth returns the average encoded width over the given rows (exact,
+// computed by encoding). Useful for page-capacity planning.
+func (s *Schema) AvgRowWidth(rows []Row) float64 {
+	if len(rows) == 0 {
+		return float64(s.RowWidth())
+	}
+	var total int
+	for _, r := range rows {
+		total += EncodedRowSize(s, r)
+	}
+	return float64(total) / float64(len(rows))
+}
+
+// String renders the schema as a DDL-ish column list.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Kind)
+		if c.Kind == KindString && c.FixedWidth > 0 {
+			fmt.Fprintf(&b, "(%d)", c.FixedWidth)
+		}
+	}
+	return b.String()
+}

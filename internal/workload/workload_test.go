@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"cadb/internal/storage"
+)
+
+func schema() *storage.Schema {
+	return storage.NewSchema(
+		storage.Column{Name: "a", Kind: storage.KindInt},
+		storage.Column{Name: "b", Kind: storage.KindString},
+		storage.Column{Name: "d", Kind: storage.KindDate},
+		storage.Column{Name: "f", Kind: storage.KindFloat},
+	)
+}
+
+func row(a int64, b string, d int64, f float64) storage.Row {
+	return storage.Row{storage.IntVal(a), storage.StringVal(b), storage.DateVal(d), storage.FloatVal(f)}
+}
+
+func TestPredicateMatches(t *testing.T) {
+	s := schema()
+	r := row(10, "xyz", 100, 2.5)
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{Col: "a", Op: OpEq, Lo: storage.IntVal(10)}, true},
+		{Predicate{Col: "a", Op: OpEq, Lo: storage.IntVal(11)}, false},
+		{Predicate{Col: "a", Op: OpNe, Lo: storage.IntVal(11)}, true},
+		{Predicate{Col: "a", Op: OpLt, Lo: storage.IntVal(10)}, false},
+		{Predicate{Col: "a", Op: OpLe, Lo: storage.IntVal(10)}, true},
+		{Predicate{Col: "a", Op: OpGt, Lo: storage.IntVal(9)}, true},
+		{Predicate{Col: "a", Op: OpGe, Lo: storage.IntVal(11)}, false},
+		{Predicate{Col: "a", Op: OpBetween, Lo: storage.IntVal(5), Hi: storage.IntVal(15)}, true},
+		{Predicate{Col: "a", Op: OpBetween, Lo: storage.IntVal(11), Hi: storage.IntVal(15)}, false},
+		{Predicate{Col: "b", Op: OpEq, Lo: storage.StringVal("xyz")}, true},
+		{Predicate{Col: "missing", Op: OpEq, Lo: storage.IntVal(1)}, false},
+	}
+	for i, c := range cases {
+		if got := c.p.Matches(s, r); got != c.want {
+			t.Errorf("case %d (%s): got %v", i, c.p, got)
+		}
+	}
+}
+
+func TestPredicateNullNeverMatches(t *testing.T) {
+	s := schema()
+	r := storage.Row{storage.NullValue(storage.KindInt), storage.StringVal("x"), storage.DateVal(1), storage.FloatVal(1)}
+	for _, op := range []CmpOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		p := Predicate{Col: "a", Op: op, Lo: storage.IntVal(0)}
+		if p.Matches(s, r) {
+			t.Errorf("NULL matched %s", op)
+		}
+	}
+}
+
+func TestPredicateCoercion(t *testing.T) {
+	s := schema()
+	r := row(10, "x", 100, 2.0)
+	// Int literal against a float column.
+	p := Predicate{Col: "f", Op: OpEq, Lo: storage.IntVal(2)}
+	if !p.Matches(s, r) {
+		t.Fatal("int literal should coerce to float")
+	}
+	// Int literal against a date column.
+	p2 := Predicate{Col: "d", Op: OpGe, Lo: storage.IntVal(100)}
+	if !p2.Matches(s, r) {
+		t.Fatal("int literal should coerce to date")
+	}
+}
+
+func TestPredicateSargable(t *testing.T) {
+	if (Predicate{Op: OpNe}).Sargable() {
+		t.Fatal("<> is not sargable")
+	}
+	for _, op := range []CmpOp{OpEq, OpLt, OpLe, OpGt, OpGe, OpBetween} {
+		if !(Predicate{Op: op}).Sargable() {
+			t.Fatalf("%s should be sargable", op)
+		}
+	}
+}
+
+func TestQueryPredsOnResolution(t *testing.T) {
+	q := &Query{
+		Tables: []string{"t1", "t2"},
+		Preds: []Predicate{
+			{Table: "t1", Col: "x", Op: OpEq, Lo: storage.IntVal(1)},
+			{Col: "y", Op: OpEq, Lo: storage.IntVal(2)}, // unqualified
+		},
+	}
+	has := func(table, col string) bool {
+		return (table == "t1" && col == "x") || (table == "t2" && col == "y")
+	}
+	if got := q.PredsOn("t1", has); len(got) != 1 || got[0].Col != "x" {
+		t.Fatalf("t1 preds=%v", got)
+	}
+	if got := q.PredsOn("t2", has); len(got) != 1 || got[0].Col != "y" {
+		t.Fatalf("t2 preds=%v", got)
+	}
+	// Qualified predicate must be case-insensitive.
+	if got := q.PredsOn("T1", has); len(got) != 1 {
+		t.Fatalf("case-insensitive resolution failed: %v", got)
+	}
+}
+
+func TestQueryColumnsOnCollectsAllUsage(t *testing.T) {
+	q := &Query{
+		Tables:  []string{"t"},
+		Preds:   []Predicate{{Col: "p", Op: OpEq, Lo: storage.IntVal(1)}},
+		Select:  []ColRef{{Col: "s"}},
+		Aggs:    []Aggregate{{Func: AggSum, Col: ColRef{Col: "a"}}},
+		GroupBy: []ColRef{{Col: "g"}},
+		OrderBy: []ColRef{{Col: "o"}},
+		Joins:   []Join{{LeftTable: "t", LeftCol: "j", RightTable: "u", RightCol: "k"}},
+	}
+	has := func(table, col string) bool { return table == "t" }
+	cols := q.ColumnsOn("t", has)
+	for _, want := range []string{"p", "s", "a", "g", "o", "j"} {
+		found := false
+		for _, c := range cols {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing column %q in %v", want, cols)
+		}
+	}
+	nonPred := q.NonPredColumnsOn("t", has)
+	for _, c := range nonPred {
+		if c == "p" {
+			t.Fatal("NonPredColumnsOn must exclude predicate-only columns")
+		}
+	}
+}
+
+func TestQuerySingleTable(t *testing.T) {
+	q := &Query{Tables: []string{"t"}}
+	if n, ok := q.SingleTable(); !ok || n != "t" {
+		t.Fatal("single table detection failed")
+	}
+	q2 := &Query{Tables: []string{"a", "b"}}
+	if _, ok := q2.SingleTable(); ok {
+		t.Fatal("two tables is not single")
+	}
+}
+
+func TestWorkloadPartitionAndReweight(t *testing.T) {
+	wl := &Workload{Statements: []*Statement{
+		{Query: &Query{Tables: []string{"t"}}, Weight: 2, Label: "Q"},
+		{Insert: &Insert{Table: "t", Rows: 100}, Weight: 3, Label: "L"},
+	}}
+	if len(wl.Queries()) != 1 || len(wl.Inserts()) != 1 {
+		t.Fatal("partition broken")
+	}
+	if wl.TotalWeight() != 5 {
+		t.Fatalf("total weight=%v", wl.TotalWeight())
+	}
+	rw := wl.Reweight(0.5)
+	if rw.Statements[1].Weight != 1.5 || wl.Statements[1].Weight != 3 {
+		t.Fatal("reweight must scale inserts and not mutate the original")
+	}
+	if rw.Statements[0].Weight != 2 {
+		t.Fatal("reweight must leave queries alone")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	q := &Query{
+		Tables:  []string{"t"},
+		Select:  []ColRef{{Col: "a"}},
+		Aggs:    []Aggregate{{Func: AggCount}},
+		Preds:   []Predicate{{Col: "b", Op: OpBetween, Lo: storage.IntVal(1), Hi: storage.IntVal(2)}},
+		GroupBy: []ColRef{{Col: "a"}},
+	}
+	out := q.String()
+	for _, want := range []string{"SELECT a, COUNT(*)", "FROM t", "b BETWEEN 1 AND 2", "GROUP BY a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	ins := &Insert{Table: "t", Rows: 42}
+	if !strings.Contains(ins.String(), "BULK 42") {
+		t.Error("insert rendering")
+	}
+	s := &Statement{Insert: ins, Weight: 2, Label: "L"}
+	if !strings.Contains(s.String(), "[L w=2]") {
+		t.Errorf("statement rendering: %s", s)
+	}
+	if (&Statement{}).String() == "" {
+		t.Error("empty statement must render something")
+	}
+	for _, f := range []AggFunc{AggSum, AggCount, AggAvg, AggMin, AggMax} {
+		if f.String() == "?" {
+			t.Error("agg func missing name")
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cadb/internal/sqlparse"
+	"cadb/internal/workload"
+)
+
+// SalesQueryCount matches the paper's real Sales workload size.
+const SalesQueryCount = 50
+
+// Sales generates the 50-query analytic workload over the Sales star schema
+// (datagen.NewSales) plus two fact-table bulk loads. Queries are drawn from
+// seeded templates: channel/state revenue rollups, date-range scans,
+// promo analyses, dimension joins, and point lookups — the shape the paper
+// describes for its customer database ("tracks sales of a particular
+// company", 50 analytic queries, bulk loads on fact tables).
+func Sales(seed int64) (*workload.Workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+
+	states := []string{"CA", "WA", "NY", "TX", "OR", "FL", "MA", "IL"}
+	channels := []string{"WEB", "STORE", "PHONE", "PARTNER"}
+	categories := []string{"ELECTRONICS", "FURNITURE", "CLOTHING", "GROCERY", "SPORTS"}
+	const dateLo, dateHi = 12000, 13500
+
+	randDateRange := func(maxSpan int) (int, int) {
+		span := rng.Intn(maxSpan) + 20
+		lo := dateLo + rng.Intn(dateHi-dateLo-span)
+		return lo, lo + span
+	}
+
+	templates := []func(i int){
+		func(i int) { // revenue by state in a date window
+			lo, hi := randDateRange(300)
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT state, SUM(price), COUNT(*) FROM sales WHERE orderdate BETWEEN DATE %d AND DATE %d GROUP BY state;\n", i, lo, hi)
+		},
+		func(i int) { // channel rollup
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT channel, SUM(price), AVG(discount) FROM sales WHERE state = '%s' GROUP BY channel;\n", i, states[rng.Intn(len(states))])
+		},
+		func(i int) { // selective date scan
+			lo, hi := randDateRange(60)
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT SUM(price) FROM sales WHERE orderdate BETWEEN DATE %d AND DATE %d AND channel = '%s';\n", i, lo, hi, channels[rng.Intn(len(channels))])
+		},
+		func(i int) { // promo analysis
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT promo, COUNT(*), SUM(price) FROM sales WHERE discount >= 0.1 GROUP BY promo;\n", i)
+		},
+		func(i int) { // product-category join
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT products.category, SUM(sales.price) FROM sales JOIN products ON sales.prodid = products.prodid WHERE products.category = '%s' GROUP BY products.category;\n", i, categories[rng.Intn(len(categories))])
+		},
+		func(i int) { // store-region join
+			lo, hi := randDateRange(200)
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT stores.region, SUM(sales.price), COUNT(*) FROM sales JOIN stores ON sales.storeid = stores.storeid WHERE sales.orderdate BETWEEN DATE %d AND DATE %d GROUP BY stores.region;\n", i, lo, hi)
+		},
+		func(i int) { // customer-segment join
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT customers.segment, SUM(sales.price) FROM sales JOIN customers ON sales.custid = customers.custid WHERE sales.qty >= %d GROUP BY customers.segment;\n", i, rng.Intn(5)+3)
+		},
+		func(i int) { // high-value order listing
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT salesid, price, state FROM sales WHERE price >= %d ORDER BY price;\n", i, 800+rng.Intn(150))
+		},
+		func(i int) { // per-day trend
+			lo, hi := randDateRange(120)
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT orderdate, SUM(price) FROM sales WHERE orderdate BETWEEN DATE %d AND DATE %d GROUP BY orderdate;\n", i, lo, hi)
+		},
+		func(i int) { // quantity histogram
+			fmt.Fprintf(&b, "-- label: S%d weight: 1\nSELECT qty, COUNT(*) FROM sales WHERE channel = '%s' AND state = '%s' GROUP BY qty;\n", i, channels[rng.Intn(len(channels))], states[rng.Intn(len(states))])
+		},
+	}
+
+	for i := 1; i <= SalesQueryCount; i++ {
+		templates[rng.Intn(len(templates))](i)
+	}
+	fmt.Fprintf(&b, "-- label: LOAD-SALES weight: 1\nINSERT INTO sales BULK 5000;\n")
+	fmt.Fprintf(&b, "-- label: LOAD-SALES-2 weight: 1\nINSERT INTO sales BULK 2500;\n")
+
+	return sqlparse.ParseScript(b.String())
+}
+
+// MustSales panics on generation errors.
+func MustSales(seed int64) *workload.Workload {
+	wl, err := Sales(seed)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: sales script: %v", err))
+	}
+	return wl
+}

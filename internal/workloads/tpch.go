@@ -1,0 +1,164 @@
+// Package workloads defines the two evaluation workloads of Section 7 in the
+// system's SQL subset: a TPC-H-shaped workload (22 analytic queries + 2 bulk
+// loads) and a generated Sales workload (50 analytic queries + 2 bulk
+// loads). The SELECT-intensive and INSERT-intensive variants are derived by
+// reweighting the bulk-load statements, exactly as the paper varies "the
+// weights of the bulk load statements".
+package workloads
+
+import (
+	"fmt"
+
+	"cadb/internal/sqlparse"
+	"cadb/internal/workload"
+)
+
+// Date literals are days since the Unix epoch; the TPC-H generator uses
+// 8035 (~1992-01-01) through 10561 (~1998-12-01).
+
+// tpchSQL mirrors the access patterns of the 22 TPC-H queries in the
+// supported subset: pricing-summary style group-bys over correlated columns
+// (Q1), selective date-range revenue scans (Q6), FK-join aggregates (Q3, Q5,
+// Q10...), point-ish lookups, and wide scans.
+const tpchSQL = `
+-- label: Q1 weight: 1
+SELECT l_returnflag, l_linestatus, SUM(l_quantity), SUM(l_extendedprice), AVG(l_discount), COUNT(*)
+FROM lineitem WHERE l_shipdate <= DATE 10460
+GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus;
+
+-- label: Q2 weight: 1
+SELECT supplier.s_name, MIN(partsupp.ps_supplycost)
+FROM partsupp JOIN supplier ON partsupp.ps_suppkey = supplier.s_suppkey
+WHERE supplier.s_nationkey = 7
+GROUP BY supplier.s_name;
+
+-- label: Q3 weight: 1
+SELECT orders.o_orderdate, SUM(lineitem.l_extendedprice)
+FROM lineitem JOIN orders ON lineitem.l_orderkey = orders.o_orderkey
+WHERE orders.o_orderdate < DATE 9200 AND lineitem.l_shipdate > DATE 9200
+GROUP BY orders.o_orderdate;
+
+-- label: Q4 weight: 1
+SELECT o_orderpriority, COUNT(*) FROM orders
+WHERE o_orderdate BETWEEN DATE 9000 AND DATE 9090
+GROUP BY o_orderpriority ORDER BY o_orderpriority;
+
+-- label: Q5 weight: 1
+SELECT nation.n_name, SUM(lineitem.l_extendedprice)
+FROM lineitem JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
+JOIN nation ON supplier.s_nationkey = nation.n_nationkey
+WHERE lineitem.l_shipdate BETWEEN DATE 9000 AND DATE 9365
+GROUP BY nation.n_name;
+
+-- label: Q6 weight: 1
+SELECT SUM(l_extendedprice) FROM lineitem
+WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9365 AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24;
+
+-- label: Q7 weight: 1
+SELECT supplier.s_nationkey, SUM(lineitem.l_extendedprice)
+FROM lineitem JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
+WHERE lineitem.l_shipdate BETWEEN DATE 9131 AND DATE 9861
+GROUP BY supplier.s_nationkey;
+
+-- label: Q8 weight: 1
+SELECT orders.o_orderdate, AVG(lineitem.l_extendedprice)
+FROM lineitem JOIN orders ON lineitem.l_orderkey = orders.o_orderkey
+JOIN part ON lineitem.l_partkey = part.p_partkey
+WHERE part.p_brand = 'Brand#23'
+GROUP BY orders.o_orderdate;
+
+-- label: Q9 weight: 1
+SELECT part.p_mfgr, SUM(lineitem.l_extendedprice), SUM(lineitem.l_quantity)
+FROM lineitem JOIN part ON lineitem.l_partkey = part.p_partkey
+GROUP BY part.p_mfgr;
+
+-- label: Q10 weight: 1
+SELECT customer.c_nationkey, SUM(lineitem.l_extendedprice)
+FROM lineitem JOIN orders ON lineitem.l_orderkey = orders.o_orderkey
+JOIN customer ON orders.o_custkey = customer.c_custkey
+WHERE lineitem.l_returnflag = 'R'
+GROUP BY customer.c_nationkey;
+
+-- label: Q11 weight: 1
+SELECT ps_partkey, SUM(ps_supplycost) FROM partsupp GROUP BY ps_partkey ORDER BY ps_partkey;
+
+-- label: Q12 weight: 1
+SELECT l_shipmode, COUNT(*) FROM lineitem
+WHERE l_shipmode = 'MAIL' AND l_receiptdate BETWEEN DATE 9131 AND DATE 9496
+GROUP BY l_shipmode;
+
+-- label: Q13 weight: 1
+SELECT o_custkey, COUNT(*) FROM orders GROUP BY o_custkey;
+
+-- label: Q14 weight: 1
+SELECT SUM(lineitem.l_extendedprice) FROM lineitem JOIN part ON lineitem.l_partkey = part.p_partkey
+WHERE lineitem.l_shipdate BETWEEN DATE 9496 AND DATE 9526;
+
+-- label: Q15 weight: 1
+SELECT l_suppkey, SUM(l_extendedprice) FROM lineitem
+WHERE l_shipdate BETWEEN DATE 9587 AND DATE 9678
+GROUP BY l_suppkey ORDER BY l_suppkey;
+
+-- label: Q16 weight: 1
+SELECT part.p_brand, part.p_type, COUNT(*)
+FROM partsupp JOIN part ON partsupp.ps_partkey = part.p_partkey
+WHERE part.p_size >= 20
+GROUP BY part.p_brand, part.p_type;
+
+-- label: Q17 weight: 1
+SELECT AVG(l_quantity), SUM(l_extendedprice) FROM lineitem WHERE l_partkey <= 40 AND l_quantity < 5;
+
+-- label: Q18 weight: 1
+SELECT o_orderdate, o_totalprice FROM orders WHERE o_totalprice >= 280000 ORDER BY o_totalprice;
+
+-- label: Q19 weight: 1
+SELECT SUM(l_extendedprice) FROM lineitem
+WHERE l_quantity BETWEEN 10 AND 20 AND l_shipinstruct = 'DELIVER IN PERSON' AND l_shipmode = 'AIR';
+
+-- label: Q20 weight: 1
+SELECT l_partkey, SUM(l_quantity) FROM lineitem
+WHERE l_shipdate BETWEEN DATE 9131 AND DATE 9496
+GROUP BY l_partkey;
+
+-- label: Q21 weight: 1
+SELECT supplier.s_name, COUNT(*)
+FROM lineitem JOIN supplier ON lineitem.l_suppkey = supplier.s_suppkey
+WHERE lineitem.l_receiptdate > DATE 9131 AND supplier.s_nationkey = 3
+GROUP BY supplier.s_name;
+
+-- label: Q22 weight: 1
+SELECT c_nationkey, COUNT(*), SUM(c_acctbal) FROM customer
+WHERE c_acctbal > 0.0 GROUP BY c_nationkey;
+
+-- label: LOAD-LINEITEM weight: 1
+INSERT INTO lineitem BULK 6000;
+
+-- label: LOAD-ORDERS weight: 1
+INSERT INTO orders BULK 1500;
+`
+
+// TPCH returns the TPC-H-shaped workload. The bulk-load statements carry
+// weight 1; use Reweight (or the convenience variants below) to derive the
+// SELECT- and INSERT-intensive mixes.
+func TPCH() (*workload.Workload, error) {
+	return sqlparse.ParseScript(tpchSQL)
+}
+
+// SelectIntensive reweights the bulk loads down (reads dominate).
+func SelectIntensive(wl *workload.Workload) *workload.Workload {
+	return wl.Reweight(0.1)
+}
+
+// InsertIntensive reweights the bulk loads up (maintenance dominates).
+func InsertIntensive(wl *workload.Workload) *workload.Workload {
+	return wl.Reweight(10)
+}
+
+// MustTPCH panics on parse errors (the script is a compile-time constant).
+func MustTPCH() *workload.Workload {
+	wl, err := TPCH()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: TPC-H script: %v", err))
+	}
+	return wl
+}

@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"testing"
+
+	"cadb/internal/datagen"
+)
+
+func TestTPCHWorkloadParses(t *testing.T) {
+	wl := MustTPCH()
+	if got := len(wl.Statements); got != 24 {
+		t.Fatalf("statements=%d want 24 (22 queries + 2 loads)", got)
+	}
+	if got := len(wl.Queries()); got != 22 {
+		t.Fatalf("queries=%d want 22", got)
+	}
+	if got := len(wl.Inserts()); got != 2 {
+		t.Fatalf("inserts=%d want 2", got)
+	}
+	// Every referenced table/column must exist in the generated schema.
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 500, Seed: 1})
+	for _, s := range wl.Queries() {
+		for _, tbl := range s.Query.Tables {
+			tab := db.Table(tbl)
+			if tab == nil {
+				t.Fatalf("%s references unknown table %s", s.Label, tbl)
+			}
+		}
+		has := func(table, col string) bool {
+			tb := db.Table(table)
+			return tb != nil && tb.Schema.Has(col)
+		}
+		for _, tbl := range s.Query.Tables {
+			for _, c := range s.Query.ColumnsOn(tbl, has) {
+				if !db.MustTable(tbl).Schema.Has(c) {
+					t.Fatalf("%s: column %s not on %s", s.Label, c, tbl)
+				}
+			}
+		}
+		// Every predicate column must resolve against some query table.
+		for _, p := range s.Query.Preds {
+			found := false
+			for _, tbl := range s.Query.Tables {
+				if has(tbl, p.Col) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: predicate column %s unresolved", s.Label, p.Col)
+			}
+		}
+	}
+}
+
+func TestTPCHWeightVariants(t *testing.T) {
+	wl := MustTPCH()
+	sel := SelectIntensive(wl)
+	ins := InsertIntensive(wl)
+	for i, s := range wl.Statements {
+		if s.Insert != nil {
+			if sel.Statements[i].Weight >= s.Weight {
+				t.Fatal("select-intensive must shrink load weights")
+			}
+			if ins.Statements[i].Weight <= s.Weight {
+				t.Fatal("insert-intensive must grow load weights")
+			}
+		} else {
+			if sel.Statements[i].Weight != s.Weight || ins.Statements[i].Weight != s.Weight {
+				t.Fatal("query weights must be untouched")
+			}
+		}
+	}
+	// Reweight must not mutate the original.
+	if wl.Inserts()[0].Weight != 1 {
+		t.Fatal("original workload mutated")
+	}
+}
+
+func TestSalesWorkloadParses(t *testing.T) {
+	wl := MustSales(3)
+	if got := len(wl.Queries()); got != SalesQueryCount {
+		t.Fatalf("queries=%d want %d", got, SalesQueryCount)
+	}
+	if got := len(wl.Inserts()); got != 2 {
+		t.Fatalf("inserts=%d want 2", got)
+	}
+	db := datagen.NewSales(datagen.SalesConfig{FactRows: 500, Seed: 1})
+	has := func(table, col string) bool {
+		tb := db.Table(table)
+		return tb != nil && tb.Schema.Has(col)
+	}
+	for _, s := range wl.Queries() {
+		for _, tbl := range s.Query.Tables {
+			if db.Table(tbl) == nil {
+				t.Fatalf("%s references unknown table %s", s.Label, tbl)
+			}
+		}
+		for _, p := range s.Query.Preds {
+			found := false
+			for _, tbl := range s.Query.Tables {
+				if has(tbl, p.Col) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("%s: predicate column %s unresolved", s.Label, p.Col)
+			}
+		}
+	}
+}
+
+func TestSalesWorkloadDeterministic(t *testing.T) {
+	a := MustSales(7)
+	b := MustSales(7)
+	if len(a.Statements) != len(b.Statements) {
+		t.Fatal("nondeterministic statement count")
+	}
+	for i := range a.Statements {
+		if a.Statements[i].String() != b.Statements[i].String() {
+			t.Fatalf("statement %d differs across runs", i)
+		}
+	}
+	c := MustSales(8)
+	same := true
+	for i := range a.Statements {
+		if a.Statements[i].String() != c.Statements[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds must differ")
+	}
+}
