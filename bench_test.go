@@ -5,7 +5,9 @@
 package cadb
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"cadb/internal/compress"
@@ -17,6 +19,7 @@ import (
 	"cadb/internal/optimizer"
 	"cadb/internal/sampling"
 	"cadb/internal/sizing"
+	"cadb/internal/workload"
 	"cadb/internal/workloads"
 )
 
@@ -104,7 +107,8 @@ func BenchmarkSampleCF(b *testing.B) {
 }
 
 // BenchmarkWhatIfCost measures the optimizer's what-if API on the TPC-H
-// workload under a 10-index configuration.
+// workload under a 10-index configuration — uncached (every iteration pays
+// the full plan search) vs cached (the per-statement memo serves repeats).
 func BenchmarkWhatIfCost(b *testing.B) {
 	db := benchDB()
 	wl := workloads.MustTPCH()
@@ -122,10 +126,94 @@ func BenchmarkWhatIfCost(b *testing.B) {
 		hypos = append(hypos, optimizer.FromPhysical(p))
 	}
 	cfg := optimizer.NewConfiguration(hypos...)
-	b.ResetTimer()
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cm.ResetCostCache()
+			cm.WorkloadCost(wl, cfg)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cm.ResetCostCache()
+		cm.WorkloadCost(wl, cfg) // warm
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cm.WorkloadCost(wl, cfg)
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Enumeration parallelism: the tentpole speedup benchmarks. Each sub-bench
+// runs the full advisor at a fixed Parallelism; the recommendations are
+// asserted byte-identical across settings, so the only difference is wall
+// time.
+
+func benchRecommendAt(b *testing.B, db *Database, wl *workload.Workload, par int, want *string) {
+	b.Helper()
+	budget := db.TotalHeapBytes() / 4
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		cm.WorkloadCost(wl, cfg)
+		opts := core.DefaultOptions(budget)
+		opts.Parallelism = par
+		rec, err := core.New(db, wl, opts).Recommend()
+		if err != nil {
+			b.Fatal(err)
+		}
+		got := fmt.Sprintf("%v|%v|%d|%s", rec.BaseCost, rec.TotalCost, rec.SizeBytes, rec.Config)
+		if *want == "" {
+			*want = got
+		} else if got != *want {
+			b.Fatalf("parallelism=%d recommendation diverged:\n%s\nwant:\n%s", par, got, *want)
+		}
+	}
+}
+
+func benchRecommendParallelism(b *testing.B, db *Database, wl *workload.Workload) {
+	var want string
+	b.Run("parallelism=1", func(b *testing.B) { benchRecommendAt(b, db, wl, 1, &want) })
+	b.Run(fmt.Sprintf("parallelism=%d", runtime.NumCPU()), func(b *testing.B) {
+		benchRecommendAt(b, db, wl, runtime.NumCPU(), &want)
+	})
+}
+
+// BenchmarkRecommendTPCH measures the full DTAc advisor on the TPC-H
+// workload, serial vs one worker per CPU.
+func BenchmarkRecommendTPCH(b *testing.B) {
+	benchRecommendParallelism(b, benchDB(), workloads.SelectIntensive(workloads.MustTPCH()))
+}
+
+// BenchmarkRecommendSales measures the full DTAc advisor on the Sales star
+// schema, serial vs one worker per CPU.
+func BenchmarkRecommendSales(b *testing.B) {
+	db := datagen.NewSales(datagen.SalesConfig{FactRows: 8000, Zipf: 0.8, Seed: 7})
+	benchRecommendParallelism(b, db, workloads.MustSales(7))
+}
+
+// BenchmarkEnumerate targets the greedy enumeration with compression,
+// skyline and backtracking on — the paper's full DTAc search. Hoisting
+// candidate generation and size estimation out of the timed loop is
+// impractical, so each iteration runs the full advisor and reports the
+// enumeration phase alone as enumerate-s/op.
+func BenchmarkEnumerate(b *testing.B) {
+	db := benchDB()
+	wl := workloads.SelectIntensive(workloads.MustTPCH())
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallelism=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			var enum float64
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultOptions(db.TotalHeapBytes() / 8)
+				opts.Parallelism = par
+				rec, err := core.New(db, wl, opts).Recommend()
+				if err != nil {
+					b.Fatal(err)
+				}
+				enum += rec.Timing.Enumerate.Seconds()
+			}
+			b.ReportMetric(enum/float64(b.N), "enumerate-s/op")
+		})
 	}
 }
 

@@ -32,6 +32,7 @@ func main() {
 		staged   = flag.Bool("staged", false, "run the naive staged (select-then-compress) baseline")
 		features = flag.String("features", "simple", "candidate features: simple | all (adds partial indexes and MVs)")
 		wlFile   = flag.String("workload", "", "optional SQL workload file (overrides the built-in workload)")
+		par      = flag.Int("parallelism", 0, "what-if costing workers (0 = one per CPU; results are identical at any setting)")
 		verbose  = flag.Bool("verbose", false, "print per-phase timing and the estimation plan")
 	)
 	flag.Parse()
@@ -92,6 +93,7 @@ func main() {
 		opts.EnableMV = true
 	}
 	opts.Seed = *seed
+	opts.Parallelism = *par
 
 	fmt.Printf("database %s: %d tables, %.1f MB heap; budget %.1f MB (%.0f%%)\n",
 		*dbName, len(db.Tables()), mb(heap), mb(budgetBytes), 100**budget)

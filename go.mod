@@ -1,0 +1,3 @@
+module cadb
+
+go 1.24

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"cadb/internal/storage"
 )
@@ -33,13 +34,19 @@ type Table struct {
 	// Fact marks fact tables (targets of bulk loads and join-synopsis roots).
 	Fact bool
 
+	// mu guards the lazily computed fields below; concurrent what-if
+	// costing workers hit Stats, AvgRowWidth and HeapBytes freely.
+	mu          sync.Mutex
 	stats       *Stats
 	avgRowWidth float64
+	heapBytes   int64
 }
 
 // AvgRowWidth returns the average encoded row width, computed once from a
 // prefix sample of the rows.
 func (t *Table) AvgRowWidth() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.avgRowWidth == 0 {
 		rows := t.Rows
 		if len(rows) > 2000 {
@@ -53,10 +60,17 @@ func (t *Table) AvgRowWidth() float64 {
 // RowCount returns the number of rows.
 func (t *Table) RowCount() int64 { return int64(len(t.Rows)) }
 
-// HeapBytes returns the uncompressed heap payload size.
+// HeapBytes returns the uncompressed heap payload size, computed once.
+// Configuration.SizeBytes calls this for every clustered candidate at every
+// greedy step, so re-packing the heap each time would dominate enumeration.
 func (t *Table) HeapBytes() int64 {
-	_, total := storage.PackRows(t.Schema, t.Rows)
-	return total
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.heapBytes == 0 {
+		_, total := storage.PackRows(t.Schema, t.Rows)
+		t.heapBytes = total
+	}
+	return t.heapBytes
 }
 
 // HeapPages returns the uncompressed heap size in pages.
@@ -64,6 +78,8 @@ func (t *Table) HeapPages() int64 { return storage.PagesForBytes(t.HeapBytes()) 
 
 // Stats returns (building lazily) the table statistics.
 func (t *Table) Stats() *Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.stats == nil {
 		t.stats = BuildStats(t, DefaultHistogramBuckets)
 	}
@@ -72,8 +88,11 @@ func (t *Table) Stats() *Stats {
 
 // InvalidateStats drops cached statistics (used after mutating Rows).
 func (t *Table) InvalidateStats() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.stats = nil
 	t.avgRowWidth = 0
+	t.heapBytes = 0
 }
 
 // FKTo returns the foreign key referencing the given table, if any.
@@ -201,11 +220,13 @@ func (c *ColStats) NullFrac(rowCount int64) float64 {
 	return float64(c.NullCount) / float64(rowCount)
 }
 
-// Stats bundles table-level statistics.
+// Stats bundles table-level statistics. The column stats are immutable once
+// built; the distinct-prefix cache is guarded for concurrent readers.
 type Stats struct {
 	RowCount int64
 	Cols     map[string]*ColStats
 
+	mu             sync.Mutex
 	distinctPrefix map[string]int64 // cache: joined lowercase col list -> count
 }
 
@@ -311,9 +332,12 @@ func (t *Table) DistinctPrefix(cols []string) int64 {
 	}
 	st := t.Stats()
 	key := strings.ToLower(strings.Join(cols, "\x00"))
+	st.mu.Lock()
 	if v, ok := st.distinctPrefix[key]; ok {
+		st.mu.Unlock()
 		return v
 	}
+	st.mu.Unlock()
 	idx := make([]int, len(cols))
 	for i, c := range cols {
 		idx[i] = t.Schema.ColIndex(c)
@@ -331,7 +355,9 @@ func (t *Table) DistinctPrefix(cols []string) int64 {
 		seen[string(buf)] = struct{}{}
 	}
 	n := int64(len(seen))
+	st.mu.Lock()
 	st.distinctPrefix[key] = n
+	st.mu.Unlock()
 	return n
 }
 

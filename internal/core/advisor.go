@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"cadb/internal/catalog"
@@ -82,6 +83,13 @@ type Options struct {
 	// width during candidate generation.
 	MaxIndexes int
 	MaxKeyCols int
+
+	// Parallelism bounds the worker pool used for what-if costing during
+	// enumeration and for candidate size estimation. Non-positive means
+	// runtime.GOMAXPROCS(0). Results are byte-identical at any setting:
+	// candidates are evaluated concurrently but reduced in deterministic
+	// order.
+	Parallelism int
 
 	Seed int64
 }
@@ -211,10 +219,14 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 	}
 
 	// 3. Per-query candidate selection (top-k or skyline), then merging.
+	// The pool is sorted so variant lookups (and with them backtracking
+	// tie-breaks) never depend on map iteration order — a requirement for
+	// run-to-run reproducible recommendations.
 	a.allHypos = a.allHypos[:0]
 	for _, h := range hypos {
 		a.allHypos = append(a.allHypos, h)
 	}
+	sort.Slice(a.allHypos, func(i, j int) bool { return a.allHypos[i].Def.ID() < a.allHypos[j].Def.ID() })
 	selected := a.selectCandidates(hypos)
 	selected = a.mergeCandidates(selected, est)
 	for _, h := range selected {
@@ -273,6 +285,33 @@ func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.Hy
 		est = estimator.New(a.DB, sampling.NewManager(a.DB, 0.05, a.Opts.Seed))
 	}
 
+	// Size the hypothetical indexes concurrently: the defs are distinct, the
+	// estimator and sample manager are safe for concurrent use, and results
+	// land in per-index slots so the later reduction order is deterministic.
+	workers := a.workers()
+	estimate := func(defs []*index.Def, one func(*index.Def) (*estimator.Estimate, error)) ([]*estimator.Estimate, error) {
+		ests := make([]*estimator.Estimate, len(defs))
+		errs := make([]error, len(defs))
+		parallelFor(workers, len(defs), func(i int) {
+			ests[i], errs[i] = one(defs[i])
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ests, nil
+	}
+
+	uncEsts, err := estimate(uncompressed, est.EstimateUncompressed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tgtEsts, err := estimate(targets, est.SampleCF)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
 	hypos := make(map[string]*optimizer.HypoIndex)
 	add := func(e *estimator.Estimate) {
 		hypos[e.Def.ID()] = &optimizer.HypoIndex{
@@ -282,22 +321,10 @@ func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.Hy
 			UncompressedBytes: e.UncompressedBytes,
 		}
 	}
-	for _, d := range uncompressed {
-		e, err := est.EstimateUncompressed(d)
-		if err != nil {
-			return nil, nil, nil, err
-		}
+	for _, e := range uncEsts {
 		add(e)
 	}
-	for _, d := range targets {
-		e, ok := est.Cached(d)
-		if !ok {
-			var err error
-			e, err = est.SampleCF(d)
-			if err != nil {
-				return nil, nil, nil, err
-			}
-		}
+	for _, e := range tgtEsts {
 		add(e)
 	}
 	return hypos, plan, est, nil

@@ -290,7 +290,16 @@ func (a *Advisor) selectCandidates(hypos map[string]*optimizer.HypoIndex) []*opt
 				}
 			}
 		} else {
-			sort.Slice(scoredList, func(i, j int) bool { return scoredList[i].cost < scoredList[j].cost })
+			// Tie-break equal costs by index ID: relevantHypos returns map
+			// order and many relevant-but-unusable indexes cost exactly the
+			// base scan, so an unstable cost-only sort would make the top-k
+			// cut — and with it the recommendation — vary run to run.
+			sort.Slice(scoredList, func(i, j int) bool {
+				if scoredList[i].cost != scoredList[j].cost {
+					return scoredList[i].cost < scoredList[j].cost
+				}
+				return scoredList[i].h.Def.ID() < scoredList[j].h.Def.ID()
+			})
 			k := a.Opts.TopK
 			if k > len(scoredList) {
 				k = len(scoredList)

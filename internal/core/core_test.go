@@ -80,6 +80,9 @@ func TestDTAcBeatsDTAAtTightBudget(t *testing.T) {
 }
 
 func TestBudgetMonotonicity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full advisor runs in -short mode")
+	}
 	d, _ := fixtures()
 	small := run(t, DefaultOptions(budget(d, 0.05)))
 	large := run(t, DefaultOptions(budget(d, 0.8)))
@@ -138,6 +141,9 @@ func TestBacktrackHelpsAtTightBudget(t *testing.T) {
 }
 
 func TestInsertIntensiveAvoidsHeavyCompression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full advisor runs in -short mode")
+	}
 	d, w := fixtures()
 	b := budget(d, 0.6)
 	sel, err := New(d, workloads.SelectIntensive(w), DefaultOptions(b)).Recommend()
@@ -188,6 +194,9 @@ func TestStagedBaselineUnderperformsIntegrated(t *testing.T) {
 }
 
 func TestAllFeaturesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("partial+MV advisor run in -short mode")
+	}
 	d, w := fixtures()
 	opts := DefaultOptions(budget(d, 0.4))
 	opts.EnablePartial = true
@@ -205,6 +214,9 @@ func TestAllFeaturesRun(t *testing.T) {
 }
 
 func TestDeductionReducesEstimationCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full advisor runs in -short mode")
+	}
 	d, w := fixtures()
 	mkCost := func(dedup bool) float64 {
 		opts := DefaultOptions(budget(d, 0.3))

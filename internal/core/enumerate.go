@@ -98,6 +98,7 @@ func unionCols(a, b []string) []string {
 func (a *Advisor) enumerate(candidates []*optimizer.HypoIndex) *optimizer.Configuration {
 	cfg := optimizer.NewConfiguration()
 	curCost := a.CM.WorkloadCost(a.WL, cfg)
+	workers := a.workers()
 
 	remaining := append([]*optimizer.HypoIndex{}, candidates...)
 	for len(cfg.Indexes) < a.Opts.MaxIndexes {
@@ -106,18 +107,24 @@ func (a *Advisor) enumerate(candidates []*optimizer.HypoIndex) *optimizer.Config
 			cfg   *optimizer.Configuration
 			cost  float64
 			score float64
+			fits  bool
 		}
-		var bestFit *pick // best scoring candidate that fits
-		var bestAny *pick // best scoring candidate ignoring the budget
-		for _, h := range remaining {
+		// Evaluate every "add h to cfg" what-if concurrently; each worker
+		// writes only its own slot. The picks slice is then reduced serially
+		// in candidate order below, so ties break identically to a serial
+		// run (first candidate with the strictly best score wins) and the
+		// recommendation is byte-identical at any Parallelism.
+		picks := make([]*pick, len(remaining))
+		parallelFor(workers, len(remaining), func(i int) {
+			h := remaining[i]
 			if !a.admissible(cfg, h) {
-				continue
+				return
 			}
 			next := a.addToConfig(cfg, h)
 			nextCost := a.CM.WorkloadCost(a.WL, next)
 			gain := curCost - nextCost
 			if gain <= 1e-9 {
-				continue
+				return
 			}
 			score := gain
 			if a.Opts.Density {
@@ -127,11 +134,19 @@ func (a *Advisor) enumerate(candidates []*optimizer.HypoIndex) *optimizer.Config
 				}
 				score = gain / den
 			}
-			p := &pick{h: h, cfg: next, cost: nextCost, score: score}
-			if next.SizeBytes(a.DB) <= a.Opts.Budget && (bestFit == nil || score > bestFit.score) {
+			picks[i] = &pick{h: h, cfg: next, cost: nextCost, score: score,
+				fits: next.SizeBytes(a.DB) <= a.Opts.Budget}
+		})
+		var bestFit *pick // best scoring candidate that fits
+		var bestAny *pick // best scoring candidate ignoring the budget
+		for _, p := range picks {
+			if p == nil {
+				continue
+			}
+			if p.fits && (bestFit == nil || p.score > bestFit.score) {
 				bestFit = p
 			}
-			if bestAny == nil || score > bestAny.score {
+			if bestAny == nil || p.score > bestAny.score {
 				bestAny = p
 			}
 		}
@@ -183,32 +198,56 @@ func (a *Advisor) recover(cfg *optimizer.Configuration) (*optimizer.Configuratio
 	if !a.Opts.EnableCompression {
 		return nil, 0
 	}
+	workers := a.workers()
 	cur := cfg
 	for iter := 0; iter < len(cfg.Indexes)+1; iter++ {
 		if cur.SizeBytes(a.DB) <= a.Opts.Budget {
 			return cur, a.CM.WorkloadCost(a.WL, cur)
 		}
 		// One swap: pick the member+variant replacement that fits — or at
-		// least shrinks — while costing the least.
-		var best *optimizer.Configuration
-		bestCost := math.Inf(1)
-		bestShrink := int64(0)
+		// least shrinks — while costing the least. The member×variant
+		// what-ifs are independent, so cost them concurrently and replay the
+		// original sequential selection over the results in (member,
+		// variant) order to keep the choice deterministic.
+		type swapPair struct {
+			member, variant *optimizer.HypoIndex
+		}
+		var pairs []swapPair
 		for _, member := range cur.Indexes {
 			for _, variant := range a.variantsOf(member) {
 				if variant.Bytes >= member.Bytes {
 					continue
 				}
-				next := cur.Replace(member, variant)
-				cost := a.CM.WorkloadCost(a.WL, next)
-				fits := next.SizeBytes(a.DB) <= a.Opts.Budget
-				shrink := member.Bytes - variant.Bytes
-				switch {
-				case fits && cost < bestCost:
-					best, bestCost, bestShrink = next, cost, shrink
-				case !fits && best == nil && shrink > bestShrink:
-					// Track the biggest shrink as a stepping stone.
-					best, bestCost, bestShrink = next, cost, shrink
-				}
+				pairs = append(pairs, swapPair{member, variant})
+			}
+		}
+		type swapEval struct {
+			next   *optimizer.Configuration
+			cost   float64
+			fits   bool
+			shrink int64
+		}
+		evals := make([]swapEval, len(pairs))
+		parallelFor(workers, len(pairs), func(i int) {
+			next := cur.Replace(pairs[i].member, pairs[i].variant)
+			evals[i] = swapEval{
+				next:   next,
+				cost:   a.CM.WorkloadCost(a.WL, next),
+				fits:   next.SizeBytes(a.DB) <= a.Opts.Budget,
+				shrink: pairs[i].member.Bytes - pairs[i].variant.Bytes,
+			}
+		})
+		var best *optimizer.Configuration
+		bestCost := math.Inf(1)
+		bestShrink := int64(0)
+		for i := range evals {
+			ev := &evals[i]
+			switch {
+			case ev.fits && ev.cost < bestCost:
+				best, bestCost, bestShrink = ev.next, ev.cost, ev.shrink
+			case !ev.fits && best == nil && ev.shrink > bestShrink:
+				// Track the biggest shrink as a stepping stone.
+				best, bestCost, bestShrink = ev.next, ev.cost, ev.shrink
 			}
 		}
 		if best == nil {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"cadb/internal/catalog"
+	"cadb/internal/datagen"
+	"cadb/internal/workload"
+	"cadb/internal/workloads"
+)
+
+// renderRec serializes everything the advisor recommends: the configuration
+// (index list in order), the costs, and the footprint. Two runs are "the
+// same recommendation" iff these bytes match.
+func renderRec(rec *Recommendation) string {
+	return fmt.Sprintf("base=%v total=%v improvement=%v size=%d selected=%d\n%s",
+		rec.BaseCost, rec.TotalCost, rec.Improvement, rec.SizeBytes, rec.SelectedCount, rec.String())
+}
+
+func recommendAt(t *testing.T, d *catalog.Database, w *workload.Workload, opts Options, parallelism int) *Recommendation {
+	t.Helper()
+	opts.Parallelism = parallelism
+	rec, err := New(d, w, opts).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestParallelMatchesSerial asserts the headline determinism contract: the
+// worker-pool enumeration and estimation return byte-identical
+// recommendations at Parallelism 1 and Parallelism 8, on both bundled
+// workload shapes.
+func TestParallelMatchesSerial(t *testing.T) {
+	type workloadCase struct {
+		name string
+		db   *catalog.Database
+		wl   *workload.Workload
+	}
+	tpchDB, tpchWL := fixtures()
+	cases := []workloadCase{
+		{"tpch", tpchDB, workloads.SelectIntensive(tpchWL)},
+		{"sales", datagen.NewSales(datagen.SalesConfig{FactRows: 4000, Zipf: 0.8, Seed: 7}), workloads.MustSales(7)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			opts := DefaultOptions(budget(c.db, 0.3))
+			opts.Backtrack = true
+			serial := renderRec(recommendAt(t, c.db, c.wl, opts, 1))
+			parallel := renderRec(recommendAt(t, c.db, c.wl, opts, 8))
+			if serial != parallel {
+				t.Fatalf("parallel recommendation diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialDensityStaged covers the other enumeration modes
+// (density scoring and the staged baseline) at a tight budget, where
+// backtracking and recovery actually fire.
+func TestParallelMatchesSerialDensityStaged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full advisor runs in -short mode")
+	}
+	d, w := fixtures()
+	sel := workloads.SelectIntensive(w)
+	for _, mode := range []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"density", func(o *Options) { o.Density = true }},
+		{"staged", func(o *Options) { o.Staged = true }},
+		{"tight-backtrack", func(o *Options) { o.Budget = budget(d, 0.08) }},
+		{"topk-dta", func(o *Options) { *o = DTAOptions(o.Budget) }},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			opts := DefaultOptions(budget(d, 0.25))
+			mode.mutate(&opts)
+			serial := renderRec(recommendAt(t, d, sel, opts, 1))
+			parallel := renderRec(recommendAt(t, d, sel, opts, 8))
+			if serial != parallel {
+				t.Fatalf("%s: parallel diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", mode.name, serial, parallel)
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ package estimator
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"cadb/internal/catalog"
@@ -78,12 +79,18 @@ func (e *Estimate) String() string {
 	return fmt.Sprintf("%s: %d rows, %d bytes (cf=%.3f) via %s ±%.3f", e.Def, e.Rows, e.Bytes, e.CF, e.Source, e.Std)
 }
 
-// Estimator caches size estimates for one database + sample manager.
+// Estimator caches size estimates for one database + sample manager. It is
+// safe for concurrent use: the advisor sizes distinct candidate definitions
+// from a worker pool. The mutex guards the cache and the accounting fields;
+// each definition's estimate is computed at most once (a concurrent
+// duplicate computation discards its result in favor of the cached one, so
+// the accounting stays deterministic).
 type Estimator struct {
 	DB    *catalog.Database
 	Mgr   *sampling.Manager
 	Model *ErrorModel
 
+	mu    sync.Mutex
 	cache map[string]*Estimate
 
 	// Accounting for the Figure 11 runtime split.
@@ -103,17 +110,27 @@ func New(db *catalog.Database, mgr *sampling.Manager) *Estimator {
 
 // Cached returns the cached estimate for the definition, if any.
 func (e *Estimator) Cached(d *index.Def) (*Estimate, bool) {
+	e.mu.Lock()
 	est, ok := e.cache[d.ID()]
+	e.mu.Unlock()
 	return est, ok
 }
 
 // Put inserts an estimate into the cache (used for existing indexes with
 // exactly known sizes).
-func (e *Estimator) Put(est *Estimate) { e.cache[est.Def.ID()] = est }
+func (e *Estimator) Put(est *Estimate) {
+	e.mu.Lock()
+	e.cache[est.Def.ID()] = est
+	e.mu.Unlock()
+}
 
 // Forget drops the cached estimate for a definition (used by error studies
 // that re-derive the same index through different deduction routes).
-func (e *Estimator) Forget(d *index.Def) { delete(e.cache, d.ID()) }
+func (e *Estimator) Forget(d *index.Def) {
+	e.mu.Lock()
+	delete(e.cache, d.ID())
+	e.mu.Unlock()
+}
 
 // PutExact records a fully built index as a zero-cost, zero-error estimate.
 func (e *Estimator) PutExact(p *index.Physical) *Estimate {
@@ -219,10 +236,19 @@ func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
 		Cost:              float64(storage.PagesForBytes(uncSample)),
 	}
 	est.Mean, est.Std = e.Model.SampleError(d.Method, e.Mgr.F)
+	elapsed := time.Since(start)
+	e.mu.Lock()
+	if prev, ok := e.cache[d.ID()]; ok {
+		// A concurrent caller finished first; keep its estimate and skip the
+		// accounting so each definition is charged exactly once.
+		e.mu.Unlock()
+		return prev, nil
+	}
+	e.cache[d.ID()] = est
 	e.TotalCost += est.Cost
 	e.SampleCFCalls++
-	*timer += time.Since(start)
-	e.Put(est)
+	*timer += elapsed
+	e.mu.Unlock()
 	return est, nil
 }
 
@@ -233,9 +259,12 @@ func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
 // For MV indexes the row count still needs an MV sample (Appendix B.3).
 func (e *Estimator) EstimateUncompressed(d *index.Def) (*Estimate, error) {
 	key := d.Uncompressed().ID()
+	e.mu.Lock()
 	if est, ok := e.cache[key]; ok {
+		e.mu.Unlock()
 		return est, nil
 	}
+	e.mu.Unlock()
 	var rows int64
 	var entryW float64
 	switch {
@@ -280,7 +309,13 @@ func (e *Estimator) EstimateUncompressed(d *index.Def) (*Estimate, error) {
 		Mean:              1,
 		Std:               0.002, // avg-row-width estimates are near exact
 	}
+	e.mu.Lock()
+	if prev, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		return prev, nil
+	}
 	e.cache[key] = est
+	e.mu.Unlock()
 	return est, nil
 }
 

@@ -112,6 +112,9 @@ func TestRunRendersReport(t *testing.T) {
 }
 
 func TestFig12ShapeDTAcBeatsDTAAtTightBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("advisor-variant sweep in -short mode")
+	}
 	sc := QuickScale()
 	sc.Budgets = []float64{0.08}
 	rep := Fig12(sc)
@@ -125,6 +128,9 @@ func TestFig12ShapeDTAcBeatsDTAAtTightBudget(t *testing.T) {
 }
 
 func TestMotivatingIntegratedAtLeastStaged(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integrated-vs-staged advisor sweep in -short mode")
+	}
 	rep := Motivating(QuickScale())
 	for _, tb := range rep.Tables {
 		for _, r := range tb.Rows {

@@ -1,0 +1,154 @@
+package optimizer
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"cadb/internal/workload"
+)
+
+// The what-if cost cache.
+//
+// During greedy enumeration the advisor costs the workload under hundreds of
+// neighboring configurations that differ by a single index. A statement's
+// plan depends only on the indexes *relevant* to it — those on its tables
+// (plus matching-fact MV indexes) — so most statements see an unchanged
+// relevant set between neighbors and their cost can be reused. The cache
+// memoizes per-(statement, relevant-index-signature) costs; the signature
+// embeds each relevant index's identity and size, so any change that could
+// alter the plan (index added/removed/replaced, or a size estimate revised)
+// produces a different key and a fresh computation rather than a stale hit.
+//
+// The cache is safe for concurrent use: the enumeration worker pool calls
+// WorkloadCost from many goroutines at once.
+
+// costCacheKey identifies one memoized statement cost.
+type costCacheKey struct {
+	stmt *workload.Statement
+	sig  string
+}
+
+// costCache is the thread-safe memo attached to a CostModel.
+type costCache struct {
+	mu     sync.Mutex
+	costs  map[costCacheKey]float64
+	hits   uint64
+	misses uint64
+	// atoms memoizes each hypothetical index's signature fragment by
+	// pointer: Def.ID() lowercases, sorts and joins column lists on every
+	// call, which would otherwise dominate the cost of a cache hit.
+	atoms sync.Map // *HypoIndex -> string
+}
+
+// atom returns the signature fragment for one hypothetical index. Distinct
+// HypoIndex pointers get distinct entries, so replacing an index with a
+// resized copy still changes the signature; mutating one in place instead
+// requires ResetCostCache.
+func (cc *costCache) atom(h *HypoIndex) string {
+	if v, ok := cc.atoms.Load(h); ok {
+		return v.(string)
+	}
+	var b strings.Builder
+	b.WriteString(h.Def.ID())
+	b.WriteByte('#')
+	b.WriteString(strconv.FormatInt(h.Rows, 10))
+	b.WriteByte('#')
+	b.WriteString(strconv.FormatInt(h.Bytes, 10))
+	b.WriteByte('#')
+	b.WriteString(strconv.FormatInt(h.UncompressedBytes, 10))
+	b.WriteByte(';')
+	s := b.String()
+	cc.atoms.Store(h, s)
+	return s
+}
+
+// StatementCost returns the weighted-workload building block — the cost of
+// one statement under the configuration — serving it from the cache when the
+// statement's relevant index set (identity and sizes) is unchanged. Cost
+// remains the uncached what-if entry point.
+func (cm *CostModel) StatementCost(stmt *workload.Statement, cfg *Configuration) float64 {
+	sig := cm.cache.relevantSignature(stmt, cfg)
+	key := costCacheKey{stmt: stmt, sig: sig}
+
+	cm.cache.mu.Lock()
+	if cm.cache.costs == nil {
+		cm.cache.costs = make(map[costCacheKey]float64)
+	}
+	if c, ok := cm.cache.costs[key]; ok {
+		cm.cache.hits++
+		cm.cache.mu.Unlock()
+		return c
+	}
+	cm.cache.misses++
+	cm.cache.mu.Unlock()
+
+	c := cm.Cost(stmt, cfg)
+
+	cm.cache.mu.Lock()
+	cm.cache.costs[key] = c
+	cm.cache.mu.Unlock()
+	return c
+}
+
+// ResetCostCache drops every memoized statement cost and zeroes the hit/miss
+// counters. The signature only captures index identity and sizes, so call
+// this whenever anything else a plan depends on changes: table rows or
+// statistics mutated (e.g. after Table.InvalidateStats), cost-model
+// constants adjusted, or a HypoIndex resized in place rather than replaced.
+func (cm *CostModel) ResetCostCache() {
+	cm.cache.mu.Lock()
+	cm.cache.costs = nil
+	cm.cache.hits, cm.cache.misses = 0, 0
+	cm.cache.mu.Unlock()
+	cm.cache.atoms.Clear()
+}
+
+// CostCacheStats reports the cache hit/miss counters.
+func (cm *CostModel) CostCacheStats() (hits, misses uint64) {
+	cm.cache.mu.Lock()
+	defer cm.cache.mu.Unlock()
+	return cm.cache.hits, cm.cache.misses
+}
+
+// relevantSignature serializes the identity and size of every index in the
+// configuration that can influence the statement's plan. Indexes on
+// unrelated tables are omitted, which is exactly what makes neighboring
+// greedy configurations collide on the same key.
+func (cc *costCache) relevantSignature(stmt *workload.Statement, cfg *Configuration) string {
+	var b strings.Builder
+	emit := func(h *HypoIndex) { b.WriteString(cc.atom(h)) }
+	switch {
+	case stmt.Query != nil:
+		q := stmt.Query
+		for _, h := range cfg.Indexes {
+			if h.Def.MV != nil {
+				// mvMatches only ever accepts MVs on the driving table.
+				if len(q.Tables) > 0 && strings.EqualFold(h.Def.MV.Fact, q.Tables[0]) {
+					emit(h)
+				}
+				continue
+			}
+			for _, t := range q.Tables {
+				if strings.EqualFold(h.Def.Table, t) {
+					emit(h)
+					break
+				}
+			}
+		}
+	case stmt.Insert != nil:
+		table := stmt.Insert.Table
+		for _, h := range cfg.Indexes {
+			if h.Def.MV != nil {
+				if strings.EqualFold(h.Def.MV.Fact, table) {
+					emit(h)
+				}
+				continue
+			}
+			if strings.EqualFold(h.Def.Table, table) {
+				emit(h)
+			}
+		}
+	}
+	return b.String()
+}

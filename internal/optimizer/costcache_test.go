@@ -1,0 +1,118 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cadb/internal/index"
+)
+
+// cacheDelta runs fn and returns how many cache hits and misses it caused.
+func cacheDelta(cm *CostModel, fn func()) (hits, misses uint64) {
+	h0, m0 := cm.CostCacheStats()
+	fn()
+	h1, m1 := cm.CostCacheStats()
+	return h1 - h0, m1 - m0
+}
+
+func TestCostCacheReusesIrrelevantNeighbors(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	q := parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9100")
+	hLine := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_extendedprice"}})
+	hOrders := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}})
+
+	cfg := NewConfiguration(hLine)
+	var first float64
+	if _, misses := cacheDelta(cm, func() { first = cm.StatementCost(q, cfg) }); misses != 1 {
+		t.Fatalf("cold lookup: want 1 miss, got %d", misses)
+	}
+
+	// An index on an unrelated table leaves the statement's relevant set
+	// unchanged: the cost must be served from the cache, and must match.
+	var second float64
+	hits, misses := cacheDelta(cm, func() { second = cm.StatementCost(q, cfg.With(hOrders)) })
+	if hits != 1 || misses != 0 {
+		t.Fatalf("irrelevant neighbor: want 1 hit / 0 misses, got %d/%d", hits, misses)
+	}
+	if second != first {
+		t.Fatalf("cached cost %v != original %v", second, first)
+	}
+	if fresh := cm.Cost(q, cfg.With(hOrders)); fresh != second {
+		t.Fatalf("cached cost %v != uncached what-if %v", second, fresh)
+	}
+}
+
+func TestCostCacheInvalidatesOnRelevantChange(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	q := parseQ(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9100")
+	hWide := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_extendedprice"}})
+	hNarrow := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipmode"}})
+
+	cfg := NewConfiguration(hNarrow)
+	base := cm.StatementCost(q, cfg)
+
+	// Adding an index on the statement's table changes the relevant
+	// signature: the cost must be recomputed, not served stale.
+	grown := cfg.With(hWide)
+	var withWide float64
+	if _, misses := cacheDelta(cm, func() { withWide = cm.StatementCost(q, grown) }); misses != 1 {
+		t.Fatalf("relevant change: want a fresh computation, got a cache hit")
+	}
+	if fresh := cm.Cost(q, grown); withWide != fresh {
+		t.Fatalf("cost after relevant change %v != uncached what-if %v", withWide, fresh)
+	}
+	if withWide >= base {
+		t.Fatalf("covering index did not reduce cost: %v >= %v", withWide, base)
+	}
+
+	// A revised size estimate for a relevant index (same definition, new
+	// Bytes) must also produce a different signature and a recomputation.
+	resized := *hWide
+	resized.Bytes = hWide.Bytes / 2
+	shrunk := cfg.With(&resized)
+	if _, misses := cacheDelta(cm, func() { cm.StatementCost(q, shrunk) }); misses != 1 {
+		t.Fatalf("size change: want a fresh computation, got a cache hit")
+	}
+	if got, fresh := cm.StatementCost(q, shrunk), cm.Cost(q, shrunk); got != fresh {
+		t.Fatalf("cost after size change %v != uncached what-if %v", got, fresh)
+	}
+}
+
+func TestCostCacheInsertStatements(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	ins := parseQ(t, "INSERT INTO lineitem BULK 500")
+	hLine := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}})
+	hOrders := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}})
+
+	base := cm.StatementCost(ins, NewConfiguration())
+	// Maintenance cost appears only when an index lands on the insert's
+	// table; an index elsewhere is irrelevant and keeps the cached cost.
+	hits, _ := cacheDelta(cm, func() {
+		if got := cm.StatementCost(ins, NewConfiguration(hOrders)); got != base {
+			t.Fatalf("orders index changed lineitem insert cost: %v != %v", got, base)
+		}
+	})
+	if hits != 1 {
+		t.Fatalf("irrelevant insert neighbor: want cache hit, got none")
+	}
+	if got := cm.StatementCost(ins, NewConfiguration(hLine)); got <= base {
+		t.Fatalf("index maintenance not charged: %v <= %v", got, base)
+	}
+}
+
+func TestCostCacheReset(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+	q := parseQ(t, "SELECT SUM(o_totalprice), COUNT(*) FROM orders")
+	cfg := NewConfiguration()
+	cm.StatementCost(q, cfg)
+	cm.ResetCostCache()
+	if h, m := cm.CostCacheStats(); h != 0 || m != 0 {
+		t.Fatalf("stats not reset: %d/%d", h, m)
+	}
+	if _, misses := cacheDelta(cm, func() { cm.StatementCost(q, cfg) }); misses != 1 {
+		t.Fatalf("cache not cleared by reset")
+	}
+}

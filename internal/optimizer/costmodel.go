@@ -43,6 +43,10 @@ type CostModel struct {
 	Alpha map[compress.Method]float64
 	// Beta is the per-tuple per-column decompression CPU cost on reads.
 	Beta map[compress.Method]float64
+
+	// cache memoizes per-(statement, relevant-index-signature) costs; see
+	// costcache.go. Lazily initialized, safe for concurrent use.
+	cache costCache
 }
 
 // NewCostModel returns a model with default constants. The absolute values
@@ -127,11 +131,13 @@ func (cm *CostModel) Plan(stmt *workload.Statement, cfg *Configuration) *Plan {
 }
 
 // WorkloadCost returns the weighted total cost of the workload under the
-// configuration.
+// configuration. Per-statement costs are memoized on the model (see
+// costcache.go): a statement is re-costed only when the set of indexes
+// relevant to it changed, which is what makes greedy enumeration cheap.
 func (cm *CostModel) WorkloadCost(wl *workload.Workload, cfg *Configuration) float64 {
 	var total float64
 	for _, s := range wl.Statements {
-		total += s.Weight * cm.Cost(s, cfg)
+		total += s.Weight * cm.StatementCost(s, cfg)
 	}
 	return total
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"cadb/internal/catalog"
@@ -21,16 +22,19 @@ import (
 )
 
 // Manager owns the per-table samples and join synopses for one database and
-// one sampling fraction f.
+// one sampling fraction f. It is safe for concurrent use: estimation workers
+// sizing different indexes on the same table share one lazily built sample.
+// Samples and synopses are immutable once published.
 type Manager struct {
 	DB   *catalog.Database
 	F    float64 // sampling fraction, e.g. 0.01
 	Seed int64
 
+	mu       sync.Mutex
 	samples  map[string]*TableSample
 	synopses map[string]*Synopsis
 
-	// Accounting for the Figure 11 runtime breakdown.
+	// Accounting for the Figure 11 runtime breakdown (guarded by mu).
 	SampleBuildTime   time.Duration
 	SynopsisBuildTime time.Duration
 	SampleBuildPages  int64
@@ -71,13 +75,20 @@ func NewManager(db *catalog.Database, f float64, seed int64) *Manager {
 // table, shared by all indexes on that table.
 func (m *Manager) Sample(table string) (*TableSample, error) {
 	key := strings.ToLower(table)
+	m.mu.Lock()
 	if s, ok := m.samples[key]; ok {
+		m.mu.Unlock()
 		return s, nil
 	}
+	m.mu.Unlock()
 	t := m.DB.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("sampling: unknown table %q", table)
 	}
+	// Build outside the lock so a slow sample build on one table does not
+	// serialize workers sampling other tables. The draw is seeded per table,
+	// so a concurrent duplicate build produces the identical sample; the
+	// loser discards its copy and the accounting charges each table once.
 	start := time.Now()
 	rng := rand.New(rand.NewSource(m.Seed ^ int64(len(key))<<32 ^ hashString(key)))
 	want := int(float64(len(t.Rows)) * m.F)
@@ -89,9 +100,16 @@ func (m *Manager) Sample(table string) (*TableSample, error) {
 	}
 	rows := reservoir(rng, t.Rows, want)
 	s := &TableSample{Table: t, Rows: rows, Fraction: float64(want) / maxf(1, float64(len(t.Rows)))}
+	elapsed := time.Since(start)
+	pages := t.HeapPages() // a sample scan reads the table once
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if prev, ok := m.samples[key]; ok {
+		return prev, nil
+	}
 	m.samples[key] = s
-	m.SampleBuildTime += time.Since(start)
-	m.SampleBuildPages += t.HeapPages() // a sample scan reads the table once
+	m.SampleBuildTime += elapsed
+	m.SampleBuildPages += pages
 	return s, nil
 }
 
@@ -154,9 +172,12 @@ func (m *Manager) FilteredSample(table string, where []workload.Predicate) ([]st
 // table and join set.
 func (m *Manager) Synopsis(fact string, joins []workload.Join) (*Synopsis, error) {
 	key := synopsisKey(fact, joins)
+	m.mu.Lock()
 	if s, ok := m.synopses[key]; ok {
+		m.mu.Unlock()
 		return s, nil
 	}
+	m.mu.Unlock()
 	fs, err := m.Sample(fact)
 	if err != nil {
 		return nil, err
@@ -165,6 +186,12 @@ func (m *Manager) Synopsis(fact string, joins []workload.Join) (*Synopsis, error
 	schema, rows, err := index.JoinRowsFrom(m.DB, fact, fs.Table.Schema, fs.Rows, joins)
 	if err != nil {
 		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s, ok := m.synopses[key]; ok {
+		// A concurrent builder won the race; discard this copy.
+		return s, nil
 	}
 	s := &Synopsis{Fact: fact, Joins: joins, Schema: schema, Rows: rows}
 	m.synopses[key] = s
