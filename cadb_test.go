@@ -26,7 +26,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, h := range dta.Config.Indexes {
+	for _, h := range dta.Config.Indexes() {
 		if h.Def.Method != NoCompression {
 			t.Fatal("DTA options must not produce compressed indexes")
 		}

@@ -117,6 +117,12 @@ func main() {
 			t.SampleBuild.Round(time.Millisecond), t.TableEstimate.Round(time.Millisecond),
 			t.PartialEstim.Round(time.Millisecond), t.MVEstimate.Round(time.Millisecond),
 			t.Enumerate.Round(time.Millisecond))
+		if planned := t.DeltaStatements + t.ReusedStatements; planned > 0 {
+			fmt.Printf("what-if: %d delta evaluations; %d statement costs re-planned, %d reused from base vectors (%.1f%% skipped); statement cache %d hits / %d misses\n",
+				t.WhatIfEvaluations, t.DeltaStatements, t.ReusedStatements,
+				100*float64(t.ReusedStatements)/float64(planned),
+				t.CostCacheHits, t.CostCacheMisses)
+		}
 		if rec.EstimationPlan != nil {
 			fmt.Printf("\nestimation plan:\n%s", rec.EstimationPlan.Describe())
 		}

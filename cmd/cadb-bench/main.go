@@ -1,0 +1,192 @@
+// Command cadb-bench runs the advisor's key performance benchmarks —
+// Recommend, the enumeration phase, and the what-if cost API — and writes a
+// machine-readable JSON report, so the perf trajectory can be tracked across
+// changes without parsing `go test -bench` output.
+//
+// Usage:
+//
+//	cadb-bench                          # writes BENCH_enumerate.json
+//	cadb-bench -rows 20000 -out perf.json
+//	cadb-bench -n 5 -quiet
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cadb"
+)
+
+// result is one benchmark's measurements.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// report is the JSON document cadb-bench writes.
+type report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+	GoVersion   string    `json:"go_version"`
+	GOMAXPROCS  int       `json:"gomaxprocs"`
+	FactRows    int       `json:"fact_rows"`
+	Results     []result  `json:"results"`
+}
+
+func main() {
+	var (
+		rows  = flag.Int("rows", 8000, "fact-table row count for the benchmark database")
+		out   = flag.String("out", "BENCH_enumerate.json", "output JSON path")
+		iters = flag.Int("n", 3, "iterations per benchmark")
+		quiet = flag.Bool("quiet", false, "suppress the human-readable summary")
+	)
+	flag.Parse()
+	if *iters < 1 {
+		fatal(fmt.Errorf("-n must be >= 1, got %d", *iters))
+	}
+	if *rows < 1 {
+		fatal(fmt.Errorf("-rows must be >= 1, got %d", *rows))
+	}
+
+	db := cadb.NewTPCH(cadb.TPCHConfig{LineitemRows: *rows, Seed: 9})
+	wl := cadb.SelectIntensive(cadb.TPCHWorkload())
+	rep := &report{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		FactRows:    *rows,
+	}
+
+	// run times fn over n iterations, measuring wall clock and allocation
+	// deltas. scale divides the per-iteration numbers further, for benchmarks
+	// whose fn loops internally (ops = n × scale). extra carries named
+	// secondary metrics (per op).
+	run := func(name string, n, scale int, fn func() map[string]float64) {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		extra := map[string]float64{}
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			for k, v := range fn() {
+				extra[k] += v
+			}
+		}
+		dur := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		ops := int64(n) * int64(scale)
+		res := result{
+			Name:        name,
+			Iterations:  n,
+			NsPerOp:     dur.Nanoseconds() / ops,
+			BytesPerOp:  int64(m1.TotalAlloc-m0.TotalAlloc) / ops,
+			AllocsPerOp: int64(m1.Mallocs-m0.Mallocs) / ops,
+		}
+		for k, v := range extra {
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			res.Extra[k] = v / float64(n)
+		}
+		rep.Results = append(rep.Results, res)
+		if !*quiet {
+			fmt.Printf("%-36s %12d ns/op  %11d B/op  %9d allocs/op", name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+			for k, v := range res.Extra {
+				fmt.Printf("  %g %s", v, k)
+			}
+			fmt.Println()
+		}
+	}
+
+	// What-if costing over a fixed 10-index configuration, cache-cold vs
+	// cache-warm (mirrors BenchmarkWhatIfCost). The costing itself is
+	// microseconds-scale, so loop it inside each timed op.
+	cm := cadb.NewCostModel(db)
+	var hypos []*cadb.HypoIndex
+	li := db.MustTable("lineitem")
+	for i, c := range li.Schema.Names() {
+		if i >= 10 {
+			break
+		}
+		p, err := cadb.BuildIndex(db, (&cadb.IndexDef{Table: "lineitem", KeyCols: []string{c}}).WithMethod(cadb.RowCompression))
+		if err != nil {
+			fatal(err)
+		}
+		hypos = append(hypos, cadb.FromPhysical(p))
+	}
+	cfg := cadb.NewConfiguration(hypos...)
+	const whatIfReps = 200
+	run("WhatIfCost/uncached", *iters, whatIfReps, func() map[string]float64 {
+		for i := 0; i < whatIfReps; i++ {
+			cm.ResetCostCache()
+			cm.WorkloadCost(wl, cfg)
+		}
+		return nil
+	})
+	cm.ResetCostCache()
+	cm.WorkloadCost(wl, cfg) // warm
+	run("WhatIfCost/cached", *iters, whatIfReps, func() map[string]float64 {
+		for i := 0; i < whatIfReps; i++ {
+			cm.WorkloadCost(wl, cfg)
+		}
+		return nil
+	})
+
+	// Full advisor runs, reporting the enumeration phase and the evaluator's
+	// statement-reuse rate as extra metrics (mirrors BenchmarkRecommendTPCH
+	// and BenchmarkEnumerate).
+	for _, par := range parallelisms() {
+		par := par
+		run(fmt.Sprintf("RecommendTPCH/parallelism=%d", par), *iters, 1, func() map[string]float64 {
+			opts := cadb.DefaultOptions(db.TotalHeapBytes() / 8)
+			opts.Parallelism = par
+			rec, err := cadb.Tune(db, wl, opts)
+			if err != nil {
+				fatal(err)
+			}
+			t := rec.Timing
+			extra := map[string]float64{"enumerate-s/op": t.Enumerate.Seconds()}
+			if planned := t.DeltaStatements + t.ReusedStatements; planned > 0 {
+				extra["stmt-reuse-%"] = 100 * float64(t.ReusedStatements) / float64(planned)
+			}
+			return extra
+		})
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// parallelisms returns the worker counts to benchmark: serial plus one
+// worker per CPU when the machine has more than one.
+func parallelisms() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cadb-bench:", err)
+	os.Exit(1)
+}

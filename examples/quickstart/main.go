@@ -33,12 +33,12 @@ func main() {
 
 	fmt.Printf("\nDTAc (compression-aware): %.1f%% improvement, %.2f MB used\n",
 		dtac.Improvement, mb(dtac.SizeBytes))
-	for _, h := range dtac.Config.Indexes {
+	for _, h := range dtac.Config.Indexes() {
 		fmt.Println("  ", h.Def)
 	}
 	fmt.Printf("\nDTA (baseline): %.1f%% improvement, %.2f MB used\n",
 		dta.Improvement, mb(dta.SizeBytes))
-	for _, h := range dta.Config.Indexes {
+	for _, h := range dta.Config.Indexes() {
 		fmt.Println("  ", h.Def)
 	}
 	fmt.Printf("\nDTAc wins by %.1f percentage points at this budget.\n",

@@ -29,8 +29,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("budget %4.0f%%: improvement %5.1f%%, %d indexes (%d compressed)\n",
-			100*frac, rec.Improvement, len(rec.Config.Indexes), countCompressed(rec))
-		for _, h := range rec.Config.Indexes {
+			100*frac, rec.Improvement, rec.Config.Len(), countCompressed(rec))
+		for _, h := range rec.Config.Indexes() {
 			fmt.Println("    ", h.Def)
 		}
 		// Sanity: a bigger budget must never produce a slower design — the
@@ -54,7 +54,7 @@ func main() {
 
 func countCompressed(rec *cadb.Recommendation) int {
 	n := 0
-	for _, h := range rec.Config.Indexes {
+	for _, h := range rec.Config.Indexes() {
 		if h.Def.Method != cadb.NoCompression {
 			n++
 		}

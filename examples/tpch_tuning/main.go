@@ -35,7 +35,7 @@ func main() {
 				log.Fatal(err)
 			}
 			compressed := 0
-			for _, h := range dtac.Config.Indexes {
+			for _, h := range dtac.Config.Indexes() {
 				if h.Def.Method != cadb.NoCompression {
 					compressed++
 				}
@@ -43,7 +43,7 @@ func main() {
 			fmt.Printf("  %-8s  %5.1f%%        %5.1f%%        %d of %d\n",
 				fmt.Sprintf("%.0f%%", 100*frac),
 				dtac.Improvement, dta.Improvement,
-				compressed, len(dtac.Config.Indexes))
+				compressed, dtac.Config.Len())
 		}
 		fmt.Println()
 	}

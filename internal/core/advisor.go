@@ -137,7 +137,8 @@ type Recommendation struct {
 	Timing         Timing
 }
 
-// Timing is the Figure 11 runtime split.
+// Timing is the Figure 11 runtime split, plus the incremental-evaluation
+// counters of the what-if layer.
 type Timing struct {
 	Total          time.Duration
 	CandidateGen   time.Duration
@@ -147,6 +148,18 @@ type Timing struct {
 	MVEstimate     time.Duration
 	Enumerate      time.Duration
 	EstimationCost float64 // abstract cost units (sample pages)
+
+	// WhatIfEvaluations counts the candidate configurations delta-costed by
+	// the incremental evaluator during enumeration; of the per-statement
+	// costs those evaluations needed, DeltaStatements were re-planned and
+	// ReusedStatements were served unchanged from the base cost vector.
+	WhatIfEvaluations uint64
+	DeltaStatements   uint64
+	ReusedStatements  uint64
+	// CostCacheHits / CostCacheMisses are the statement-cost memo counters
+	// (re-planned statements can still hit the per-signature cache).
+	CostCacheHits   uint64
+	CostCacheMisses uint64
 }
 
 // Other returns the non-estimation runtime ("Other" in Figure 11).
@@ -165,9 +178,13 @@ type Advisor struct {
 	Opts Options
 	CM   *optimizer.CostModel
 
-	// allHypos is the full candidate pool (every structure × method) used by
-	// backtracking to find compressed variants of configuration members.
-	allHypos []*optimizer.HypoIndex
+	// pool is the full candidate set (every structure × method), indexed by
+	// ID and StructureID; backtracking uses it to find compressed variants
+	// of configuration members.
+	pool *candidatePool
+	// evalStats accumulates incremental-evaluator counters across every
+	// enumeration pass of one Recommend run.
+	evalStats *optimizer.EvaluatorStats
 }
 
 // New creates an advisor with the default cost model.
@@ -219,23 +236,30 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 	}
 
 	// 3. Per-query candidate selection (top-k or skyline), then merging.
-	// The pool is sorted so variant lookups (and with them backtracking
-	// tie-breaks) never depend on map iteration order — a requirement for
-	// run-to-run reproducible recommendations.
-	a.allHypos = a.allHypos[:0]
+	// The pool is seeded in ID-sorted order so variant lookups (and with
+	// them backtracking tie-breaks) never depend on map iteration order — a
+	// requirement for run-to-run reproducible recommendations.
+	sorted := make([]*optimizer.HypoIndex, 0, len(hypos))
 	for _, h := range hypos {
-		a.allHypos = append(a.allHypos, h)
+		sorted = append(sorted, h)
 	}
-	sort.Slice(a.allHypos, func(i, j int) bool { return a.allHypos[i].Def.ID() < a.allHypos[j].Def.ID() })
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Def.ID() < sorted[j].Def.ID() })
+	a.pool = newCandidatePool(len(sorted))
+	for _, h := range sorted {
+		a.pool.add(h)
+	}
 	selected := a.selectCandidates(hypos)
 	selected = a.mergeCandidates(selected, est)
 	for _, h := range selected {
-		if a.lookupHypo(h.Def) == nil {
-			a.allHypos = append(a.allHypos, h)
-		}
+		a.pool.add(h)
 	}
 
-	// 4. Enumeration under the budget.
+	// 4. Enumeration under the budget, through the incremental evaluator.
+	// The cost-cache counters are cumulative on the model, so snapshot
+	// around enumeration to report this pass alone — matching the scope of
+	// the evaluator counters.
+	a.evalStats = &optimizer.EvaluatorStats{}
+	hits0, misses0 := a.CM.CostCacheStats()
 	tEnum := time.Now()
 	var cfg *optimizer.Configuration
 	if a.Opts.Staged {
@@ -244,6 +268,9 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 		cfg = a.enumerate(selected)
 	}
 	rec.Timing.Enumerate = time.Since(tEnum)
+	rec.Timing.WhatIfEvaluations, rec.Timing.DeltaStatements, rec.Timing.ReusedStatements = a.evalStats.Snapshot()
+	hits1, misses1 := a.CM.CostCacheStats()
+	rec.Timing.CostCacheHits, rec.Timing.CostCacheMisses = hits1-hits0, misses1-misses0
 
 	rec.Config = cfg
 	rec.BaseCost = a.CM.WorkloadCost(a.WL, optimizer.NewConfiguration())
@@ -252,7 +279,7 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 		rec.Improvement = 100 * (1 - rec.TotalCost/rec.BaseCost)
 	}
 	rec.SizeBytes = cfg.SizeBytes(a.DB)
-	rec.SelectedCount = len(cfg.Indexes)
+	rec.SelectedCount = cfg.Len()
 	rec.Timing.Total = time.Since(start)
 	return rec, nil
 }
@@ -333,8 +360,8 @@ func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.Hy
 // String renders the recommendation for reports.
 func (r *Recommendation) String() string {
 	s := fmt.Sprintf("improvement %.1f%% (cost %.1f -> %.1f), size %d bytes, %d indexes:\n",
-		r.Improvement, r.BaseCost, r.TotalCost, r.SizeBytes, len(r.Config.Indexes))
-	for _, h := range r.Config.Indexes {
+		r.Improvement, r.BaseCost, r.TotalCost, r.SizeBytes, r.Config.Len())
+	for _, h := range r.Config.Indexes() {
 		s += "  " + h.String() + "\n"
 	}
 	return s

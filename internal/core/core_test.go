@@ -50,7 +50,7 @@ func TestDTAcProducesImprovement(t *testing.T) {
 	if rec.SizeBytes > budget(d, 0.5) {
 		t.Fatalf("budget violated: %d > %d", rec.SizeBytes, budget(d, 0.5))
 	}
-	if len(rec.Config.Indexes) == 0 {
+	if rec.Config.Len() == 0 {
 		t.Fatal("no indexes recommended")
 	}
 }
@@ -58,7 +58,7 @@ func TestDTAcProducesImprovement(t *testing.T) {
 func TestDTABaselineRespectsNoCompression(t *testing.T) {
 	d, _ := fixtures()
 	rec := run(t, DTAOptions(budget(d, 0.5)))
-	for _, h := range rec.Config.Indexes {
+	for _, h := range rec.Config.Indexes() {
 		if h.Def.Method != compress.None {
 			t.Fatalf("DTA must not choose compressed indexes: %s", h.Def)
 		}
@@ -156,7 +156,7 @@ func TestInsertIntensiveAvoidsHeavyCompression(t *testing.T) {
 	}
 	count := func(r *Recommendation, m compress.Method) int {
 		n := 0
-		for _, h := range r.Config.Indexes {
+		for _, h := range r.Config.Indexes() {
 			if h.Def.Method == m {
 				n++
 			}
@@ -171,9 +171,9 @@ func TestInsertIntensiveAvoidsHeavyCompression(t *testing.T) {
 		t.Fatalf("insert-heavy design has more compressed indexes (%d) than select-heavy (%d)", insComp, selComp)
 	}
 	// And fewer indexes overall (maintenance cost).
-	if len(ins.Config.Indexes) > len(sel.Config.Indexes) {
+	if ins.Config.Len() > sel.Config.Len() {
 		t.Fatalf("insert-heavy design has more indexes (%d vs %d)",
-			len(ins.Config.Indexes), len(sel.Config.Indexes))
+			ins.Config.Len(), sel.Config.Len())
 	}
 }
 

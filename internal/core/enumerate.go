@@ -43,7 +43,7 @@ func (a *Advisor) mergeCandidates(selected []*optimizer.HypoIndex, est *estimato
 			merged := &index.Def{
 				Table:       x.Table,
 				KeyCols:     x.KeyCols,
-				IncludeCols: unionCols(append(x.KeyCols[1:], x.IncludeCols...), append(y.KeyCols[1:], y.IncludeCols...)),
+				IncludeCols: unionCols(tailCols(x), tailCols(y)),
 			}
 			if len(merged.IncludeCols) == 0 {
 				continue
@@ -82,6 +82,16 @@ func (a *Advisor) mergeCandidates(selected []*optimizer.HypoIndex, est *estimato
 	return out
 }
 
+// tailCols returns the def's non-leading key columns plus its include
+// columns, in a freshly allocated slice: appending to d.KeyCols[1:] directly
+// would write into KeyCols' backing array, which candidate generation shares
+// across defs.
+func tailCols(d *index.Def) []string {
+	out := make([]string, 0, len(d.KeyCols)-1+len(d.IncludeCols))
+	out = append(out, d.KeyCols[1:]...)
+	return append(out, d.IncludeCols...)
+}
+
 func unionCols(a, b []string) []string {
 	var out []string
 	for _, c := range append(append([]string{}, a...), b...) {
@@ -95,16 +105,23 @@ func unionCols(a, b []string) []string {
 // or reduction/size when Density is on) that fits the remaining budget. With
 // Backtrack on, an oversized best pick is recovered by swapping members of
 // the tentative configuration for their compressed variants.
+//
+// Every what-if goes through the incremental Evaluator: only the statements
+// relevant to the added/swapped index are re-planned, the rest reuse the
+// base configuration's cost vector. Totals are bit-identical to a full
+// WorkloadCost recompute, so recommendations are unchanged.
 func (a *Advisor) enumerate(candidates []*optimizer.HypoIndex) *optimizer.Configuration {
-	cfg := optimizer.NewConfiguration()
-	curCost := a.CM.WorkloadCost(a.WL, cfg)
+	ev := optimizer.NewEvaluator(a.CM, a.WL, optimizer.NewConfiguration(), a.evalStats)
 	workers := a.workers()
 
 	remaining := append([]*optimizer.HypoIndex{}, candidates...)
-	for len(cfg.Indexes) < a.Opts.MaxIndexes {
+	for ev.Base().Len() < a.Opts.MaxIndexes {
+		cfg := ev.Base()
+		curCost := ev.Total()
 		type pick struct {
 			h     *optimizer.HypoIndex
 			cfg   *optimizer.Configuration
+			ev    *optimizer.Evaluator // set on the recover path only
 			cost  float64
 			score float64
 			fits  bool
@@ -120,8 +137,7 @@ func (a *Advisor) enumerate(candidates []*optimizer.HypoIndex) *optimizer.Config
 			if !a.admissible(cfg, h) {
 				return
 			}
-			next := a.addToConfig(cfg, h)
-			nextCost := a.CM.WorkloadCost(a.WL, next)
+			next, nextCost := ev.CostWithAdd(h)
 			gain := curCost - nextCost
 			if gain <= 1e-9 {
 				return
@@ -152,22 +168,27 @@ func (a *Advisor) enumerate(candidates []*optimizer.HypoIndex) *optimizer.Config
 		}
 		// Backtracking (Figure 8): the greedy choice overshot the budget —
 		// try recovering it by compressing members of the tentative
-		// configuration, then compare with the best in-budget choice.
-		if a.Opts.Backtrack && bestAny != nil && (bestFit == nil || bestAny.score > bestFit.score) {
-			if recovered, cost := a.recover(bestAny.cfg); recovered != nil {
-				if bestFit == nil || cost < bestFit.cost {
-					bestFit = &pick{h: bestAny.h, cfg: recovered, cost: cost, score: bestAny.score}
+		// configuration, then compare with the best in-budget choice. The
+		// EnableCompression gate lives here too: without variants recover
+		// can never succeed, and the Advance rebase would be wasted work.
+		if a.Opts.Backtrack && a.Opts.EnableCompression && bestAny != nil && (bestFit == nil || bestAny.score > bestFit.score) {
+			if recEv := a.recover(ev.Advance(bestAny.cfg, bestAny.h)); recEv != nil {
+				if cost := recEv.Total(); bestFit == nil || cost < bestFit.cost {
+					bestFit = &pick{h: bestAny.h, cfg: recEv.Base(), ev: recEv, cost: cost, score: bestAny.score}
 				}
 			}
 		}
 		if bestFit == nil {
 			break
 		}
-		cfg = bestFit.cfg
-		curCost = bestFit.cost
+		if bestFit.ev != nil {
+			ev = bestFit.ev
+		} else {
+			ev = ev.Advance(bestFit.cfg, bestFit.h)
+		}
 		remaining = removeHypo(remaining, bestFit.h)
 	}
-	return cfg
+	return ev.Base()
 }
 
 // admissible rejects candidates that conflict with the configuration: a
@@ -183,26 +204,22 @@ func (a *Advisor) admissible(cfg *optimizer.Configuration, h *optimizer.HypoInde
 	return true
 }
 
-// addToConfig adds the index, replacing the existing clustered index if the
-// newcomer is clustered (should not happen via admissible, kept defensive).
-func (a *Advisor) addToConfig(cfg *optimizer.Configuration, h *optimizer.HypoIndex) *optimizer.Configuration {
-	return cfg.With(h)
-}
-
-// recover implements the backtracking step: the configuration exceeds the
-// budget; try replacing each member with each of its compressed variants
-// (and, if needed, several members), keeping the variant assignment that
-// performs fastest while fitting the budget. Returns nil when no assignment
-// fits.
-func (a *Advisor) recover(cfg *optimizer.Configuration) (*optimizer.Configuration, float64) {
+// recover implements the backtracking step: the evaluator's base
+// configuration exceeds the budget; try replacing each member with each of
+// its compressed variants (and, if needed, several members), keeping the
+// variant assignment that performs fastest while fitting the budget. Returns
+// the evaluator rebased on the recovered configuration, or nil when no
+// assignment fits.
+func (a *Advisor) recover(ev *optimizer.Evaluator) *optimizer.Evaluator {
 	if !a.Opts.EnableCompression {
-		return nil, 0
+		return nil
 	}
 	workers := a.workers()
-	cur := cfg
-	for iter := 0; iter < len(cfg.Indexes)+1; iter++ {
-		if cur.SizeBytes(a.DB) <= a.Opts.Budget {
-			return cur, a.CM.WorkloadCost(a.WL, cur)
+	cur := ev
+	steps := ev.Base().Len() + 1
+	for iter := 0; iter < steps; iter++ {
+		if cur.Base().SizeBytes(a.DB) <= a.Opts.Budget {
+			return cur
 		}
 		// One swap: pick the member+variant replacement that fits — or at
 		// least shrinks — while costing the least. The member×variant
@@ -213,8 +230,8 @@ func (a *Advisor) recover(cfg *optimizer.Configuration) (*optimizer.Configuratio
 			member, variant *optimizer.HypoIndex
 		}
 		var pairs []swapPair
-		for _, member := range cur.Indexes {
-			for _, variant := range a.variantsOf(member) {
+		for _, member := range cur.Base().Indexes() {
+			for _, variant := range a.pool.variantsOf(member) {
 				if variant.Bytes >= member.Bytes {
 					continue
 				}
@@ -229,49 +246,36 @@ func (a *Advisor) recover(cfg *optimizer.Configuration) (*optimizer.Configuratio
 		}
 		evals := make([]swapEval, len(pairs))
 		parallelFor(workers, len(pairs), func(i int) {
-			next := cur.Replace(pairs[i].member, pairs[i].variant)
+			next, cost := cur.CostWithReplace(pairs[i].member, pairs[i].variant)
 			evals[i] = swapEval{
 				next:   next,
-				cost:   a.CM.WorkloadCost(a.WL, next),
+				cost:   cost,
 				fits:   next.SizeBytes(a.DB) <= a.Opts.Budget,
 				shrink: pairs[i].member.Bytes - pairs[i].variant.Bytes,
 			}
 		})
-		var best *optimizer.Configuration
+		best := -1
 		bestCost := math.Inf(1)
 		bestShrink := int64(0)
 		for i := range evals {
-			ev := &evals[i]
+			e := &evals[i]
 			switch {
-			case ev.fits && ev.cost < bestCost:
-				best, bestCost, bestShrink = ev.next, ev.cost, ev.shrink
-			case !ev.fits && best == nil && ev.shrink > bestShrink:
+			case e.fits && e.cost < bestCost:
+				best, bestCost, bestShrink = i, e.cost, e.shrink
+			case !e.fits && best < 0 && e.shrink > bestShrink:
 				// Track the biggest shrink as a stepping stone.
-				best, bestCost, bestShrink = ev.next, ev.cost, ev.shrink
+				best, bestCost, bestShrink = i, e.cost, e.shrink
 			}
 		}
-		if best == nil {
-			return nil, 0
+		if best < 0 {
+			return nil
 		}
-		cur = best
+		cur = cur.Advance(evals[best].next, pairs[best].member, pairs[best].variant)
 	}
-	if cur.SizeBytes(a.DB) <= a.Opts.Budget {
-		return cur, a.CM.WorkloadCost(a.WL, cur)
+	if cur.Base().SizeBytes(a.DB) <= a.Opts.Budget {
+		return cur
 	}
-	return nil, 0
-}
-
-// variantsOf returns the compressed variants of a member that the estimation
-// phase has produced (found among the advisor's candidate pool).
-func (a *Advisor) variantsOf(member *optimizer.HypoIndex) []*optimizer.HypoIndex {
-	var out []*optimizer.HypoIndex
-	sid := member.Def.StructureID()
-	for _, h := range a.allHypos {
-		if h != member && h.Def.StructureID() == sid {
-			out = append(out, h)
-		}
-	}
-	return out
+	return nil
 }
 
 func removeHypo(list []*optimizer.HypoIndex, h *optimizer.HypoIndex) []*optimizer.HypoIndex {
@@ -321,12 +325,12 @@ func (a *Advisor) enumerateStaged(candidates []*optimizer.HypoIndex, est *estima
 			}
 		}
 		add := blind.enumerate(pool)
-		if len(add.Indexes) == 0 {
+		if add.Len() == 0 {
 			break
 		}
 		// Blindly compress every addition with the heaviest method.
-		for _, h := range add.Indexes {
-			compressed := a.lookupHypo(h.Def.WithMethod(heavy))
+		for _, h := range add.Indexes() {
+			compressed := a.pool.lookup(h.Def.WithMethod(heavy))
 			if compressed != nil {
 				cfg = cfg.With(compressed)
 			} else {
@@ -335,14 +339,4 @@ func (a *Advisor) enumerateStaged(candidates []*optimizer.HypoIndex, est *estima
 		}
 	}
 	return cfg
-}
-
-func (a *Advisor) lookupHypo(d *index.Def) *optimizer.HypoIndex {
-	id := d.ID()
-	for _, h := range a.allHypos {
-		if h.Def.ID() == id {
-			return h
-		}
-	}
-	return nil
 }

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+
+	"cadb/internal/compress"
+	"cadb/internal/estimator"
+	"cadb/internal/index"
+	"cadb/internal/optimizer"
+	"cadb/internal/sampling"
+	"cadb/internal/sqlparse"
+	"cadb/internal/workload"
+)
+
+func parseStmt(t *testing.T, sql string, weight float64) *workload.Statement {
+	t.Helper()
+	s, err := sqlparse.ParseStatement(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Weight = weight
+	return s
+}
+
+// TestMergeCandidatesDoesNotClobberKeyCols is the regression test for the
+// slice-aliasing bug: building the merged include list used to append to
+// x.KeyCols[1:] in place, writing into KeyCols' backing array — which
+// candidate generation shares across defs.
+func TestMergeCandidatesDoesNotClobberKeyCols(t *testing.T) {
+	d, w := fixtures()
+	opts := DefaultOptions(budget(d, 0.5))
+	opts.EnableCompression = false // merge only the uncompressed variant: faster, same code path
+	a := New(d, w, opts)
+	est := estimator.New(d, sampling.NewManager(d, 0.05, 1))
+
+	// x's KeyCols is a 2-element window over a 3-element backing array; the
+	// element beyond the window must survive the merge untouched.
+	backing := []string{"l_shipdate", "l_shipmode", "l_quantity"}
+	x := &optimizer.HypoIndex{Def: &index.Def{
+		Table:       "lineitem",
+		KeyCols:     backing[:2],
+		IncludeCols: []string{"l_extendedprice"},
+	}}
+	y := &optimizer.HypoIndex{Def: &index.Def{
+		Table:       "lineitem",
+		KeyCols:     []string{"l_shipdate"},
+		IncludeCols: []string{"l_discount"},
+	}}
+
+	merged := a.mergeCandidates([]*optimizer.HypoIndex{x, y}, est)
+	if len(merged) <= 2 {
+		t.Fatal("expected a merged candidate (shared leading key column)")
+	}
+	if backing[2] != "l_quantity" {
+		t.Fatalf("mergeCandidates clobbered the shared backing array: %v", backing)
+	}
+	if len(x.Def.KeyCols) != 2 || x.Def.KeyCols[0] != "l_shipdate" || x.Def.KeyCols[1] != "l_shipmode" {
+		t.Fatalf("mergeCandidates mutated x.KeyCols: %v", x.Def.KeyCols)
+	}
+}
+
+// stagedFixture builds two single-query-serving index structures (plain +
+// PAGE variants) and an advisor whose candidate pool contains all four.
+func stagedFixture(t *testing.T) (a *Advisor, aPlain, aPage, bPlain, bPage *optimizer.HypoIndex) {
+	t.Helper()
+	d, _ := fixtures()
+	w := &workload.Workload{Statements: []*workload.Statement{
+		parseStmt(t, "SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9400", 1),
+		parseStmt(t, "SELECT SUM(o_totalprice) FROM orders WHERE o_orderdate >= DATE 9500", 1),
+	}}
+	defA := &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_extendedprice"}}
+	defB := &index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}, IncludeCols: []string{"o_totalprice"}}
+	build := func(def *index.Def) *optimizer.HypoIndex {
+		p, err := index.Build(d, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return optimizer.FromPhysical(p)
+	}
+	aPlain, aPage = build(defA.Uncompressed()), build(defA.WithMethod(compress.Page))
+	bPlain, bPage = build(defB.Uncompressed()), build(defB.WithMethod(compress.Page))
+
+	opts := DefaultOptions(0) // budget set by each test
+	a = New(d, w, opts)
+	a.pool = newCandidatePool(4)
+	for _, h := range []*optimizer.HypoIndex{aPage, aPlain, bPage, bPlain} {
+		a.pool.add(h)
+	}
+	return a, aPlain, aPage, bPlain, bPage
+}
+
+// TestEnumerateStagedReusesFreedBudget covers the decoupled baseline's round
+// structure: the compression-blind pass can afford only one plain index, the
+// blind compression shrinks it, and the next round spends the freed budget
+// on the second structure.
+func TestEnumerateStagedReusesFreedBudget(t *testing.T) {
+	a, aPlain, aPage, bPlain, bPage := stagedFixture(t)
+	if aPage.Bytes >= aPlain.Bytes || bPage.Bytes >= bPlain.Bytes {
+		t.Fatalf("PAGE variants must shrink: %d/%d, %d/%d", aPage.Bytes, aPlain.Bytes, bPage.Bytes, bPlain.Bytes)
+	}
+	// Fits either plain index alone — not both — and, after one is swapped
+	// for its PAGE variant, the other plain index too.
+	bud := aPlain.Bytes
+	if alt := bPlain.Bytes + aPage.Bytes; alt > bud {
+		bud = alt
+	}
+	if alt := aPlain.Bytes + bPage.Bytes; alt > bud {
+		bud = alt
+	}
+	if bud >= aPlain.Bytes+bPlain.Bytes {
+		t.Fatalf("fixture sizes break the staging premise: budget %d fits both plain (%d + %d)",
+			bud, aPlain.Bytes, bPlain.Bytes)
+	}
+	a.Opts.Budget = bud
+	a.Opts.Staged = true
+
+	cfg := a.enumerateStaged([]*optimizer.HypoIndex{aPlain, aPage, bPlain, bPage}, nil)
+	if cfg.Len() != 2 {
+		t.Fatalf("staged rounds should reach 2 indexes via freed budget, got %d: %v", cfg.Len(), cfg)
+	}
+	for _, h := range cfg.Indexes() {
+		if h.Def.Method != compress.Page {
+			t.Fatalf("staged must blindly compress every pick with the heaviest method, got %v", h.Def)
+		}
+	}
+	if got := cfg.SizeBytes(a.DB); got > a.Opts.Budget {
+		t.Fatalf("staged result exceeds budget: %d > %d", got, a.Opts.Budget)
+	}
+}
+
+// TestRecoverSteppingStone covers backtracking's !fits && shrink branch: no
+// single compressed-variant swap fits the budget, so recovery must take the
+// biggest-shrink swap as a stepping stone and fit with the second swap.
+func TestRecoverSteppingStone(t *testing.T) {
+	a, aPlain, aPage, bPlain, bPage := stagedFixture(t)
+	// Only the fully compressed assignment fits.
+	bud := aPage.Bytes + bPage.Bytes
+	if aPage.Bytes+bPlain.Bytes <= bud || aPlain.Bytes+bPage.Bytes <= bud {
+		t.Fatalf("fixture sizes break the stepping-stone premise: a=%d/%d b=%d/%d",
+			aPlain.Bytes, aPage.Bytes, bPlain.Bytes, bPage.Bytes)
+	}
+	a.Opts.Budget = bud
+
+	over := optimizer.NewConfiguration(aPlain, bPlain)
+	rec := a.recover(optimizer.NewEvaluator(a.CM, a.WL, over, a.evalStats))
+	if rec == nil {
+		t.Fatal("recover should reach the all-PAGE assignment through a stepping stone")
+	}
+	got := rec.Base()
+	if got.Len() != 2 || !got.Contains(aPage.Def) || !got.Contains(bPage.Def) {
+		t.Fatalf("recovered wrong assignment: %v", got)
+	}
+	if s := got.SizeBytes(a.DB); s > bud {
+		t.Fatalf("recovered config oversized: %d > %d", s, bud)
+	}
+	fresh := optimizer.NewCostModel(a.DB)
+	if want := fresh.WorkloadCost(a.WL, got); rec.Total() != want {
+		t.Fatalf("recovered evaluator total %v != full recompute %v", rec.Total(), want)
+	}
+
+	// And when even the fully compressed assignment is oversized, recovery
+	// must give up rather than return an over-budget configuration.
+	a.Opts.Budget = bud - 1
+	if r := a.recover(optimizer.NewEvaluator(a.CM, a.WL, over, a.evalStats)); r != nil {
+		t.Fatalf("recover returned an assignment that cannot fit: %v", r.Base())
+	}
+}

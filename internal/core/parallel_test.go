@@ -28,11 +28,12 @@ func recommendAt(t *testing.T, d *catalog.Database, w *workload.Workload, opts O
 	return rec
 }
 
-// TestParallelMatchesSerial asserts the headline determinism contract: the
-// worker-pool enumeration and estimation return byte-identical
-// recommendations at Parallelism 1 and Parallelism 8, on both bundled
-// workload shapes.
-func TestParallelMatchesSerial(t *testing.T) {
+// TestRecommendDeterministic asserts the headline determinism contract: the
+// worker-pool enumeration and estimation — now routed through the
+// incremental evaluator — return byte-identical recommendations at
+// Parallelism 1 and Parallelism 8, and run to run, on both bundled workload
+// shapes.
+func TestRecommendDeterministic(t *testing.T) {
 	type workloadCase struct {
 		name string
 		db   *catalog.Database
@@ -51,6 +52,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 			parallel := renderRec(recommendAt(t, c.db, c.wl, opts, 8))
 			if serial != parallel {
 				t.Fatalf("parallel recommendation diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+			}
+			if again := renderRec(recommendAt(t, c.db, c.wl, opts, 8)); again != parallel {
+				t.Fatalf("recommendation diverged run to run:\n--- first ---\n%s--- second ---\n%s", parallel, again)
 			}
 		})
 	}

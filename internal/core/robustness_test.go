@@ -43,7 +43,7 @@ func TestAdvisorInsertOnlyWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Pure write workloads get no secondary indexes (they only cost).
-	for _, h := range rec.Config.Indexes {
+	for _, h := range rec.Config.Indexes() {
 		if !h.Def.Clustered {
 			t.Fatalf("insert-only workload should not add secondary indexes: %s", h.Def)
 		}
@@ -83,8 +83,8 @@ func TestAdvisorNegativeBudget(t *testing.T) {
 		// A negative budget can only be met by compressing clustered
 		// indexes below the heap size; if impossible, the config must be
 		// empty rather than over budget.
-		if len(rec.Config.Indexes) != 0 {
-			t.Fatalf("negative budget violated: size=%d with %d indexes", rec.SizeBytes, len(rec.Config.Indexes))
+		if rec.Config.Len() != 0 {
+			t.Fatalf("negative budget violated: size=%d with %d indexes", rec.SizeBytes, rec.Config.Len())
 		}
 	}
 }
@@ -116,7 +116,7 @@ func TestAdvisorDuplicateStatements(t *testing.T) {
 	}
 	// Duplicates must not duplicate structures in the recommendation.
 	seen := map[string]bool{}
-	for _, h := range rec.Config.Indexes {
+	for _, h := range rec.Config.Indexes() {
 		id := h.Def.StructureID()
 		if seen[id] {
 			t.Fatalf("duplicate structure recommended: %s", h.Def)
@@ -134,10 +134,10 @@ func TestRecommendedSizesMatchPhysicalBuilds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rec.Config.Indexes) == 0 {
+	if rec.Config.Len() == 0 {
 		t.Fatal("nothing recommended")
 	}
-	for _, h := range rec.Config.Indexes {
+	for _, h := range rec.Config.Indexes() {
 		phys, err := index.Build(db, h.Def)
 		if err != nil {
 			t.Fatalf("recommended index does not build: %s: %v", h.Def, err)
@@ -160,7 +160,7 @@ func TestAdvisorSingleMethodPalette(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, h := range rec.Config.Indexes {
+	for _, h := range rec.Config.Indexes() {
 		if h.Def.Method != compress.None && h.Def.Method != compress.Row {
 			t.Fatalf("method outside palette: %s", h.Def)
 		}

@@ -12,6 +12,7 @@ package optimizer
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"cadb/internal/catalog"
 	"cadb/internal/compress"
@@ -58,104 +59,224 @@ func (h *HypoIndex) String() string {
 	return fmt.Sprintf("%s [rows=%d pages=%d cf=%.2f]", h.Def, h.Rows, h.Pages(), h.CF())
 }
 
-// Configuration is a set of hypothetical indexes (at most one clustered
-// index per table).
+// Configuration is an immutable set of hypothetical indexes (at most one
+// clustered index per table). It is a persistent data structure: With,
+// Without and Replace return a constant-size node that records the single
+// edit and links back to its parent (With is O(1); Without/Replace add an
+// O(n) membership scan of the already-materialized receiver), so the greedy
+// enumeration's thousands of neighboring configurations share structure
+// instead of copying the index slice. The materialized view of a node — the ordered index slice plus the
+// per-table, per-ID and per-StructureID lookup maps — is built lazily, at
+// most once, only when a configuration is actually inspected (costed, size-
+// checked, rendered). All methods are safe for concurrent use.
 type Configuration struct {
-	Indexes []*HypoIndex
+	parent *Configuration
+	// added / removed record this node's edit relative to parent:
+	// With sets added; Without sets removed; Replace sets both (the added
+	// index substitutes the removed one in place). occ is how many
+	// occurrences of the edited pointer the parent held (Without and
+	// Replace act on every occurrence, as the slice-based implementation
+	// did), so Len and the SizeBytes delta stay consistent even when a
+	// caller inserted the same HypoIndex more than once.
+	added   *HypoIndex
+	removed *HypoIndex
+	occ     int
+	// root holds the index list for chain roots (parent == nil).
+	root []*HypoIndex
+	// n is the index count, maintained eagerly so Len is O(1).
+	n int
+
+	viewOnce sync.Once
+	view     *configView
+
+	// SizeBytes cache: computed once per database in O(1) from the parent's
+	// cached size plus this node's delta.
+	sizeMu sync.Mutex
+	sizeDB *catalog.Database
+	size   int64
+}
+
+// configView is the lazily materialized aggregate state of a configuration.
+type configView struct {
+	indexes []*HypoIndex
+	// onTable maps a lowercased table name to the indexes OnTable(t, true)
+	// returns: non-MV indexes on the table plus MV indexes whose fact table
+	// matches, in insertion order (interleaved, as a linear scan would find
+	// them — maintenance costs are summed in this order, so it is part of the
+	// determinism contract).
+	onTable map[string][]*HypoIndex
+	// plain is onTable without the MV entries (OnTable(t, false)).
+	plain map[string][]*HypoIndex
+	// clustered maps a lowercased table name to its first clustered index.
+	clustered map[string]*HypoIndex
+	// mvs lists the MV indexes in insertion order.
+	mvs []*HypoIndex
+	// ids and structs make Contains/ContainsStructure O(1).
+	ids     map[string]bool
+	structs map[string]bool
 }
 
 // NewConfiguration builds a configuration from indexes.
 func NewConfiguration(idxs ...*HypoIndex) *Configuration {
-	return &Configuration{Indexes: idxs}
+	root := make([]*HypoIndex, len(idxs))
+	copy(root, idxs)
+	return &Configuration{root: root, n: len(root)}
 }
 
-// Clone returns a shallow copy whose index slice can be extended safely.
-func (c *Configuration) Clone() *Configuration {
-	out := &Configuration{Indexes: make([]*HypoIndex, len(c.Indexes))}
-	copy(out.Indexes, c.Indexes)
-	return out
+// mat returns the materialized view, building it on first use.
+func (c *Configuration) mat() *configView {
+	c.viewOnce.Do(func() {
+		var list []*HypoIndex
+		switch {
+		case c.parent == nil:
+			list = c.root
+		case c.removed == nil: // With
+			p := c.parent.mat().indexes
+			list = make([]*HypoIndex, len(p)+1)
+			copy(list, p)
+			list[len(p)] = c.added
+		case c.added == nil: // Without
+			p := c.parent.mat().indexes
+			list = make([]*HypoIndex, 0, len(p)-1)
+			for _, x := range p {
+				if x != c.removed {
+					list = append(list, x)
+				}
+			}
+		default: // Replace, in place
+			p := c.parent.mat().indexes
+			list = make([]*HypoIndex, len(p))
+			for i, x := range p {
+				if x == c.removed {
+					list[i] = c.added
+				} else {
+					list[i] = x
+				}
+			}
+		}
+		v := &configView{
+			indexes:   list,
+			onTable:   make(map[string][]*HypoIndex),
+			plain:     make(map[string][]*HypoIndex),
+			clustered: make(map[string]*HypoIndex),
+			ids:       make(map[string]bool, len(list)),
+			structs:   make(map[string]bool, len(list)),
+		}
+		for _, x := range list {
+			v.ids[x.Def.ID()] = true
+			v.structs[x.Def.StructureID()] = true
+			if x.Def.MV != nil {
+				v.mvs = append(v.mvs, x)
+				fact := strings.ToLower(x.Def.MV.Fact)
+				v.onTable[fact] = append(v.onTable[fact], x)
+			} else {
+				tbl := strings.ToLower(x.Def.Table)
+				v.onTable[tbl] = append(v.onTable[tbl], x)
+				v.plain[tbl] = append(v.plain[tbl], x)
+			}
+			if x.Def.Clustered {
+				tbl := strings.ToLower(x.Def.Table)
+				if _, ok := v.clustered[tbl]; !ok {
+					v.clustered[tbl] = x
+				}
+			}
+		}
+		c.view = v
+	})
+	return c.view
 }
 
-// With returns a copy of the configuration with the index added.
+// Indexes returns the configuration's indexes in insertion order (Replace
+// preserves the replaced member's position). The slice is shared and must
+// not be mutated.
+func (c *Configuration) Indexes() []*HypoIndex { return c.mat().indexes }
+
+// Len returns the number of indexes in O(1).
+func (c *Configuration) Len() int { return c.n }
+
+// With returns the configuration extended with the index. O(1).
 func (c *Configuration) With(h *HypoIndex) *Configuration {
-	out := c.Clone()
-	out.Indexes = append(out.Indexes, h)
-	return out
+	return &Configuration{parent: c, added: h, occ: 1, n: c.n + 1}
 }
 
-// Without returns a copy with the given index removed (by pointer identity).
+// Without returns the configuration with every occurrence of the given
+// index removed (by pointer identity), as a constant-size node; the
+// membership guard scans the receiver's materialized view (already built
+// whenever the receiver has been inspected). Returns the receiver when the
+// index is not a member.
 func (c *Configuration) Without(h *HypoIndex) *Configuration {
-	out := &Configuration{}
-	for _, x := range c.Indexes {
-		if x != h {
-			out.Indexes = append(out.Indexes, x)
-		}
+	k := c.occurrencesOf(h)
+	if k == 0 {
+		return c
 	}
-	return out
+	return &Configuration{parent: c, removed: h, occ: k, n: c.n - k}
 }
 
-// Replace returns a copy with old swapped for new.
+// Replace returns the configuration with every occurrence of old swapped
+// for new, preserving position, as a constant-size node (membership guard
+// as in Without). Returns the receiver when old is not a member.
 func (c *Configuration) Replace(old, new *HypoIndex) *Configuration {
-	out := &Configuration{Indexes: make([]*HypoIndex, 0, len(c.Indexes))}
-	for _, x := range c.Indexes {
-		if x == old {
-			out.Indexes = append(out.Indexes, new)
-		} else {
-			out.Indexes = append(out.Indexes, x)
+	if old == new {
+		return c
+	}
+	k := c.occurrencesOf(old)
+	if k == 0 {
+		return c
+	}
+	return &Configuration{parent: c, added: new, removed: old, occ: k, n: c.n}
+}
+
+// occurrencesOf counts pointer occurrences.
+func (c *Configuration) occurrencesOf(h *HypoIndex) int {
+	k := 0
+	for _, x := range c.mat().indexes {
+		if x == h {
+			k++
 		}
 	}
-	return out
+	return k
 }
 
 // Contains reports whether an index with the same ID is present.
 func (c *Configuration) Contains(d *index.Def) bool {
-	id := d.ID()
-	for _, x := range c.Indexes {
-		if x.Def.ID() == id {
-			return true
-		}
-	}
-	return false
+	return c.mat().ids[d.ID()]
 }
 
 // ContainsStructure reports whether any compression variant of the structure
 // is present.
 func (c *Configuration) ContainsStructure(d *index.Def) bool {
-	id := d.StructureID()
-	for _, x := range c.Indexes {
-		if x.Def.StructureID() == id {
-			return true
-		}
-	}
-	return false
+	return c.mat().structs[d.StructureID()]
 }
 
 // OnTable returns the indexes on the named table (including MV indexes whose
-// fact table matches when includeMV is set).
+// fact table matches when includeMV is set), in insertion order. The slice
+// is shared and must not be mutated.
 func (c *Configuration) OnTable(table string, includeMV bool) []*HypoIndex {
-	var out []*HypoIndex
-	for _, x := range c.Indexes {
-		if x.Def.MV != nil {
-			if includeMV && strings.EqualFold(x.Def.MV.Fact, table) {
-				out = append(out, x)
-			}
-			continue
-		}
-		if strings.EqualFold(x.Def.Table, table) {
-			out = append(out, x)
-		}
+	v := c.mat()
+	if includeMV {
+		return v.onTable[strings.ToLower(table)]
 	}
-	return out
+	return v.plain[strings.ToLower(table)]
 }
+
+// MVIndexes returns the MV indexes in insertion order. The slice is shared
+// and must not be mutated.
+func (c *Configuration) MVIndexes() []*HypoIndex { return c.mat().mvs }
 
 // Clustered returns the clustered index on the table, if any.
 func (c *Configuration) Clustered(table string) *HypoIndex {
-	for _, x := range c.Indexes {
-		if x.Def.Clustered && strings.EqualFold(x.Def.Table, table) {
-			return x
+	return c.mat().clustered[strings.ToLower(table)]
+}
+
+// sizeContribution is one index's share of SizeBytes: a clustered index
+// replaces the table's heap, so it contributes its size minus the heap.
+func sizeContribution(x *HypoIndex, db *catalog.Database) int64 {
+	if x.Def.Clustered && x.Def.MV == nil {
+		if t := db.Table(x.Def.Table); t != nil {
+			return x.Bytes - t.HeapBytes()
 		}
 	}
-	return nil
+	return x.Bytes
 }
 
 // SizeBytes returns the storage the configuration consumes relative to the
@@ -163,27 +284,49 @@ func (c *Configuration) Clustered(table string) *HypoIndex {
 // full size; a clustered index replaces the table's heap, so it contributes
 // its size minus the heap it replaces — which is how compressing a clustered
 // index can free space for more indexes even under a 0% budget (Appendix D).
+// The result is cached per node and derived from the parent's cached size in
+// O(1), so checking every greedy neighbor against the budget no longer
+// rescans the whole configuration. The cache reads HypoIndex.Bytes once:
+// resizing a member in place afterwards leaves cached sizes stale — replace
+// the member with a resized copy instead (see also ResetCostCache).
 func (c *Configuration) SizeBytes(db *catalog.Database) int64 {
-	var total int64
-	for _, x := range c.Indexes {
-		if x.Def.Clustered && x.Def.MV == nil {
-			if t := db.Table(x.Def.Table); t != nil {
-				total += x.Bytes - t.HeapBytes()
-				continue
-			}
-		}
-		total += x.Bytes
+	c.sizeMu.Lock()
+	if c.sizeDB == db {
+		s := c.size
+		c.sizeMu.Unlock()
+		return s
 	}
-	return total
+	c.sizeMu.Unlock()
+
+	var s int64
+	if c.parent == nil {
+		for _, x := range c.root {
+			s += sizeContribution(x, db)
+		}
+	} else {
+		s = c.parent.SizeBytes(db)
+		if c.removed != nil {
+			s -= int64(c.occ) * sizeContribution(c.removed, db)
+		}
+		if c.added != nil {
+			s += int64(c.occ) * sizeContribution(c.added, db)
+		}
+	}
+
+	c.sizeMu.Lock()
+	c.sizeDB, c.size = db, s
+	c.sizeMu.Unlock()
+	return s
 }
 
 // String renders the configuration compactly.
 func (c *Configuration) String() string {
-	if len(c.Indexes) == 0 {
+	idxs := c.Indexes()
+	if len(idxs) == 0 {
 		return "{base tables only}"
 	}
-	parts := make([]string, len(c.Indexes))
-	for i, x := range c.Indexes {
+	parts := make([]string, len(idxs))
+	for i, x := range idxs {
 		parts[i] = x.Def.String()
 	}
 	return "{" + strings.Join(parts, "; ") + "}"

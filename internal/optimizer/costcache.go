@@ -96,6 +96,9 @@ func (cm *CostModel) StatementCost(stmt *workload.Statement, cfg *Configuration)
 // this whenever anything else a plan depends on changes: table rows or
 // statistics mutated (e.g. after Table.InvalidateStats), cost-model
 // constants adjusted, or a HypoIndex resized in place rather than replaced.
+// Note in-place resizing also leaves any Configuration's cached SizeBytes
+// stale, which this reset cannot fix — prefer replacing the index with a
+// resized copy.
 func (cm *CostModel) ResetCostCache() {
 	cm.cache.mu.Lock()
 	cm.cache.costs = nil
@@ -114,40 +117,28 @@ func (cm *CostModel) CostCacheStats() (hits, misses uint64) {
 // relevantSignature serializes the identity and size of every index in the
 // configuration that can influence the statement's plan. Indexes on
 // unrelated tables are omitted, which is exactly what makes neighboring
-// greedy configurations collide on the same key.
+// greedy configurations collide on the same key. The per-table view maps
+// answer "which indexes are relevant" directly, so building a signature
+// costs O(relevant) instead of a scan over the whole configuration; the
+// emission order (per query table, insertion order within a table, MV
+// indexes with the driving table) is deterministic, which is all key
+// equality needs — every atom embeds its index's identity, so distinct
+// relevant sets can never collide.
 func (cc *costCache) relevantSignature(stmt *workload.Statement, cfg *Configuration) string {
 	var b strings.Builder
-	emit := func(h *HypoIndex) { b.WriteString(cc.atom(h)) }
 	switch {
 	case stmt.Query != nil:
-		q := stmt.Query
-		for _, h := range cfg.Indexes {
-			if h.Def.MV != nil {
-				// mvMatches only ever accepts MVs on the driving table.
-				if len(q.Tables) > 0 && strings.EqualFold(h.Def.MV.Fact, q.Tables[0]) {
-					emit(h)
-				}
-				continue
-			}
-			for _, t := range q.Tables {
-				if strings.EqualFold(h.Def.Table, t) {
-					emit(h)
-					break
-				}
+		// mvMatches only ever accepts MVs on the driving table, so MV
+		// indexes (fetched by OnTable with includeMV) matter only for
+		// q.Tables[0].
+		for i, t := range stmt.Query.Tables {
+			for _, h := range cfg.OnTable(t, i == 0) {
+				b.WriteString(cc.atom(h))
 			}
 		}
 	case stmt.Insert != nil:
-		table := stmt.Insert.Table
-		for _, h := range cfg.Indexes {
-			if h.Def.MV != nil {
-				if strings.EqualFold(h.Def.MV.Fact, table) {
-					emit(h)
-				}
-				continue
-			}
-			if strings.EqualFold(h.Def.Table, table) {
-				emit(h)
-			}
+		for _, h := range cfg.OnTable(stmt.Insert.Table, true) {
+			b.WriteString(cc.atom(h))
 		}
 	}
 	return b.String()

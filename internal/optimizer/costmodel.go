@@ -403,10 +403,7 @@ func countUsedCols(idxCols, queryCols []string) int {
 // or nil.
 func (cm *CostModel) bestMVPath(q *workload.Query, cfg *Configuration) *AccessPath {
 	var best *AccessPath
-	for _, h := range cfg.Indexes {
-		if h.Def.MV == nil {
-			continue
-		}
+	for _, h := range cfg.MVIndexes() {
 		residual, ok := mvMatches(h.Def.MV, q)
 		if !ok {
 			continue

@@ -1,0 +1,198 @@
+package optimizer
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"cadb/internal/workload"
+)
+
+// The incremental what-if evaluation layer.
+//
+// Greedy enumeration explores configurations that differ from a base by a
+// single index (an add during the greedy step, a swap during backtracking
+// recovery). A statement's plan can only change when the delta touches a
+// table the statement reads or writes — the same relevance rule the
+// statement-cost cache keys on (costcache.go). The Evaluator precomputes
+// each statement's relevance scope once per workload, keeps the
+// per-statement cost vector of a base configuration, and answers
+// CostWithAdd/CostWithReplace by re-planning only the statements relevant to
+// the delta, reusing the base vector for everything else. Re-planned
+// statements still go through the statement-cost cache, so even they are
+// usually served without a plan search.
+//
+// Determinism contract: the returned total is bit-identical to a full
+// CostModel.WorkloadCost recompute. Reused entries hold the exact floats a
+// recompute would produce (StatementCost is deterministic and memoized), and
+// the total is summed in statement order with the same weight
+// multiplication — never maintained incrementally, which could drift in
+// floating point. TestEvaluatorMatchesFullRecompute enforces this.
+//
+// An Evaluator is immutable after construction; CostWithAdd/CostWithReplace
+// are safe to call from many goroutines at once (the enumeration worker pool
+// does). Advance returns a new Evaluator rebased on a chosen neighbor.
+
+// EvaluatorStats accumulates delta-evaluation counters, shared by every
+// Evaluator derived via Advance (and across the advisor's nested enumeration
+// passes). Safe for concurrent use.
+type EvaluatorStats struct {
+	evaluations      atomic.Uint64
+	deltaStatements  atomic.Uint64
+	reusedStatements atomic.Uint64
+}
+
+// Snapshot returns the counters: delta evaluations performed, statements
+// re-planned, and statement costs reused from a base vector.
+func (s *EvaluatorStats) Snapshot() (evaluations, delta, reused uint64) {
+	return s.evaluations.Load(), s.deltaStatements.Load(), s.reusedStatements.Load()
+}
+
+// stmtScope is a statement's precomputed relevance: the tables whose plain
+// indexes can affect its plan, and the fact tables whose MV indexes can.
+type stmtScope struct {
+	tables  map[string]bool
+	mvFacts map[string]bool
+}
+
+// affectedBy reports whether adding/removing h can change the statement's
+// plan. Mirrors costCache.relevantSignature: plain indexes are relevant to
+// queries on their table and inserts into it; MV indexes are relevant to
+// queries whose driving table is the MV's fact (mvMatches accepts no others)
+// and to inserts into the fact.
+func (sc stmtScope) affectedBy(h *HypoIndex) bool {
+	if h.Def.MV != nil {
+		return sc.mvFacts[strings.ToLower(h.Def.MV.Fact)]
+	}
+	return sc.tables[strings.ToLower(h.Def.Table)]
+}
+
+// affectedByAny reports whether any of the delta's indexes is relevant.
+func (sc stmtScope) affectedByAny(touched []*HypoIndex) bool {
+	for _, h := range touched {
+		if h != nil && sc.affectedBy(h) {
+			return true
+		}
+	}
+	return false
+}
+
+// scopeOf computes a statement's relevance scope.
+func scopeOf(s *workload.Statement) stmtScope {
+	sc := stmtScope{tables: map[string]bool{}, mvFacts: map[string]bool{}}
+	switch {
+	case s.Query != nil:
+		for _, t := range s.Query.Tables {
+			sc.tables[strings.ToLower(t)] = true
+		}
+		if len(s.Query.Tables) > 0 {
+			sc.mvFacts[strings.ToLower(s.Query.Tables[0])] = true
+		}
+	case s.Insert != nil:
+		t := strings.ToLower(s.Insert.Table)
+		sc.tables[t] = true
+		sc.mvFacts[t] = true
+	}
+	return sc
+}
+
+// Evaluator answers what-if workload costs for single-index deltas against a
+// base configuration by incremental re-planning.
+type Evaluator struct {
+	cm *CostModel
+	wl *workload.Workload
+	// scopes and stats are shared across Advance generations.
+	scopes []stmtScope
+	stats  *EvaluatorStats
+
+	base  *Configuration
+	costs []float64 // per-statement cost under base, in workload order
+	total float64   // Σ weight·cost, summed in workload order
+}
+
+// NewEvaluator builds an evaluator for the workload based at cfg, paying one
+// full workload costing (through the statement-cost cache). stats may be nil.
+func NewEvaluator(cm *CostModel, wl *workload.Workload, cfg *Configuration, stats *EvaluatorStats) *Evaluator {
+	if stats == nil {
+		stats = &EvaluatorStats{}
+	}
+	e := &Evaluator{
+		cm:     cm,
+		wl:     wl,
+		scopes: make([]stmtScope, len(wl.Statements)),
+		stats:  stats,
+		base:   cfg,
+		costs:  make([]float64, len(wl.Statements)),
+	}
+	for i, s := range wl.Statements {
+		e.scopes[i] = scopeOf(s)
+		c := cm.StatementCost(s, cfg)
+		e.costs[i] = c
+		e.total += s.Weight * c
+	}
+	return e
+}
+
+// Base returns the base configuration.
+func (e *Evaluator) Base() *Configuration { return e.base }
+
+// Total returns the workload cost of the base configuration, bit-identical
+// to CostModel.WorkloadCost(wl, Base()).
+func (e *Evaluator) Total() float64 { return e.total }
+
+// costUnder totals the workload under next, re-planning only statements
+// whose scope intersects the touched indexes.
+func (e *Evaluator) costUnder(next *Configuration, touched ...*HypoIndex) float64 {
+	e.stats.evaluations.Add(1)
+	var total float64
+	var delta, reused uint64
+	for i, s := range e.wl.Statements {
+		c := e.costs[i]
+		if e.scopes[i].affectedByAny(touched) {
+			c = e.cm.StatementCost(s, next)
+			delta++
+		} else {
+			reused++
+		}
+		total += s.Weight * c
+	}
+	e.stats.deltaStatements.Add(delta)
+	e.stats.reusedStatements.Add(reused)
+	return total
+}
+
+// CostWithAdd returns the configuration Base().With(h) and its workload
+// cost, re-planning only the statements h is relevant to.
+func (e *Evaluator) CostWithAdd(h *HypoIndex) (*Configuration, float64) {
+	next := e.base.With(h)
+	return next, e.costUnder(next, h)
+}
+
+// CostWithReplace returns the configuration Base().Replace(old, new) and its
+// workload cost, re-planning only the statements the swap is relevant to.
+func (e *Evaluator) CostWithReplace(old, new *HypoIndex) (*Configuration, float64) {
+	next := e.base.Replace(old, new)
+	return next, e.costUnder(next, old, new)
+}
+
+// Advance returns a new evaluator rebased on next, refreshing only the cost
+// vector entries relevant to the touched indexes (the delta between Base()
+// and next). Scopes and stats are shared with the receiver.
+func (e *Evaluator) Advance(next *Configuration, touched ...*HypoIndex) *Evaluator {
+	ne := &Evaluator{
+		cm:     e.cm,
+		wl:     e.wl,
+		scopes: e.scopes,
+		stats:  e.stats,
+		base:   next,
+		costs:  make([]float64, len(e.costs)),
+	}
+	for i, s := range e.wl.Statements {
+		c := e.costs[i]
+		if e.scopes[i].affectedByAny(touched) {
+			c = e.cm.StatementCost(s, next)
+		}
+		ne.costs[i] = c
+		ne.total += s.Weight * c
+	}
+	return ne
+}

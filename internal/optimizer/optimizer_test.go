@@ -302,14 +302,14 @@ func TestConfigurationOps(t *testing.T) {
 	b := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_custkey"}})
 	cfg := NewConfiguration(a)
 	cfg2 := cfg.With(b)
-	if len(cfg.Indexes) != 1 || len(cfg2.Indexes) != 2 {
+	if cfg.Len() != 1 || cfg2.Len() != 2 {
 		t.Fatal("With must not mutate the receiver")
 	}
 	if !cfg2.Contains(a.Def) || !cfg2.Contains(b.Def) {
 		t.Fatal("Contains broken")
 	}
 	cfg3 := cfg2.Without(a)
-	if len(cfg3.Indexes) != 1 || cfg3.Contains(a.Def) {
+	if cfg3.Len() != 1 || cfg3.Contains(a.Def) {
 		t.Fatal("Without broken")
 	}
 	rowVariant := build(t, (&index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}}).WithMethod(compress.Row))

@@ -125,7 +125,7 @@ func TestWithoutAndReplacePreserveOthers(t *testing.T) {
 	c := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_clerk"}})
 	cfg := NewConfiguration(a, b, c)
 	without := cfg.Without(b)
-	if len(without.Indexes) != 2 || without.Contains(b.Def) {
+	if without.Len() != 2 || without.Contains(b.Def) {
 		t.Fatal("Without broken")
 	}
 	if !without.Contains(a.Def) || !without.Contains(c.Def) {
@@ -133,7 +133,7 @@ func TestWithoutAndReplacePreserveOthers(t *testing.T) {
 	}
 	repl := build(t, (&index.Def{Table: "orders", KeyCols: []string{"o_custkey"}}).WithMethod(compress.Row))
 	replaced := cfg.Replace(b, repl)
-	if !replaced.Contains(repl.Def) || replaced.Contains(b.Def) || len(replaced.Indexes) != 3 {
+	if !replaced.Contains(repl.Def) || replaced.Contains(b.Def) || replaced.Len() != 3 {
 		t.Fatal("Replace broken")
 	}
 }
