@@ -45,6 +45,7 @@ import (
 	"cadb/internal/index"
 	"cadb/internal/optimizer"
 	"cadb/internal/sampling"
+	"cadb/internal/sizeest"
 	"cadb/internal/sizing"
 	"cadb/internal/sqlparse"
 	"cadb/internal/workload"
@@ -200,6 +201,24 @@ type SizeEstimate = estimator.Estimate
 // sampling fraction f.
 func NewSizeEstimator(db *Database, f float64, seed int64) *SizeEstimator {
 	return estimator.New(db, sampling.NewManager(db, f, seed))
+}
+
+// SizeOracle is the size-estimation orchestration layer the advisor runs on:
+// plan the estimation strategy over shared f-grid prefix samples, execute
+// the deduction DAG in parallel with batched SampleCF, and admit
+// late-arriving index definitions into the live graph. Estimates are
+// byte-identical to the serial plan-execution path at any worker count.
+type SizeOracle = sizeest.Oracle
+
+// SizeOracleConfig parameterizes a size oracle.
+type SizeOracleConfig = sizeest.Config
+
+// SizeAccounting is the oracle's runtime split and admission counters.
+type SizeAccounting = sizeest.Accounting
+
+// NewSizeOracle creates the batched, DAG-parallel size oracle.
+func NewSizeOracle(db *Database, cfg SizeOracleConfig) SizeOracle {
+	return sizeest.New(db, cfg)
 }
 
 // EstimationPlan is a solved estimation strategy (which indexes to SampleCF,

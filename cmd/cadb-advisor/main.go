@@ -112,11 +112,15 @@ func main() {
 
 	if *verbose {
 		t := rec.Timing
-		fmt.Printf("\ntiming: total=%v candgen=%v samples=%v table-est=%v partial-est=%v mv-est=%v enum=%v\n",
+		fmt.Printf("\ntiming: total=%v candgen=%v estimate=%v (samples=%v plan-solve=%v plan-exec=%v table-est=%v partial-est=%v mv-est=%v) enum=%v\n",
 			t.Total.Round(time.Millisecond), t.CandidateGen.Round(time.Millisecond),
-			t.SampleBuild.Round(time.Millisecond), t.TableEstimate.Round(time.Millisecond),
+			t.EstimateAll.Round(time.Millisecond),
+			t.SampleBuild.Round(time.Millisecond), t.PlanSolve.Round(time.Millisecond),
+			t.PlanExecute.Round(time.Millisecond), t.TableEstimate.Round(time.Millisecond),
 			t.PartialEstim.Round(time.Millisecond), t.MVEstimate.Round(time.Millisecond),
 			t.Enumerate.Round(time.Millisecond))
+		fmt.Printf("size oracle: %d SampleCF calls; late admissions %d deduced / %d sampled; %d estimation errors tolerated\n",
+			t.SampleCFCalls, t.AdmittedDeduced, t.AdmittedSampled, t.EstimationErrors)
 		if planned := t.DeltaStatements + t.ReusedStatements; planned > 0 {
 			fmt.Printf("what-if: %d delta evaluations; %d statement costs re-planned, %d reused from base vectors (%.1f%% skipped); statement cache %d hits / %d misses\n",
 				t.WhatIfEvaluations, t.DeltaStatements, t.ReusedStatements,

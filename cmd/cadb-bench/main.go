@@ -1,12 +1,13 @@
 // Command cadb-bench runs the advisor's key performance benchmarks —
-// Recommend, the enumeration phase, and the what-if cost API — and writes a
-// machine-readable JSON report, so the perf trajectory can be tracked across
-// changes without parsing `go test -bench` output.
+// Recommend, the enumeration phase, the what-if cost API, and the
+// size-estimation layer — and writes machine-readable JSON reports, so the
+// perf trajectory can be tracked across changes without parsing
+// `go test -bench` output.
 //
 // Usage:
 //
-//	cadb-bench                          # writes BENCH_enumerate.json
-//	cadb-bench -rows 20000 -out perf.json
+//	cadb-bench                          # writes BENCH_enumerate.json + BENCH_sizing.json
+//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json
 //	cadb-bench -n 5 -quiet
 package main
 
@@ -42,10 +43,11 @@ type report struct {
 
 func main() {
 	var (
-		rows  = flag.Int("rows", 8000, "fact-table row count for the benchmark database")
-		out   = flag.String("out", "BENCH_enumerate.json", "output JSON path")
-		iters = flag.Int("n", 3, "iterations per benchmark")
-		quiet = flag.Bool("quiet", false, "suppress the human-readable summary")
+		rows      = flag.Int("rows", 8000, "fact-table row count for the benchmark database")
+		out       = flag.String("out", "BENCH_enumerate.json", "output JSON path")
+		sizingOut = flag.String("sizing-out", "BENCH_sizing.json", "size-estimation benchmark output JSON path")
+		iters     = flag.Int("n", 3, "iterations per benchmark")
+		quiet     = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
 	flag.Parse()
 	if *iters < 1 {
@@ -57,12 +59,16 @@ func main() {
 
 	db := cadb.NewTPCH(cadb.TPCHConfig{LineitemRows: *rows, Seed: 9})
 	wl := cadb.SelectIntensive(cadb.TPCHWorkload())
-	rep := &report{
-		GeneratedAt: time.Now().UTC(),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		FactRows:    *rows,
+	newReport := func() *report {
+		return &report{
+			GeneratedAt: time.Now().UTC(),
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			FactRows:    *rows,
+		}
 	}
+	rep := newReport()
+	cur := rep // the report run() appends to
 
 	// run times fn over n iterations, measuring wall clock and allocation
 	// deltas. scale divides the per-iteration numbers further, for benchmarks
@@ -95,7 +101,7 @@ func main() {
 			}
 			res.Extra[k] = v / float64(n)
 		}
-		rep.Results = append(rep.Results, res)
+		cur.Results = append(cur.Results, res)
 		if !*quiet {
 			fmt.Printf("%-36s %12d ns/op  %11d B/op  %9d allocs/op", name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
 			for k, v := range res.Extra {
@@ -160,7 +166,80 @@ func main() {
 		})
 	}
 
-	f, err := os.Create(*out)
+	writeReport(rep, *out, *quiet)
+
+	// Size-estimation layer benchmarks -> BENCH_sizing.json.
+	sizRep := newReport()
+	cur = sizRep
+
+	// The oracle alone: plan + execute over a realistic target family
+	// (composite structures × ROW/PAGE with column overlap, so the plan
+	// mixes SAMPLED and DEDUCED nodes). Sub-phase costs come from the
+	// oracle's own accounting.
+	var targets []*cadb.IndexDef
+	structures := []*cadb.IndexDef{
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}},
+		{Table: "lineitem", KeyCols: []string{"l_shipmode"}},
+		{Table: "lineitem", KeyCols: []string{"l_quantity"}},
+		{Table: "lineitem", KeyCols: []string{"l_shipdate", "l_shipmode"}},
+		{Table: "lineitem", KeyCols: []string{"l_shipdate", "l_shipmode", "l_quantity"}},
+		{Table: "orders", KeyCols: []string{"o_orderdate"}},
+		{Table: "orders", KeyCols: []string{"o_orderdate", "o_orderpriority"}},
+	}
+	for _, s := range structures {
+		targets = append(targets, s.WithMethod(cadb.RowCompression), s.WithMethod(cadb.PageCompression))
+	}
+	var acct cadb.SizeAccounting
+	run("SizeOracle/prepare", *iters, 1, func() map[string]float64 {
+		oracle := cadb.NewSizeOracle(db, cadb.SizeOracleConfig{Seed: 9, UseDeduction: true})
+		if _, err := oracle.Prepare(targets); err != nil {
+			fatal(err)
+		}
+		a := oracle.Accounting()
+		acct.SampleBuild += a.SampleBuild
+		acct.PlanSolve += a.PlanSolve
+		acct.PlanExecute += a.PlanExecute
+		return map[string]float64{"samplecf-calls/op": float64(a.SampleCFCalls)}
+	})
+
+	// The estimation phase inside a full advisor run: end-to-end estimateAll
+	// wall time (reported below as its own phase row), SampleCF calls, and
+	// the late-admission split (merged candidates deduced, not re-sampled).
+	var estimateAll time.Duration
+	run("SizeOracle/advisor-tune", *iters, 1, func() map[string]float64 {
+		opts := cadb.DefaultOptions(db.TotalHeapBytes() / 8)
+		rec, err := cadb.Tune(db, wl, opts)
+		if err != nil {
+			fatal(err)
+		}
+		t := rec.Timing
+		estimateAll += t.EstimateAll
+		return map[string]float64{
+			"samplecf-calls/op":   float64(t.SampleCFCalls),
+			"admitted-deduced/op": float64(t.AdmittedDeduced),
+			"admitted-sampled/op": float64(t.AdmittedSampled),
+		}
+	})
+	for _, phase := range []struct {
+		name string
+		dur  time.Duration
+	}{
+		{"SizeOracle/sample-build", acct.SampleBuild},
+		{"SizeOracle/plan-solve", acct.PlanSolve},
+		{"SizeOracle/plan-execute", acct.PlanExecute},
+		{"SizeOracle/estimateAll", estimateAll},
+	} {
+		res := result{Name: phase.name, Iterations: *iters, NsPerOp: phase.dur.Nanoseconds() / int64(*iters)}
+		sizRep.Results = append(sizRep.Results, res)
+		if !*quiet {
+			fmt.Printf("%-36s %12d ns/op\n", res.Name, res.NsPerOp)
+		}
+	}
+	writeReport(sizRep, *sizingOut, *quiet)
+}
+
+func writeReport(rep *report, path string, quiet bool) {
+	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
@@ -172,8 +251,8 @@ func main() {
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	if !*quiet {
-		fmt.Printf("wrote %s\n", *out)
+	if !quiet {
+		fmt.Printf("wrote %s\n", path)
 	}
 }
 

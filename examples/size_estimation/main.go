@@ -7,6 +7,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"cadb"
 )
@@ -50,4 +51,34 @@ func main() {
 	// The point of deduction: the composite index's size came for free.
 	fmt.Printf("\ntotal estimation cost: %.0f sample-index pages "+
 		"(SampleCF on every index would cost more)\n", plan.TotalCost)
+
+	// The advisor runs the same machinery through the SizeOracle layer:
+	// one shared sample store serves every f-grid point (each smaller-f
+	// sample is a prefix of the largest-f sample), the deduction DAG is
+	// executed level-parallel with SampleCF batched per structure, and
+	// indexes invented later — merged candidates, compressed variants — are
+	// admitted into the live graph instead of always being re-sampled.
+	oracle := cadb.NewSizeOracle(db, cadb.SizeOracleConfig{Seed: 1, UseDeduction: true})
+	if _, err := oracle.Prepare(targets); err != nil {
+		log.Fatal(err)
+	}
+	a := oracle.Accounting()
+	fmt.Printf("\noracle: %d SampleCF calls, sample-build %v, plan-solve %v, plan-execute %v\n",
+		a.SampleCFCalls, a.SampleBuild.Round(time.Microsecond),
+		a.PlanSolve.Round(time.Microsecond), a.PlanExecute.Round(time.Microsecond))
+
+	// A "merged" index arriving after the plan was solved: same column set
+	// as the composite target, so the live graph deduces it for free.
+	merged := (&cadb.IndexDef{
+		Table:       "lineitem",
+		KeyCols:     []string{"l_shipmode"},
+		IncludeCols: []string{"l_shipdate"},
+	}).WithMethod(cadb.RowCompression)
+	late, err := oracle.Admit(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a = oracle.Accounting()
+	fmt.Printf("late admission %s: %d B via %s (admissions: %d deduced / %d sampled)\n",
+		merged, late.Bytes, late.Source, a.AdmittedDeduced, a.AdmittedSampled)
 }

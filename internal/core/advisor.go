@@ -30,7 +30,7 @@ import (
 	"cadb/internal/estimator"
 	"cadb/internal/index"
 	"cadb/internal/optimizer"
-	"cadb/internal/sampling"
+	"cadb/internal/sizeest"
 	"cadb/internal/sizing"
 	"cadb/internal/workload"
 )
@@ -138,16 +138,30 @@ type Recommendation struct {
 }
 
 // Timing is the Figure 11 runtime split, plus the incremental-evaluation
-// counters of the what-if layer.
+// counters of the what-if layer and the size-oracle counters of the
+// estimation layer.
 type Timing struct {
 	Total          time.Duration
 	CandidateGen   time.Duration
+	EstimateAll    time.Duration // end-to-end initial size-estimation phase
 	SampleBuild    time.Duration // taking/joining samples
+	PlanSolve      time.Duration // estimation-plan graph search (all f-grid points)
+	PlanExecute    time.Duration // DAG-parallel plan execution wall time
 	TableEstimate  time.Duration // SampleCF on plain table indexes
 	PartialEstim   time.Duration
 	MVEstimate     time.Duration
 	Enumerate      time.Duration
 	EstimationCost float64 // abstract cost units (sample pages)
+
+	// SampleCFCalls counts sample-index builds across the whole run;
+	// AdmittedDeduced/AdmittedSampled split the late admissions (merged
+	// structures, backtracking variants) by whether the live deduction
+	// graph served them for free. EstimationErrors counts estimation
+	// failures tolerated (and skipped) by the merge/variant loop.
+	SampleCFCalls    uint64
+	AdmittedDeduced  uint64
+	AdmittedSampled  uint64
+	EstimationErrors uint64
 
 	// WhatIfEvaluations counts the candidate configurations delta-costed by
 	// the incremental evaluator during enumeration; of the per-statement
@@ -185,6 +199,13 @@ type Advisor struct {
 	// evalStats accumulates incremental-evaluator counters across every
 	// enumeration pass of one Recommend run.
 	evalStats *optimizer.EvaluatorStats
+	// oracle is the size-estimation layer for the current Recommend run;
+	// merging and late candidates go through it instead of wiring sampling +
+	// estimator + sizing inline.
+	oracle sizeest.Oracle
+	// estErrors tallies estimation failures tolerated by the merge/variant
+	// loop (surfaced as Timing.EstimationErrors).
+	estErrors uint64
 }
 
 // New creates an advisor with the default cost model.
@@ -220,20 +241,17 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 	structures := a.generateCandidates()
 	rec.Timing.CandidateGen = time.Since(tGen)
 
-	// 2. Expand compression variants and estimate sizes.
-	hypos, plan, est, err := a.estimateAll(structures)
+	// 2. Expand compression variants and estimate sizes through the size
+	// oracle (shared f-grid samples, DAG-parallel plan execution).
+	a.estErrors = 0
+	tEst := time.Now()
+	hypos, plan, err := a.estimateAll(structures)
 	if err != nil {
 		return nil, err
 	}
+	rec.Timing.EstimateAll = time.Since(tEst)
 	rec.EstimationPlan = plan
 	rec.CandidateCount = len(hypos)
-	if est != nil {
-		rec.Timing.SampleBuild = est.Mgr.SampleBuildTime + est.Mgr.SynopsisBuildTime
-		rec.Timing.TableEstimate = est.TableSampleCFTime
-		rec.Timing.PartialEstim = est.PartialSampleCFTime
-		rec.Timing.MVEstimate = est.MVSampleCFTime
-		rec.Timing.EstimationCost = est.TotalCost
-	}
 
 	// 3. Per-query candidate selection (top-k or skyline), then merging.
 	// The pool is seeded in ID-sorted order so variant lookups (and with
@@ -249,7 +267,7 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 		a.pool.add(h)
 	}
 	selected := a.selectCandidates(hypos)
-	selected = a.mergeCandidates(selected, est)
+	selected = a.mergeCandidates(selected)
 	for _, h := range selected {
 		a.pool.add(h)
 	}
@@ -263,7 +281,7 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 	tEnum := time.Now()
 	var cfg *optimizer.Configuration
 	if a.Opts.Staged {
-		cfg = a.enumerateStaged(selected, est)
+		cfg = a.enumerateStaged(selected)
 	} else {
 		cfg = a.enumerate(selected)
 	}
@@ -271,6 +289,21 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 	rec.Timing.WhatIfEvaluations, rec.Timing.DeltaStatements, rec.Timing.ReusedStatements = a.evalStats.Snapshot()
 	hits1, misses1 := a.CM.CostCacheStats()
 	rec.Timing.CostCacheHits, rec.Timing.CostCacheMisses = hits1-hits0, misses1-misses0
+
+	// Snapshot the size-estimation layer last so merge-time admissions are
+	// included in the Figure 11 split.
+	acct := a.oracle.Accounting()
+	rec.Timing.SampleBuild = acct.SampleBuild
+	rec.Timing.PlanSolve = acct.PlanSolve
+	rec.Timing.PlanExecute = acct.PlanExecute
+	rec.Timing.TableEstimate = acct.TableSampleCF
+	rec.Timing.PartialEstim = acct.PartialSampleCF
+	rec.Timing.MVEstimate = acct.MVSampleCF
+	rec.Timing.EstimationCost = acct.TotalCost
+	rec.Timing.SampleCFCalls = uint64(acct.SampleCFCalls)
+	rec.Timing.AdmittedDeduced = uint64(acct.AdmittedDeduced)
+	rec.Timing.AdmittedSampled = uint64(acct.AdmittedSampled)
+	rec.Timing.EstimationErrors = a.estErrors
 
 	rec.Config = cfg
 	rec.BaseCost = a.CM.WorkloadCost(a.WL, optimizer.NewConfiguration())
@@ -284,8 +317,12 @@ func (a *Advisor) Recommend() (*Recommendation, error) {
 	return rec, nil
 }
 
-// estimateAll sizes every candidate structure and its compression variants.
-func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.HypoIndex, *sizing.Plan, *estimator.Estimator, error) {
+// estimateAll sizes every candidate structure and its compression variants
+// through the size oracle: the compressed targets go through one estimation
+// plan (solved over shared f-grid samples, executed DAG-parallel and
+// batched), and uncompressed variants are statistics-only estimates fanned
+// over the worker pool.
+func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.HypoIndex, *sizing.Plan, error) {
 	var targets []*index.Def
 	var uncompressed []*index.Def
 	for _, d := range structures {
@@ -297,46 +334,33 @@ func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.Hy
 		}
 	}
 
-	solve := sizing.Greedy
-	if !a.Opts.UseDeduction {
-		solve = sizing.All
-	}
-	var plan *sizing.Plan
-	var est *estimator.Estimator
-	if len(targets) > 0 {
-		plan, est = sizing.Sweep(a.DB, targets, nil, a.Opts.ErrTolerance, a.Opts.Confidence, a.Opts.FGrid, a.Opts.Seed, solve)
-		if _, err := sizing.Execute(est, plan); err != nil {
-			return nil, nil, nil, err
-		}
-	} else {
-		est = estimator.New(a.DB, sampling.NewManager(a.DB, 0.05, a.Opts.Seed))
-	}
-
-	// Size the hypothetical indexes concurrently: the defs are distinct, the
-	// estimator and sample manager are safe for concurrent use, and results
-	// land in per-index slots so the later reduction order is deterministic.
 	workers := a.workers()
-	estimate := func(defs []*index.Def, one func(*index.Def) (*estimator.Estimate, error)) ([]*estimator.Estimate, error) {
-		ests := make([]*estimator.Estimate, len(defs))
-		errs := make([]error, len(defs))
-		parallelFor(workers, len(defs), func(i int) {
-			ests[i], errs[i] = one(defs[i])
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		return ests, nil
+	oracle := sizeest.New(a.DB, sizeest.Config{
+		ErrTolerance: a.Opts.ErrTolerance,
+		Confidence:   a.Opts.Confidence,
+		FGrid:        a.Opts.FGrid,
+		Seed:         a.Opts.Seed,
+		Workers:      workers,
+		UseDeduction: a.Opts.UseDeduction,
+	})
+	a.oracle = oracle
+	planEsts, err := oracle.Prepare(targets)
+	if err != nil {
+		return nil, nil, err
 	}
 
-	uncEsts, err := estimate(uncompressed, est.EstimateUncompressed)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	tgtEsts, err := estimate(targets, est.SampleCF)
-	if err != nil {
-		return nil, nil, nil, err
+	// Size the uncompressed variants concurrently: the defs are distinct,
+	// the oracle is safe for concurrent use, and results land in per-index
+	// slots so the later reduction order is deterministic.
+	uncEsts := make([]*estimator.Estimate, len(uncompressed))
+	errs := make([]error, len(uncompressed))
+	parallelFor(workers, len(uncompressed), func(i int) {
+		uncEsts[i], errs[i] = oracle.EstimateUncompressed(uncompressed[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 
 	hypos := make(map[string]*optimizer.HypoIndex)
@@ -351,10 +375,19 @@ func (a *Advisor) estimateAll(structures []*index.Def) (map[string]*optimizer.Hy
 	for _, e := range uncEsts {
 		add(e)
 	}
-	for _, e := range tgtEsts {
+	for _, d := range targets {
+		e := planEsts[d.ID()]
+		if e == nil {
+			// Every target is a plan node, so this is defensive only: admit
+			// any straggler through the incremental path.
+			var err error
+			if e, err = oracle.Admit(d); err != nil {
+				return nil, nil, err
+			}
+		}
 		add(e)
 	}
-	return hypos, plan, est, nil
+	return hypos, oracle.Plan(), nil
 }
 
 // String renders the recommendation for reports.

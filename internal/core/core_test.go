@@ -110,11 +110,10 @@ func TestSkylineRetainsMoreCandidatesThanTopK(t *testing.T) {
 		opts.Skyline = sky
 		a := New(d, workloads.SelectIntensive(w), opts)
 		structures := a.generateCandidates()
-		hypos, _, est, err := a.estimateAll(structures)
+		hypos, _, err := a.estimateAll(structures)
 		if err != nil {
 			t.Fatal(err)
 		}
-		_ = est
 		return len(a.selectCandidates(hypos))
 	}
 	sky := mk(true)
@@ -239,5 +238,28 @@ func TestRecommendationStringRenders(t *testing.T) {
 	rec := run(t, DefaultOptions(budget(d, 0.2)))
 	if len(rec.String()) == 0 {
 		t.Fatal("empty recommendation rendering")
+	}
+}
+
+func TestSizeOracleCountersSurfaced(t *testing.T) {
+	// The Figure 11 split and the size-oracle admission counters must reach
+	// the recommendation: estimateAll timed end to end, the plan solved and
+	// executed, SampleCF calls counted, and the merge loop's late variants
+	// admitted through the oracle (not estimated ad hoc).
+	d, _ := fixtures()
+	rec := run(t, DefaultOptions(budget(d, 0.125)))
+	tm := rec.Timing
+	if tm.EstimateAll <= 0 || tm.PlanSolve <= 0 || tm.PlanExecute <= 0 {
+		t.Fatalf("estimation timing missing: estimateAll=%v planSolve=%v planExec=%v",
+			tm.EstimateAll, tm.PlanSolve, tm.PlanExecute)
+	}
+	if tm.SampleCFCalls == 0 {
+		t.Fatal("SampleCFCalls not surfaced")
+	}
+	if tm.AdmittedDeduced+tm.AdmittedSampled == 0 {
+		t.Fatal("merged-candidate variants should be admitted through the oracle")
+	}
+	if tm.EstimationErrors != 0 {
+		t.Fatalf("unexpected estimation errors: %d", tm.EstimationErrors)
 	}
 }

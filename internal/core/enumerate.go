@@ -15,8 +15,15 @@ import (
 // include columns) can serve both queries with one structure. The advisor
 // generates compressed variants of merged structures too (Section 6.2's
 // closing note).
-func (a *Advisor) mergeCandidates(selected []*optimizer.HypoIndex, est *estimator.Estimator) []*optimizer.HypoIndex {
-	if est == nil {
+//
+// Merged structures did not exist when the estimation plan was solved, so
+// their compressed variants are admitted into the size oracle's live
+// deduction graph — deduced for free when an already-estimated parent/child
+// covers them, SampleCF otherwise. Estimation failures are tolerated (the
+// variant is skipped) but tallied into Timing.EstimationErrors rather than
+// swallowed.
+func (a *Advisor) mergeCandidates(selected []*optimizer.HypoIndex) []*optimizer.HypoIndex {
+	if a.oracle == nil {
 		return selected
 	}
 	out := append([]*optimizer.HypoIndex{}, selected...)
@@ -61,11 +68,12 @@ func (a *Advisor) mergeCandidates(selected []*optimizer.HypoIndex, est *estimato
 				var e *estimator.Estimate
 				var err error
 				if v.Method == compress.None {
-					e, err = est.EstimateUncompressed(v)
+					e, err = a.oracle.EstimateUncompressed(v)
 				} else {
-					e, err = est.SampleCF(v)
+					e, err = a.oracle.Admit(v)
 				}
 				if err != nil {
+					a.estErrors++
 					continue
 				}
 				have[v.ID()] = true
@@ -291,7 +299,7 @@ func removeHypo(list []*optimizer.HypoIndex, h *optimizer.HypoIndex) []*optimize
 // enumerateStaged is the decoupled baseline of Example 1: run compression-
 // blind greedy, compress everything selected with the heaviest method, and
 // repeat with the freed budget.
-func (a *Advisor) enumerateStaged(candidates []*optimizer.HypoIndex, est *estimator.Estimator) *optimizer.Configuration {
+func (a *Advisor) enumerateStaged(candidates []*optimizer.HypoIndex) *optimizer.Configuration {
 	// Split candidates into uncompressed and a variant lookup.
 	var plain []*optimizer.HypoIndex
 	for _, h := range candidates {

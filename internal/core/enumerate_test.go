@@ -4,10 +4,9 @@ import (
 	"testing"
 
 	"cadb/internal/compress"
-	"cadb/internal/estimator"
 	"cadb/internal/index"
 	"cadb/internal/optimizer"
-	"cadb/internal/sampling"
+	"cadb/internal/sizeest"
 	"cadb/internal/sqlparse"
 	"cadb/internal/workload"
 )
@@ -31,7 +30,10 @@ func TestMergeCandidatesDoesNotClobberKeyCols(t *testing.T) {
 	opts := DefaultOptions(budget(d, 0.5))
 	opts.EnableCompression = false // merge only the uncompressed variant: faster, same code path
 	a := New(d, w, opts)
-	est := estimator.New(d, sampling.NewManager(d, 0.05, 1))
+	a.oracle = sizeest.New(d, sizeest.Config{Seed: 1, Workers: 1})
+	if _, err := a.oracle.Prepare(nil); err != nil {
+		t.Fatal(err)
+	}
 
 	// x's KeyCols is a 2-element window over a 3-element backing array; the
 	// element beyond the window must survive the merge untouched.
@@ -47,7 +49,7 @@ func TestMergeCandidatesDoesNotClobberKeyCols(t *testing.T) {
 		IncludeCols: []string{"l_discount"},
 	}}
 
-	merged := a.mergeCandidates([]*optimizer.HypoIndex{x, y}, est)
+	merged := a.mergeCandidates([]*optimizer.HypoIndex{x, y})
 	if len(merged) <= 2 {
 		t.Fatal("expected a merged candidate (shared leading key column)")
 	}
@@ -114,7 +116,7 @@ func TestEnumerateStagedReusesFreedBudget(t *testing.T) {
 	a.Opts.Budget = bud
 	a.Opts.Staged = true
 
-	cfg := a.enumerateStaged([]*optimizer.HypoIndex{aPlain, aPage, bPlain, bPage}, nil)
+	cfg := a.enumerateStaged([]*optimizer.HypoIndex{aPlain, aPage, bPlain, bPage})
 	if cfg.Len() != 2 {
 		t.Fatalf("staged rounds should reach 2 indexes via freed budget, got %d: %v", cfg.Len(), cfg)
 	}

@@ -92,6 +92,11 @@ type Estimator struct {
 
 	mu    sync.Mutex
 	cache map[string]*Estimate
+	// mats caches the materialized-and-sorted sample leaf rows per index
+	// structure, so SampleCF on the ROW and PAGE variants of one structure
+	// (same table, same key columns) shares a single sorted sample scan and
+	// only re-runs the compression sizing.
+	mats map[string]*materialization
 
 	// Accounting for the Figure 11 runtime split.
 	TableSampleCFTime   time.Duration
@@ -103,9 +108,42 @@ type Estimator struct {
 	SampleCFCalls int
 }
 
+// materialization is the per-structure part of SampleCF: the index's leaf
+// rows built over the sample, sorted by key, with RIDs spread over the full
+// table's range. Identical for every compression method of the structure.
+type materialization struct {
+	schema   *storage.Schema
+	rows     []storage.Row
+	fullRows int64
+	uncBytes int64 // uncompressed size of the sample index
+	timer    *time.Duration
+}
+
 // New creates an estimator.
 func New(db *catalog.Database, mgr *sampling.Manager) *Estimator {
-	return &Estimator{DB: db, Mgr: mgr, Model: DefaultErrorModel(), cache: make(map[string]*Estimate)}
+	return &Estimator{DB: db, Mgr: mgr, Model: DefaultErrorModel(),
+		cache: make(map[string]*Estimate), mats: make(map[string]*materialization)}
+}
+
+// AbsorbAccounting folds another estimator's runtime accounting (and its
+// sample manager's) into e, so a caller that tried several estimators — an
+// f-grid sweep keeps one winner — can report the grid's total cost.
+func (e *Estimator) AbsorbAccounting(o *Estimator) {
+	if o == nil || o == e {
+		return
+	}
+	o.mu.Lock()
+	tt, pt, mt := o.TableSampleCFTime, o.PartialSampleCFTime, o.MVSampleCFTime
+	tc, calls := o.TotalCost, o.SampleCFCalls
+	o.mu.Unlock()
+	e.mu.Lock()
+	e.TableSampleCFTime += tt
+	e.PartialSampleCFTime += pt
+	e.MVSampleCFTime += mt
+	e.TotalCost += tc
+	e.SampleCFCalls += calls
+	e.mu.Unlock()
+	e.Mgr.AbsorbAccounting(o.Mgr)
 }
 
 // Cached returns the cached estimate for the definition, if any.
@@ -179,13 +217,18 @@ func (e *Estimator) sampleBase(d *index.Def) (*storage.Schema, []storage.Row, in
 	}
 }
 
-// SampleCF estimates the index size by building it on the sample and
-// compressing it (Section 2.2 / 4.1). The result is cached.
-func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
-	if est, ok := e.Cached(d); ok {
-		return est, nil
+// materialize builds (or returns the cached) sorted sample leaf rows for the
+// index's structure. The result is method-independent: every compression
+// variant of one structure shares it, so a batch of SampleCF targets on the
+// same (table, key columns) pays for one sorted sample scan.
+func (e *Estimator) materialize(d *index.Def) (*materialization, error) {
+	key := d.Uncompressed().ID()
+	e.mu.Lock()
+	if m, ok := e.mats[key]; ok {
+		e.mu.Unlock()
+		return m, nil
 	}
-	start := time.Now()
+	e.mu.Unlock()
 	baseSchema, baseRows, fullRows, timer, err := e.sampleBase(d)
 	if err != nil {
 		return nil, err
@@ -207,33 +250,57 @@ func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
 			r[ri] = storage.IntVal(r[ri].Int * scale)
 		}
 	}
-	uncSample := compress.SizeRows(schema, leafRows, compress.None)
-	compSample := uncSample
+	m := &materialization{
+		schema:   schema,
+		rows:     leafRows,
+		fullRows: fullRows,
+		uncBytes: compress.SizeRows(schema, leafRows, compress.None),
+		timer:    timer,
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev, ok := e.mats[key]; ok {
+		// A concurrent caller finished first; keep its copy.
+		return prev, nil
+	}
+	e.mats[key] = m
+	return m, nil
+}
+
+// SampleCF estimates the index size by building it on the sample and
+// compressing it (Section 2.2 / 4.1). The result is cached, and the
+// materialized sample index is shared across the structure's compression
+// variants.
+func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
+	if est, ok := e.Cached(d); ok {
+		return est, nil
+	}
+	start := time.Now()
+	mat, err := e.materialize(d)
+	if err != nil {
+		return nil, err
+	}
+	compSample := mat.uncBytes
 	if d.Method != compress.None {
-		compSample = compress.SizeRows(schema, leafRows, d.Method)
+		compSample = compress.SizeRows(mat.schema, mat.rows, d.Method)
 	}
 	cf := 1.0
-	if uncSample > 0 {
-		cf = float64(compSample) / float64(uncSample)
+	if mat.uncBytes > 0 {
+		cf = float64(compSample) / float64(mat.uncBytes)
 	}
 	entryW := 40.0
-	if len(leafRows) > 0 {
-		entryW = float64(uncSample) / float64(len(leafRows))
+	if len(mat.rows) > 0 {
+		entryW = float64(mat.uncBytes) / float64(len(mat.rows))
 	}
-	// Partial-index leaf rows on the sample may themselves be filtered.
-	if d.IsPartial() && d.MV == nil {
-		frac := float64(len(leafRows)) / maxf(1, float64(len(baseRows)))
-		_ = frac // fullRows already includes the filter factor
-	}
-	unc := int64(entryW * float64(fullRows))
+	unc := int64(entryW * float64(mat.fullRows))
 	est := &Estimate{
 		Def:               d,
-		Rows:              fullRows,
+		Rows:              mat.fullRows,
 		UncompressedBytes: unc,
 		Bytes:             int64(cf * float64(unc)),
 		CF:                cf,
 		Source:            SourceSampled,
-		Cost:              float64(storage.PagesForBytes(uncSample)),
+		Cost:              float64(storage.PagesForBytes(mat.uncBytes)),
 	}
 	est.Mean, est.Std = e.Model.SampleError(d.Method, e.Mgr.F)
 	elapsed := time.Since(start)
@@ -247,7 +314,7 @@ func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
 	e.cache[d.ID()] = est
 	e.TotalCost += est.Cost
 	e.SampleCFCalls++
-	*timer += elapsed
+	*mat.timer += elapsed
 	e.mu.Unlock()
 	return est, nil
 }
@@ -348,13 +415,20 @@ func (e *Estimator) entryWidthFromStats(t *catalog.Table, d *index.Def) float64 
 	return w
 }
 
+// PlanPages returns the f-independent part of PlanCost: the data pages of
+// the full index, from statistics only. The graph-search planner computes it
+// once per node and scales by each candidate sampling fraction.
+func (e *Estimator) PlanPages(d *index.Def) float64 {
+	rows, entryW := e.planShape(d)
+	return rows * entryW / storage.UsablePageBytes
+}
+
 // PlanCost returns the abstract cost of running SampleCF on the index at
 // sampling fraction f, before actually doing it: the number of data pages of
 // the index built on the sample (Section 5.1's cost model). Used by the
 // graph-search planner to compare strategies without paying for them.
 func (e *Estimator) PlanCost(d *index.Def, f float64) float64 {
-	rows, entryW := e.planShape(d)
-	pages := f * rows * entryW / storage.UsablePageBytes
+	pages := f * e.PlanPages(d)
 	if pages < 1 {
 		pages = 1
 	}

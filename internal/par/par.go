@@ -1,0 +1,41 @@
+// Package par holds the one worker-pool primitive the advisor's concurrent
+// layers (enumeration in core, plan execution in sizeest) share.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(0..n-1) across at most workers goroutines. Each fn call must
+// be independent and write only to its own slot of any shared result slice;
+// callers then reduce the slots serially in index order, which is what keeps
+// parallel and serial runs byte-identical. With workers <= 1 (or a single
+// item) it degenerates to a plain loop with no goroutine overhead.
+func For(workers, n int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +31,10 @@ type Manager struct {
 	F    float64 // sampling fraction, e.g. 0.01
 	Seed int64
 
+	// store, when set, supplies samples as prefixes of a shared per-table
+	// permutation so every fraction in an f-grid reuses one table scan.
+	store *Store
+
 	mu       sync.Mutex
 	samples  map[string]*TableSample
 	synopses map[string]*Synopsis
@@ -38,6 +43,24 @@ type Manager struct {
 	SampleBuildTime   time.Duration
 	SynopsisBuildTime time.Duration
 	SampleBuildPages  int64
+}
+
+// AbsorbAccounting folds another manager's runtime accounting into m, so a
+// caller that tried several managers (e.g. an f-grid sweep) can report the
+// total cost on the one it kept. Managers sharing a Store never double-count:
+// the shared permutation build is charged to the store, not to any manager.
+func (m *Manager) AbsorbAccounting(o *Manager) {
+	if o == nil || o == m {
+		return
+	}
+	o.mu.Lock()
+	bt, st, bp := o.SampleBuildTime, o.SynopsisBuildTime, o.SampleBuildPages
+	o.mu.Unlock()
+	m.mu.Lock()
+	m.SampleBuildTime += bt
+	m.SynopsisBuildTime += st
+	m.SampleBuildPages += bp
+	m.mu.Unlock()
 }
 
 // TableSample is a uniform random sample of one table.
@@ -85,6 +108,9 @@ func (m *Manager) Sample(table string) (*TableSample, error) {
 	if t == nil {
 		return nil, fmt.Errorf("sampling: unknown table %q", table)
 	}
+	if m.store != nil {
+		return m.prefixSample(key, t)
+	}
 	// Build outside the lock so a slow sample build on one table does not
 	// serialize workers sampling other tables. The draw is seeded per table,
 	// so a concurrent duplicate build produces the identical sample; the
@@ -111,6 +137,137 @@ func (m *Manager) Sample(table string) (*TableSample, error) {
 	m.SampleBuildTime += elapsed
 	m.SampleBuildPages += pages
 	return s, nil
+}
+
+// prefixSample serves a sample as a prefix of the store's shared per-table
+// permutation. The prefix of a uniform random permutation is a uniform
+// sample without replacement, and a smaller-f manager's sample is by
+// construction a prefix of a larger-f manager's — the nesting that lets one
+// table scan serve every point of an f-grid sweep. The manager whose call
+// triggers the permutation build is charged for it (exactly one manager per
+// table), so per-manager accounting stays meaningful for store-backed
+// managers and callers summing manager accounting never double-count.
+func (m *Manager) prefixSample(key string, t *catalog.Table) (*TableSample, error) {
+	ordered, elapsed, pages, err := m.store.ordered(key, t)
+	if err != nil {
+		return nil, err
+	}
+	want := int(float64(len(t.Rows)) * m.F)
+	if want < 1 {
+		want = 1
+	}
+	if want > len(t.Rows) {
+		want = len(t.Rows)
+	}
+	s := &TableSample{Table: t, Rows: ordered[:want], Fraction: float64(want) / maxf(1, float64(len(t.Rows)))}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.SampleBuildTime += elapsed
+	m.SampleBuildPages += pages
+	if prev, ok := m.samples[key]; ok {
+		return prev, nil
+	}
+	m.samples[key] = s
+	return s, nil
+}
+
+// Store shares one deterministic, uniformly random row permutation per table
+// across every sampling fraction: managers created by the store draw their
+// samples as prefixes of that permutation ("bottom-k" sampling by a per-row
+// pseudo-random priority). One scan + one sort per table serves all grid
+// points, and the permutation build cost is charged to the store exactly
+// once. Safe for concurrent use; published permutations are immutable.
+type Store struct {
+	DB   *catalog.Database
+	Seed int64
+
+	mu      sync.Mutex
+	tables  map[string][]storage.Row
+	elapsed time.Duration
+	pages   int64
+}
+
+// NewStore creates a sample store for the database.
+func NewStore(db *catalog.Database, seed int64) *Store {
+	return &Store{DB: db, Seed: seed, tables: make(map[string][]storage.Row)}
+}
+
+// Manager returns a manager at fraction f whose table samples are prefixes
+// of the store's shared permutations.
+func (s *Store) Manager(f float64) *Manager {
+	m := NewManager(s.DB, f, s.Seed)
+	m.store = s
+	return m
+}
+
+// SampleBuildTime returns the accumulated one-time permutation build cost.
+func (s *Store) SampleBuildTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.elapsed
+}
+
+// SampleBuildPages returns the pages scanned building the permutations.
+func (s *Store) SampleBuildPages() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages
+}
+
+// ordered returns (building lazily) the table's priority permutation. Built
+// outside the lock; a concurrent duplicate build produces the identical
+// permutation and the loser discards its copy, so each table is charged
+// once. The non-zero elapsed/pages are returned exactly once per table — to
+// the caller whose build was kept — so the triggering manager can charge
+// itself without double-counting.
+func (s *Store) ordered(key string, t *catalog.Table) ([]storage.Row, time.Duration, int64, error) {
+	s.mu.Lock()
+	if rows, ok := s.tables[key]; ok {
+		s.mu.Unlock()
+		return rows, 0, 0, nil
+	}
+	s.mu.Unlock()
+	start := time.Now()
+	base := uint64(s.Seed) ^ uint64(hashString(key))
+	type pri struct {
+		p uint64
+		i int
+	}
+	pris := make([]pri, len(t.Rows))
+	for i := range t.Rows {
+		pris[i] = pri{splitmix64(base + uint64(i)), i}
+	}
+	// Row index breaks (astronomically unlikely) priority ties so the
+	// permutation is a total deterministic order.
+	sort.Slice(pris, func(a, b int) bool {
+		if pris[a].p != pris[b].p {
+			return pris[a].p < pris[b].p
+		}
+		return pris[a].i < pris[b].i
+	})
+	rows := make([]storage.Row, len(t.Rows))
+	for j, pr := range pris {
+		rows[j] = t.Rows[pr.i]
+	}
+	elapsed := time.Since(start)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.tables[key]; ok {
+		return prev, 0, 0, nil
+	}
+	s.tables[key] = rows
+	s.elapsed += elapsed
+	s.pages += t.HeapPages()
+	return rows, elapsed, t.HeapPages(), nil
+}
+
+// splitmix64 is the SplitMix64 finalizer: a high-quality 64-bit mix giving
+// each (seed, row) pair an independent uniform priority.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 func maxf(a, b float64) float64 {

@@ -263,3 +263,63 @@ func TestAdaptiveEstimatorBeatsBaselinesOnUniform(t *testing.T) {
 		t.Fatalf("Multiply=%d should be ~20000", mult)
 	}
 }
+
+// TestStorePrefixSamples: managers from one store draw nested samples — the
+// smaller-f sample is exactly a prefix of the larger-f sample, the draw is
+// deterministic across stores with the same seed, and the prefix is still a
+// uniform sample of the table.
+func TestStorePrefixSamples(t *testing.T) {
+	store := NewStore(testDB(), 7)
+	small, err := store.Manager(0.02).Sample("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := store.Manager(0.2).Sample("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Rows) != 200 || len(large.Rows) != 2000 {
+		t.Fatalf("sample sizes %d/%d, want 200/2000", len(small.Rows), len(large.Rows))
+	}
+	for i := range small.Rows {
+		if &small.Rows[i][0] != &large.Rows[i][0] {
+			t.Fatalf("row %d: smaller-f sample is not a prefix of the larger-f sample", i)
+		}
+	}
+	// One permutation build served both fractions.
+	if store.SampleBuildPages() != testDB().MustTable("lineitem").HeapPages() {
+		t.Fatalf("permutation build charged %d pages, want one scan (%d)",
+			store.SampleBuildPages(), testDB().MustTable("lineitem").HeapPages())
+	}
+
+	// Determinism: a fresh store with the same seed draws the same prefix.
+	again, err := NewStore(testDB(), 7).Manager(0.02).Sample("lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range small.Rows {
+		for j := range small.Rows[i] {
+			if small.Rows[i][j] != again.Rows[i][j] {
+				t.Fatalf("row %d differs across same-seed stores", i)
+			}
+		}
+	}
+
+	// Uniformity of the shared permutation's prefix (cf. TestSampleUniformity).
+	qi := large.Table.Schema.ColIndex("l_quantity")
+	var sum float64
+	for _, r := range large.Rows {
+		sum += float64(r[qi].Int)
+	}
+	if mean := sum / float64(len(large.Rows)); mean < 23 || mean > 28 {
+		t.Fatalf("prefix sample mean quantity=%v want ~25.5", mean)
+	}
+}
+
+// TestStoreUnknownTable: store-backed managers surface unknown tables the
+// same way plain managers do.
+func TestStoreUnknownTable(t *testing.T) {
+	if _, err := NewStore(testDB(), 1).Manager(0.1).Sample("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}

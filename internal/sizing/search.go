@@ -2,6 +2,7 @@ package sizing
 
 import (
 	"math"
+	"time"
 
 	"cadb/internal/catalog"
 	"cadb/internal/compress"
@@ -16,7 +17,11 @@ import (
 // its children when that is cheaper than sampling the node; otherwise
 // sample the node itself.
 func Greedy(est *estimator.Estimator, targets, existing []*index.Def, e, q, f float64) *Plan {
-	g := buildGraph(est, targets, existing, f)
+	return greedyOn(buildGraph(est, targets, existing, f), e, q)
+}
+
+// greedyOn runs the greedy assignment over a pre-built graph.
+func greedyOn(g *graph, e, q float64) *Plan {
 	for _, n := range g.order {
 		if !n.Target || g.known(n) {
 			continue
@@ -100,7 +105,7 @@ func Greedy(est *estimator.Estimator, targets, existing []*index.Def, e, q, f fl
 		n.Mean, n.Std = g.sampleError(n)
 	}
 	g.refine(e, q)
-	return g.finish(f, e, q)
+	return g.finish(g.f, e, q)
 }
 
 // refine is a strict-improvement pass over the greedy assignment: a SAMPLED
@@ -162,14 +167,18 @@ func (g *graph) refine(e, q float64) {
 // All is the no-deduction baseline: SampleCF on every target (Table 4's
 // "All" row).
 func All(est *estimator.Estimator, targets, existing []*index.Def, e, q, f float64) *Plan {
-	g := buildGraph(est, targets, existing, f)
+	return allOn(buildGraph(est, targets, existing, f), e, q)
+}
+
+// allOn runs the all-sampled assignment over a pre-built graph.
+func allOn(g *graph, e, q float64) *Plan {
 	for _, n := range g.order {
 		if n.Target && !g.known(n) {
 			n.State = StateSampled
 			n.Mean, n.Std = g.sampleError(n)
 		}
 	}
-	return g.finish(f, e, q)
+	return g.finish(g.f, e, q)
 }
 
 // Optimal is the exact exponential algorithm (Appendix D): enumerate every
@@ -329,25 +338,58 @@ func (g *graph) finish(f, e, q float64) *Plan {
 	return p
 }
 
+// Solver is a plan-search strategy over one sampling fraction: Greedy, All
+// or (curried) Optimal.
+type Solver func(est *estimator.Estimator, targets, existing []*index.Def, e, q, f float64) *Plan
+
+// DefaultFGrid is the candidate sampling-fraction grid (1–10%).
+func DefaultFGrid() []float64 { return []float64{0.01, 0.025, 0.05, 0.075, 0.1} }
+
 // Sweep tries each sampling fraction, runs the solver, and returns the
 // feasible plan with the smallest total cost along with the estimator
-// configured for the winning fraction (Section 5.2's choice of f).
+// configured for the winning fraction (Section 5.2's choice of f). All grid
+// points share one sample store, so a smaller-f sample is a prefix of the
+// largest-f sample and one table scan serves the whole grid.
 func Sweep(db *catalog.Database, targets, existing []*index.Def, e, q float64, fGrid []float64, seed int64,
-	solve func(est *estimator.Estimator, targets, existing []*index.Def, e, q, f float64) *Plan) (*Plan, *estimator.Estimator) {
+	solve Solver) (*Plan, *estimator.Estimator) {
+	return SweepShared(sampling.NewStore(db, seed), targets, existing, e, q, fGrid, solve)
+}
+
+// SweepShared is Sweep over a caller-provided sample store (so the samples —
+// and their build cost accounting — can outlive the sweep). The winning
+// plan's SolveTime covers every grid point, and the losing grid points'
+// estimator accounting is folded into the returned estimator, so the Figure
+// 11 runtime breakdown reports the full grid cost rather than the winner's
+// share alone.
+func SweepShared(store *sampling.Store, targets, existing []*index.Def, e, q float64, fGrid []float64,
+	solve Solver) (*Plan, *estimator.Estimator) {
 	if len(fGrid) == 0 {
-		fGrid = []float64{0.01, 0.025, 0.05, 0.075, 0.1}
+		fGrid = DefaultFGrid()
 	}
 	var bestPlan *Plan
 	var bestEst *estimator.Estimator
+	var losers []*estimator.Estimator
+	var solveTime time.Duration
 	for _, f := range fGrid {
-		est := estimator.New(db, sampling.NewManager(db, f, seed))
+		est := estimator.New(store.DB, store.Manager(f))
+		start := time.Now()
 		plan := solve(est, targets, existing, e, q, f)
+		solveTime += time.Since(start)
 		if bestPlan == nil ||
 			(plan.Feasible && !bestPlan.Feasible) ||
 			(plan.Feasible == bestPlan.Feasible && plan.TotalCost < bestPlan.TotalCost) {
+			if bestEst != nil {
+				losers = append(losers, bestEst)
+			}
 			bestPlan = plan
 			bestEst = est
+		} else {
+			losers = append(losers, est)
 		}
+	}
+	bestPlan.SolveTime = solveTime
+	for _, l := range losers {
+		bestEst.AbsorbAccounting(l)
 	}
 	return bestPlan, bestEst
 }
@@ -376,6 +418,9 @@ func Execute(est *estimator.Estimator, p *Plan) (map[string]*estimator.Estimate,
 					if err != nil {
 						return nil, err
 					}
+					// Record the fallback so a second node deducing from
+					// the same child reuses it instead of re-sampling.
+					out[n.Chosen.Children[0].Def.ID()] = child
 				}
 				e, err = est.DeduceColSet(n.Def, child)
 			case DeduceColExt:
@@ -387,6 +432,7 @@ func Execute(est *estimator.Estimator, p *Plan) (map[string]*estimator.Estimate,
 						if err != nil {
 							return nil, err
 						}
+						out[c.Def.ID()] = parts[i]
 					}
 				}
 				e, err = est.DeduceColExt(n.Def, parts)

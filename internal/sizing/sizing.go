@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"cadb/internal/compress"
 	"cadb/internal/estimator"
@@ -90,6 +91,88 @@ type Plan struct {
 	ByID      map[string]*Node
 	TotalCost float64
 	Feasible  bool
+	// SolveTime is the total graph-search time spent choosing this plan,
+	// including the losing f-grid points of a Sweep (the Figure 11 grid
+	// cost, which belongs to the plan that the grid produced).
+	SolveTime time.Duration
+}
+
+// Admit inserts a late-arriving target (an index merged or generated after
+// the initial plan was solved) into an already-executed plan: attach the
+// candidate deductions the target has against the plan's known nodes, use
+// the best one that satisfies the accuracy constraint (e, q), and fall back
+// to SampleCF when none exists. The new node is appended to the plan so
+// still-later arrivals can deduce from it in turn. Callers execute the
+// returned node (deduction or SampleCF) themselves; Admit only decides.
+//
+// Admission is deterministic: candidate deductions are discovered by
+// scanning the plan's nodes in their (deterministic) narrow-to-wide order.
+func (p *Plan) Admit(est *estimator.Estimator, d *index.Def, e, q float64) *Node {
+	if n, ok := p.ByID[d.ID()]; ok {
+		return n
+	}
+	// Rebuild a graph view over the plan's nodes; helper nodes that
+	// addDeductions invents (e.g. unsampled singletons) stay unknown, so
+	// only deductions fully backed by executed nodes are considered.
+	g := &graph{est: est, f: p.F, nodes: make(map[string]*Node, len(p.Nodes)+1)}
+	for _, n := range p.Nodes {
+		g.nodes[n.Def.ID()] = n
+		g.order = append(g.order, n)
+	}
+	n := g.node(d)
+	n.Target = true
+	g.addDeductions(n)
+	var best *Deduction
+	bestProb := -1.0
+	for _, ded := range n.Deductions {
+		enabled := true
+		for _, c := range ded.Children {
+			if !g.known(c) {
+				enabled = false
+				break
+			}
+		}
+		if !enabled {
+			continue
+		}
+		mean, std := g.deducedError(n, ded)
+		if prob := estimator.ProbWithin(mean, std, e); prob >= q && prob > bestProb {
+			bestProb = prob
+			best = ded
+		}
+	}
+	if best != nil {
+		n.State = StateDeduced
+		n.Chosen = best
+		n.Mean, n.Std = g.deducedError(n, best)
+	} else {
+		n.State = StateSampled
+		n.Mean, n.Std = g.sampleError(n)
+		p.TotalCost += n.Cost
+	}
+	p.Nodes = append(p.Nodes, n)
+	p.ByID[n.Def.ID()] = n
+	if n.Prob(e) < q {
+		p.Feasible = false
+	}
+	return n
+}
+
+// Demote reverts an admitted node whose chosen deduction could not be
+// executed to the sampled state, with the same bookkeeping as Admit's own
+// sampled fallback: sample error, cost charged to the plan, and the
+// accuracy constraint re-checked.
+func (p *Plan) Demote(est *estimator.Estimator, n *Node, e, q float64) {
+	n.State = StateSampled
+	n.Chosen = nil
+	g := &graph{est: est, f: p.F}
+	n.Mean, n.Std = g.sampleError(n)
+	if !n.Existing {
+		p.TotalCost += n.Cost
+	}
+	if n.Prob(e) < q {
+		p.Feasible = false
+	}
 }
 
 // Describe renders the plan for reports.
@@ -277,6 +360,73 @@ func (g *graph) addDeductions(n *Node) {
 		n.Deductions = append(n.Deductions, &Deduction{Kind: DeduceColExt, Children: children})
 		added++
 	}
+}
+
+// Skeleton is the f-independent part of the estimation graph: the node
+// universe, the candidate deduction wiring (the O(n²) column-set matching of
+// addDeductions) and each node's plan shape in pages. An f-grid sweep builds
+// it once and instantiates a graph per sampling fraction — only node costs
+// (linear in f) and sampling errors depend on f — instead of re-solving the
+// graph construction from scratch at every grid point.
+type Skeleton struct {
+	proto *graph
+	pages []float64 // PlanPages per node, in proto order
+}
+
+// NewSkeleton builds the shared graph prototype for a target set. The
+// estimator is used for statistics only; any fraction's estimator over the
+// same database works.
+func NewSkeleton(est *estimator.Estimator, targets, existing []*index.Def) *Skeleton {
+	g := buildGraph(est, targets, existing, 0)
+	pages := make([]float64, len(g.order))
+	for i, n := range g.order {
+		pages[i] = est.PlanPages(n.Def)
+	}
+	return &Skeleton{proto: g, pages: pages}
+}
+
+// graph instantiates a fresh solvable graph at fraction f: nodes are cloned
+// (solvers mutate states), deductions rewired onto the clones, and costs
+// scaled exactly as estimator.PlanCost would — so a skeleton-instantiated
+// solve is bit-identical to one over a freshly built graph.
+func (s *Skeleton) graph(est *estimator.Estimator, f float64) *graph {
+	g := &graph{est: est, f: f, nodes: make(map[string]*Node, len(s.proto.order))}
+	clones := make(map[*Node]*Node, len(s.proto.order))
+	for i, n := range s.proto.order {
+		cost := f * s.pages[i]
+		if cost < 1 {
+			cost = 1
+		}
+		if n.Existing {
+			cost = 0
+		}
+		c := &Node{Def: n.Def, Target: n.Target, Existing: n.Existing,
+			State: n.State, Mean: n.Mean, Std: n.Std, Cost: cost}
+		clones[n] = c
+		g.nodes[c.Def.ID()] = c
+		g.order = append(g.order, c)
+	}
+	for i, n := range s.proto.order {
+		c := g.order[i]
+		for _, d := range n.Deductions {
+			nd := &Deduction{Kind: d.Kind, Children: make([]*Node, len(d.Children))}
+			for j, ch := range d.Children {
+				nd.Children[j] = clones[ch]
+			}
+			c.Deductions = append(c.Deductions, nd)
+		}
+	}
+	return g
+}
+
+// Greedy runs the greedy solver (Section 5.2) over a skeleton instantiation.
+func (s *Skeleton) Greedy(est *estimator.Estimator, e, q, f float64) *Plan {
+	return greedyOn(s.graph(est, f), e, q)
+}
+
+// All runs the no-deduction baseline over a skeleton instantiation.
+func (s *Skeleton) All(est *estimator.Estimator, e, q, f float64) *Plan {
+	return allOn(s.graph(est, f), e, q)
 }
 
 func setKey(cols []string) string {

@@ -215,3 +215,94 @@ func TestPlanDescribe(t *testing.T) {
 		t.Fatal("empty description")
 	}
 }
+
+// TestExecuteStoresDeductionFallback: when a deduced node's child is missing
+// from the plan's node list, Execute falls back to SampleCF — and must store
+// that estimate in the result map so a second node deducing from the same
+// child reuses it, and so callers see every estimate that was produced.
+func TestExecuteStoresDeductionFallback(t *testing.T) {
+	est := newEst(0.05)
+	child := liDef(compress.Row, "l_shipdate", "l_shipmode", "l_quantity")
+	childNode := &Node{Def: child, State: StateSampled, Mean: 1, Std: 0.1}
+	parent := func(cols ...string) *Node {
+		return &Node{
+			Def:    liDef(compress.Row, cols...),
+			Target: true,
+			State:  StateDeduced,
+			Chosen: &Deduction{Kind: DeduceColSet, Children: []*Node{childNode}},
+			Mean:   1, Std: 0.15,
+		}
+	}
+	p1 := parent("l_shipmode", "l_shipdate", "l_quantity")
+	p2 := parent("l_quantity", "l_shipdate", "l_shipmode")
+	// The child is deliberately absent from Nodes: both parents depend on
+	// the fallback path.
+	plan := &Plan{F: 0.05, Nodes: []*Node{p1, p2}, ByID: map[string]*Node{
+		p1.Def.ID(): p1, p2.Def.ID(): p2,
+	}, Feasible: true}
+
+	out, err := Execute(est, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, ok := out[child.ID()]
+	if !ok || ce == nil {
+		t.Fatal("fallback SampleCF estimate missing from Execute's result map")
+	}
+	if est.SampleCFCalls != 1 {
+		t.Fatalf("child sampled %d times, want exactly once", est.SampleCFCalls)
+	}
+	for _, p := range []*Node{p1, p2} {
+		if out[p.Def.ID()] == nil {
+			t.Fatalf("parent %s missing from result", p.Def)
+		}
+	}
+}
+
+// TestSweepAccountsForAllGridPoints: the winning plan's SolveTime must cover
+// every f-grid point, not just the winner's own search.
+func TestSweepAccountsForAllGridPoints(t *testing.T) {
+	plan, est := Sweep(testDB(), rowTargets(), nil, 0.5, 0.9, nil, 7, Greedy)
+	if est == nil {
+		t.Fatal("sweep returned no estimator")
+	}
+	if plan.SolveTime <= 0 {
+		t.Fatal("plan must carry the grid's cumulative solve time")
+	}
+}
+
+// TestPlanAdmitDeducesAndAppends: Admit wires a late target into the
+// executed plan — deduced when a same-column-set node is known, sampled when
+// nothing in the graph helps — and appends it so later arrivals see it.
+func TestPlanAdmitDeducesAndAppends(t *testing.T) {
+	targets := rowTargets()
+	plan, est := Sweep(testDB(), targets, nil, 0.5, 0.9, nil, 7, Greedy)
+	if _, err := Execute(est, plan); err != nil {
+		t.Fatal(err)
+	}
+	before := len(plan.Nodes)
+
+	// Permutation of an existing target: ColSet deduction applies.
+	perm := liDef(compress.Row, "l_shipmode", "l_shipdate")
+	n := plan.Admit(est, perm, 0.5, 0.9)
+	if n.State != StateDeduced {
+		t.Fatalf("permutation should deduce, got %s:\n%s", n.State, plan.Describe())
+	}
+	// Unrelated table: nothing to deduce from.
+	cold := (&index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}}).WithMethod(compress.Row)
+	cost0 := plan.TotalCost
+	n2 := plan.Admit(est, cold, 0.5, 0.9)
+	if n2.State != StateSampled {
+		t.Fatalf("stranger should fall back to sampling, got %s", n2.State)
+	}
+	if plan.TotalCost <= cost0 {
+		t.Fatal("sampled admission must charge its cost to the plan")
+	}
+	if len(plan.Nodes) != before+2 || plan.ByID[perm.ID()] != n || plan.ByID[cold.ID()] != n2 {
+		t.Fatal("admitted nodes must join the plan")
+	}
+	// Idempotent: re-admission returns the same node.
+	if plan.Admit(est, perm, 0.5, 0.9) != n {
+		t.Fatal("re-admission must return the existing node")
+	}
+}
