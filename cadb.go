@@ -122,11 +122,22 @@ func TPCHWorkload() *Workload { return workloads.MustTPCH() }
 // SalesWorkload returns the generated 50-query + 2-bulk-load Sales workload.
 func SalesWorkload(seed int64) *Workload { return workloads.MustSales(seed) }
 
+// TPCHWorkloadWithUpdates returns the TPC-H-shaped workload extended with
+// predicated UPDATE/DELETE statements (the update-capable variant).
+func TPCHWorkloadWithUpdates() *Workload { return workloads.MustTPCHWithUpdates() }
+
+// SalesWorkloadWithUpdates returns the generated Sales workload extended
+// with seeded UPDATE/DELETE statements over the fact table.
+func SalesWorkloadWithUpdates(seed int64) *Workload { return workloads.MustSalesWithUpdates(seed) }
+
 // SelectIntensive scales the bulk-load weights down by 10x.
 func SelectIntensive(wl *Workload) *Workload { return workloads.SelectIntensive(wl) }
 
 // InsertIntensive scales the bulk-load weights up by 10x.
 func InsertIntensive(wl *Workload) *Workload { return workloads.InsertIntensive(wl) }
+
+// UpdateIntensive scales the UPDATE/DELETE weights up by 10x.
+func UpdateIntensive(wl *Workload) *Workload { return workloads.UpdateIntensive(wl) }
 
 // ParseWorkload parses a SQL workload script (semicolon-separated statements
 // with optional "-- label: X weight: N" directives).

@@ -96,8 +96,8 @@ func TestFacadeSizeEstimation(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("experiments=%d want 15", len(ids))
+	if len(ids) != 16 {
+		t.Fatalf("experiments=%d want 16", len(ids))
 	}
 	var buf bytes.Buffer
 	sc := QuickExperimentScale()

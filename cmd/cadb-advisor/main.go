@@ -7,6 +7,7 @@
 //
 //	cadb-advisor -db tpch -budget 0.25
 //	cadb-advisor -db sales -budget 0.1 -mix insert -baseline
+//	cadb-advisor -db tpch -budget 0.25 -mix update
 //	cadb-advisor -db tpch -budget 0.5 -features all -verbose
 //	cadb-advisor -db tpch -workload my_queries.sql
 package main
@@ -27,7 +28,7 @@ func main() {
 		zipf     = flag.Float64("zipf", 0, "value skew Z (tpch only)")
 		seed     = flag.Int64("seed", 42, "generator seed")
 		budget   = flag.Float64("budget", 0.25, "storage budget as a fraction of the heap-only database size")
-		mix      = flag.String("mix", "select", "workload mix: select | insert | balanced")
+		mix      = flag.String("mix", "select", "workload mix: select | insert | update | balanced")
 		baseline = flag.Bool("baseline", false, "run compression-blind DTA instead of DTAc")
 		staged   = flag.Bool("staged", false, "run the naive staged (select-then-compress) baseline")
 		features = flag.String("features", "simple", "candidate features: simple | all (adds partial indexes and MVs)")
@@ -42,10 +43,18 @@ func main() {
 	switch *dbName {
 	case "tpch":
 		db = cadb.NewTPCH(cadb.TPCHConfig{LineitemRows: *rows, Zipf: *zipf, Seed: *seed})
-		wl = cadb.TPCHWorkload()
+		if *mix == "update" {
+			wl = cadb.TPCHWorkloadWithUpdates()
+		} else {
+			wl = cadb.TPCHWorkload()
+		}
 	case "sales":
 		db = cadb.NewSales(cadb.SalesConfig{FactRows: *rows, Zipf: 0.8, Seed: *seed})
-		wl = cadb.SalesWorkload(*seed)
+		if *mix == "update" {
+			wl = cadb.SalesWorkloadWithUpdates(*seed)
+		} else {
+			wl = cadb.SalesWorkload(*seed)
+		}
 	case "tpcds":
 		db = cadb.NewTPCDS(cadb.TPCDSConfig{StoreSalesRows: *rows, Seed: *seed})
 		fmt.Fprintln(os.Stderr, "cadb-advisor: tpcds has no built-in workload; pass -workload")
@@ -73,6 +82,8 @@ func main() {
 		wl = cadb.SelectIntensive(wl)
 	case "insert":
 		wl = cadb.InsertIntensive(wl)
+	case "update":
+		wl = cadb.UpdateIntensive(wl)
 	case "balanced":
 	default:
 		fmt.Fprintf(os.Stderr, "cadb-advisor: unknown mix %q\n", *mix)
@@ -97,8 +108,8 @@ func main() {
 
 	fmt.Printf("database %s: %d tables, %.1f MB heap; budget %.1f MB (%.0f%%)\n",
 		*dbName, len(db.Tables()), mb(heap), mb(budgetBytes), 100**budget)
-	fmt.Printf("workload: %d statements (%d queries), mix=%s, tool=%s\n",
-		len(wl.Statements), len(wl.Queries()), *mix, toolName(*baseline, *staged))
+	fmt.Printf("workload: %d statements (%d queries, %d updates/deletes), mix=%s, tool=%s\n",
+		len(wl.Statements), len(wl.Queries()), len(wl.Updates()), *mix, toolName(*baseline, *staged))
 
 	start := time.Now()
 	rec, err := cadb.Tune(db, wl, opts)

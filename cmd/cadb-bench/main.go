@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	cadb-bench                          # writes BENCH_enumerate.json + BENCH_sizing.json
-//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json
+//	cadb-bench                          # writes BENCH_enumerate.json + BENCH_sizing.json + BENCH_update.json
+//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json
 //	cadb-bench -n 5 -quiet
 package main
 
@@ -46,6 +46,7 @@ func main() {
 		rows      = flag.Int("rows", 8000, "fact-table row count for the benchmark database")
 		out       = flag.String("out", "BENCH_enumerate.json", "output JSON path")
 		sizingOut = flag.String("sizing-out", "BENCH_sizing.json", "size-estimation benchmark output JSON path")
+		updateOut = flag.String("update-out", "BENCH_update.json", "update-mix benchmark output JSON path")
 		iters     = flag.Int("n", 3, "iterations per benchmark")
 		quiet     = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
@@ -236,6 +237,59 @@ func main() {
 		}
 	}
 	writeReport(sizRep, *sizingOut, *quiet)
+
+	// Update-mix benchmarks -> BENCH_update.json: the advisor on the
+	// update-capable TPC-H workload with UPDATE/DELETE weights scaled up,
+	// plus the what-if costing of the update statements themselves. The
+	// page-share extra metric tracks the paper's qualitative claim (heavy
+	// update weight pushes the recommendation off PAGE compression).
+	updRep := newReport()
+	cur = updRep
+	updWL := cadb.UpdateIntensive(cadb.TPCHWorkloadWithUpdates())
+
+	cmU := cadb.NewCostModel(db)
+	run("WhatIfCost/update-mix-uncached", *iters, whatIfReps, func() map[string]float64 {
+		for i := 0; i < whatIfReps; i++ {
+			cmU.ResetCostCache()
+			cmU.WorkloadCost(updWL, cfg)
+		}
+		return nil
+	})
+	cmU.ResetCostCache()
+	cmU.WorkloadCost(updWL, cfg) // warm
+	run("WhatIfCost/update-mix-cached", *iters, whatIfReps, func() map[string]float64 {
+		for i := 0; i < whatIfReps; i++ {
+			cmU.WorkloadCost(updWL, cfg)
+		}
+		return nil
+	})
+
+	for _, par := range parallelisms() {
+		par := par
+		run(fmt.Sprintf("RecommendTPCHUpdates/parallelism=%d", par), *iters, 1, func() map[string]float64 {
+			opts := cadb.DefaultOptions(db.TotalHeapBytes() / 4)
+			opts.Parallelism = par
+			rec, err := cadb.Tune(db, updWL, opts)
+			if err != nil {
+				fatal(err)
+			}
+			var pageBytes, totalBytes int64
+			for _, h := range rec.Config.Indexes() {
+				totalBytes += h.Bytes
+				if h.Def.Method == cadb.PageCompression {
+					pageBytes += h.Bytes
+				}
+			}
+			extra := map[string]float64{"enumerate-s/op": rec.Timing.Enumerate.Seconds()}
+			if totalBytes > 0 {
+				extra["page-share-%"] = 100 * float64(pageBytes) / float64(totalBytes)
+			} else {
+				extra["page-share-%"] = 0
+			}
+			return extra
+		})
+	}
+	writeReport(updRep, *updateOut, *quiet)
 }
 
 func writeReport(rep *report, path string, quiet bool) {

@@ -176,9 +176,21 @@ type Timing struct {
 	CostCacheMisses uint64
 }
 
-// Other returns the non-estimation runtime ("Other" in Figure 11).
+// Other returns the non-estimation runtime ("Other" in Figure 11): the total
+// minus the full size-estimation phase. EstimateAll is that phase's
+// end-to-end wall time (sample build, plan solve, DAG-parallel plan
+// execution and the per-kind SampleCF buckets all happen inside it), so it
+// is subtracted directly when present. When EstimateAll was not populated
+// (hand-built Timing values), the wall-clock sub-phases are summed instead —
+// SampleBuild + PlanSolve + PlanExecute; the TableEstimate/PartialEstim/
+// MVEstimate buckets are cumulative SampleCF time *inside* PlanExecute and
+// must not be added on top, which is the double-count/omission mix that
+// previously made "Other" over-report.
 func (t Timing) Other() time.Duration {
-	est := t.SampleBuild + t.TableEstimate + t.PartialEstim + t.MVEstimate
+	est := t.EstimateAll
+	if est == 0 {
+		est = t.SampleBuild + t.PlanSolve + t.PlanExecute
+	}
 	if t.Total < est {
 		return 0
 	}

@@ -27,10 +27,11 @@ func (a *Advisor) generateCandidates() []*index.Def {
 		}
 	}
 	for _, s := range a.WL.Statements {
-		if s.Query == nil {
+		q := statementShape(s)
+		if q == nil {
 			continue
 		}
-		a.candidatesForQuery(s.Query, add)
+		a.candidatesForQuery(q, add)
 	}
 	// Clustered-index candidates for fact tables: even at a 0% budget,
 	// compressing the base table frees space (Appendix D).
@@ -47,6 +48,23 @@ func (a *Advisor) generateCandidates() []*index.Def {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].StructureID() < out[j].StructureID() })
 	return out
+}
+
+// statementShape returns the query shape candidate generation and selection
+// work from: the query itself for SELECTs, and the qualifying-row lookup —
+// a single-table pseudo-query over the WHERE predicates — for predicated
+// UPDATE/DELETE statements. Bulk inserts (and predicate-free writes) have no
+// lookup to serve, so they contribute no candidates.
+func statementShape(s *workload.Statement) *workload.Query {
+	if s.Query != nil {
+		return s.Query
+	}
+	if t, ok := s.WriteTable(); ok {
+		if preds := s.WritePreds(); len(preds) > 0 {
+			return &workload.Query{Tables: []string{t}, Preds: preds}
+		}
+	}
+	return nil
 }
 
 // candidatesForQuery emits candidate structures for one query.
@@ -254,11 +272,16 @@ func (a *Advisor) selectCandidates(hypos map[string]*optimizer.HypoIndex) []*opt
 		}
 	}
 
+	// Queries are scored by their plan cost under the single-index
+	// configuration; predicated UPDATE/DELETE statements are scored the same
+	// way through their own plans (qualifying-row lookup + maintenance), so
+	// an index that speeds an update's WHERE clause can survive selection.
 	for _, s := range a.WL.Statements {
-		if s.Query == nil {
+		shape := statementShape(s)
+		if shape == nil {
 			continue
 		}
-		relevant := a.relevantHypos(s.Query, hypos)
+		relevant := a.relevantHypos(shape, hypos)
 		if len(relevant) == 0 {
 			continue
 		}

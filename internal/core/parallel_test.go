@@ -43,6 +43,10 @@ func TestRecommendDeterministic(t *testing.T) {
 	cases := []workloadCase{
 		{"tpch", tpchDB, workloads.SelectIntensive(tpchWL)},
 		{"sales", datagen.NewSales(datagen.SalesConfig{FactRows: 4000, Zipf: 0.8, Seed: 7}), workloads.MustSales(7)},
+		// The update-heavy mix: UPDATE/DELETE statements dominate, so the
+		// maintenance-aware costing paths (and their relevance scoping) are
+		// what parallel enumeration exercises here.
+		{"tpch-update", tpchDB, workloads.UpdateIntensive(workloads.MustTPCHWithUpdates())},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

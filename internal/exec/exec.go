@@ -1,9 +1,10 @@
-// Package exec is a reference query executor for the workload subset:
-// FK hash joins, predicate filtering, grouping/aggregation, projection and
-// ordering. The advisor never needs it (it optimizes optimizer-estimated
-// costs, like the paper's tool), but the test suite uses it to validate
-// workload semantics end-to-end and to check the optimizer's cardinality
-// estimates against ground truth.
+// Package exec is a reference executor for the workload subset: FK hash
+// joins, predicate filtering, grouping/aggregation, projection and ordering
+// for queries, plus in-place UPDATE/DELETE application. The advisor never
+// needs it (it optimizes optimizer-estimated costs, like the paper's tool),
+// but the test suite uses it to validate workload semantics end-to-end and
+// to check the optimizer's cardinality estimates — including the
+// qualifying-row counts of predicated writes — against ground truth.
 package exec
 
 import (
@@ -188,16 +189,90 @@ func CountMatching(db *catalog.Database, table string, preds []workload.Predicat
 	}
 	var n int64
 	for _, r := range t.Rows {
-		ok := true
-		for _, p := range preds {
-			if !p.Matches(t.Schema, r) {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if matchesAll(t.Schema, r, preds) {
 			n++
 		}
+	}
+	return n, nil
+}
+
+func matchesAll(s *storage.Schema, r storage.Row, preds []workload.Predicate) bool {
+	for _, p := range preds {
+		if !p.Matches(s, r) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunUpdate applies a predicated UPDATE to the database in place, returning
+// the number of rows modified — the ground truth the cost model's
+// qualifying-row estimate is validated against. Assignment values are
+// coerced to the column kind; cached table statistics are invalidated when
+// any row changed.
+func RunUpdate(db *catalog.Database, u *workload.Update) (int64, error) {
+	t := db.Table(u.Table)
+	if t == nil {
+		return 0, fmt.Errorf("exec: unknown table %q", u.Table)
+	}
+	type setIdx struct {
+		col int
+		val storage.Value
+	}
+	sets := make([]setIdx, 0, len(u.Set))
+	for _, a := range u.Set {
+		ci := t.Schema.ColIndex(a.Col)
+		if ci < 0 {
+			return 0, fmt.Errorf("exec: table %q has no column %q", u.Table, a.Col)
+		}
+		v := a.Value
+		if !v.Null {
+			v = v.CoerceTo(t.Schema.Columns[ci].Kind)
+		}
+		if v.Null && !t.Schema.Columns[ci].Nullable {
+			return 0, fmt.Errorf("exec: column %s.%s is not nullable", u.Table, a.Col)
+		}
+		sets = append(sets, setIdx{col: ci, val: v})
+	}
+	var n int64
+	for i, r := range t.Rows {
+		if !matchesAll(t.Schema, r, u.Preds) {
+			continue
+		}
+		// Copy-on-write: samples and materialized structures may share the
+		// row slice.
+		nr := r
+		for _, s := range sets {
+			nr = nr.WithValue(s.col, s.val)
+		}
+		t.Rows[i] = nr
+		n++
+	}
+	if n > 0 {
+		t.InvalidateStats()
+	}
+	return n, nil
+}
+
+// RunDelete removes the rows matching a predicated DELETE, returning the
+// number of rows removed. Cached table statistics are invalidated when any
+// row was dropped.
+func RunDelete(db *catalog.Database, d *workload.Delete) (int64, error) {
+	t := db.Table(d.Table)
+	if t == nil {
+		return 0, fmt.Errorf("exec: unknown table %q", d.Table)
+	}
+	kept := t.Rows[:0]
+	for _, r := range t.Rows {
+		if matchesAll(t.Schema, r, d.Preds) {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	n := int64(len(t.Rows) - len(kept))
+	t.Rows = kept
+	if n > 0 {
+		t.InvalidateStats()
 	}
 	return n, nil
 }

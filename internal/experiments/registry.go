@@ -26,13 +26,14 @@ var Registry = map[string]Runner{
 	"fig17":       Fig17,
 	"motivating":  Motivating,
 	"ext-methods": ExtMethods,
+	"ext-updates": ExtUpdates,
 }
 
 // Order is the canonical presentation order.
 var Order = []string{
 	"motivating", "table1", "fig9", "table2", "fig10", "table3",
 	"table4", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"ext-methods",
+	"ext-methods", "ext-updates",
 }
 
 // IDs returns the registered experiment IDs, sorted.

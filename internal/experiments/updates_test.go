@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"cadb/internal/compress"
+	"cadb/internal/core"
+	"cadb/internal/datagen"
+	"cadb/internal/workloads"
+)
+
+// TestUpdateWeightShiftsAwayFromPage asserts the paper's headline
+// qualitative claim end-to-end: on the same database and budget, raising the
+// UPDATE/DELETE weight makes the recommended configuration's PAGE-compressed
+// byte share strictly decrease (α(PAGE) maintenance CPU overtakes PAGE's
+// size advantage), while the recommendation's TotalCost strictly rises
+// (write maintenance is folded into the estimated workload cost). The
+// middle weight is additionally checked for byte-identical recommendations
+// at Parallelism 1 vs 8 and run to run.
+func TestUpdateWeightShiftsAwayFromPage(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 4000, Seed: 42})
+	base := workloads.MustTPCHWithUpdates()
+
+	// Weights where the shift is monotone at this scale; the full sweep is
+	// reported by the ext-updates experiment.
+	weights := []float64{0, 0.5, 10}
+	var shares, costs []float64
+	for _, w := range weights {
+		rec, err := ExtUpdateRecommend(db, base, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares = append(shares, MethodShares(rec.Config)[compress.Page])
+		costs = append(costs, rec.TotalCost)
+	}
+	for i := 1; i < len(weights); i++ {
+		if !(shares[i] < shares[i-1]) {
+			t.Fatalf("PAGE share must strictly decrease with update weight: w=%v share=%.4f !< w=%v share=%.4f",
+				weights[i], shares[i], weights[i-1], shares[i-1])
+		}
+		if !(costs[i] > costs[i-1]) {
+			t.Fatalf("TotalCost must reflect the added maintenance: w=%v cost=%.1f !> w=%v cost=%.1f",
+				weights[i], costs[i], weights[i-1], costs[i-1])
+		}
+	}
+	if shares[len(shares)-1] > 0.05 {
+		t.Fatalf("under a heavily update-weighted mix PAGE should all but vanish, still at %.1f%%", 100*shares[len(shares)-1])
+	}
+
+	// Determinism at the middle weight: byte-identical across Parallelism
+	// settings and run to run.
+	render := func(rec *core.Recommendation) string {
+		return fmt.Sprintf("base=%v total=%v size=%d\n%s", rec.BaseCost, rec.TotalCost, rec.SizeBytes, rec.String())
+	}
+	recAt := func(par int) string {
+		rec, err := ExtUpdateRecommend(db, base, weights[1], par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return render(rec)
+	}
+	serial, parallel := recAt(1), recAt(8)
+	if serial != parallel {
+		t.Fatalf("update-mix recommendation diverged across parallelism:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+	if again := recAt(8); again != parallel {
+		t.Fatalf("update-mix recommendation diverged run to run:\n--- first ---\n%s--- second ---\n%s", parallel, again)
+	}
+}
+
+func TestExtUpdatesReportShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	rep := ExtUpdates(QuickScale())
+	rows := rep.Tables[0].Rows
+	if len(rows) != len(ExtUpdateWeights) {
+		t.Fatalf("rows=%d want %d", len(rows), len(ExtUpdateWeights))
+	}
+	// The heaviest mix must carry (near-)zero PAGE share and the largest
+	// total cost.
+	first, last := rows[0], rows[len(rows)-1]
+	if share := parsePct(t, last[2]); share > 0.05 {
+		t.Fatalf("heaviest mix PAGE share=%.3f want near zero", share)
+	}
+	if parseF(t, first[5]) >= parseF(t, last[5]) {
+		t.Fatal("total cost must rise with update weight")
+	}
+}

@@ -1,0 +1,76 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cadb/internal/index"
+)
+
+// TestTableNameCaseAgreement pins the normalization contract: relevance
+// scoping (evaluator), cost-cache signatures and Configuration's per-table
+// views must agree on table identity regardless of how the statement or the
+// index definition spells the name. A disagreement would either serve stale
+// cached costs (cache thinks the index is irrelevant) or waste re-planning
+// (scope thinks everything is relevant).
+func TestTableNameCaseAgreement(t *testing.T) {
+	d := testDB(t)
+	cm := NewCostModel(d)
+
+	// The same physical index, declared with different casings of the table.
+	lower := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}})
+	upper := &HypoIndex{
+		Def:               &index.Def{Table: "LINEITEM", KeyCols: []string{"l_shipdate"}},
+		Rows:              lower.Rows,
+		Bytes:             lower.Bytes,
+		UncompressedBytes: lower.UncompressedBytes,
+	}
+	other := build(t, &index.Def{Table: "orders", KeyCols: []string{"o_orderdate"}})
+
+	stmts := []string{
+		"SELECT SUM(l_extendedprice) FROM LineItem WHERE l_shipdate < DATE 9000",
+		"SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate < DATE 9000",
+		"INSERT INTO LINEITEM BULK 100",
+		"UPDATE LineItem SET l_discount = 0.0 WHERE l_shipdate < DATE 9000",
+		"DELETE FROM LINEITEM WHERE l_shipdate < DATE 9000",
+	}
+	for _, sql := range stmts {
+		s := parseQ(t, sql)
+		sc := scopeOf(s)
+		for _, h := range []*HypoIndex{lower, upper} {
+			// Relevance scope and cache signature must agree: the index is
+			// relevant ⇔ adding it changes the statement's cache key.
+			sigBase := cm.cache.relevantSignature(s, NewConfiguration())
+			sigWith := cm.cache.relevantSignature(s, NewConfiguration(h))
+			if !sc.affectedBy(h) {
+				t.Errorf("%q: scope must see index on %q as relevant", sql, h.Def.Table)
+			}
+			if sigWith == sigBase {
+				t.Errorf("%q: cache key must change when index on %q is added", sql, h.Def.Table)
+			}
+		}
+		// And both must agree the orders index is irrelevant.
+		if sc.affectedBy(other) {
+			t.Errorf("%q: orders index must be out of scope", sql)
+		}
+		if cm.cache.relevantSignature(s, NewConfiguration(other)) != cm.cache.relevantSignature(s, NewConfiguration()) {
+			t.Errorf("%q: orders index must not change the cache key", sql)
+		}
+	}
+
+	// Configuration views fold case in both directions.
+	cfg := NewConfiguration(upper)
+	if got := len(cfg.OnTable("lineitem", true)); got != 1 {
+		t.Fatalf("OnTable(lowercase) missed the uppercase-declared index: %d", got)
+	}
+	if got := len(NewConfiguration(lower).OnTable("LINEITEM", true)); got != 1 {
+		t.Fatalf("OnTable(uppercase) missed the lowercase-declared index: %d", got)
+	}
+
+	// Cache keys built from differently-cased but identical statements agree,
+	// so a mixed-case workload cannot split the memo.
+	a := parseQ(t, stmts[0])
+	b := parseQ(t, stmts[1])
+	if cm.cache.relevantSignature(a, cfg) != cm.cache.relevantSignature(b, cfg) {
+		t.Fatal("identical statements with different table casing produced different signatures")
+	}
+}

@@ -20,6 +20,13 @@ import (
 	"cadb/internal/storage"
 )
 
+// normTable is the canonical (lowercase) form of a table name. Every map
+// keyed by table name — configuration views, evaluator relevance scopes,
+// cost-cache signature scoping — keys on this one normalization, so cache
+// keys and relevance scopes agree no matter how a statement or index
+// definition spells the name.
+func normTable(s string) string { return strings.ToLower(s) }
+
 // HypoIndex is a hypothetical index: a definition plus (possibly estimated)
 // size information. The optimizer never needs the index contents — exactly
 // like a real what-if interface.
@@ -167,15 +174,15 @@ func (c *Configuration) mat() *configView {
 			v.structs[x.Def.StructureID()] = true
 			if x.Def.MV != nil {
 				v.mvs = append(v.mvs, x)
-				fact := strings.ToLower(x.Def.MV.Fact)
+				fact := normTable(x.Def.MV.Fact)
 				v.onTable[fact] = append(v.onTable[fact], x)
 			} else {
-				tbl := strings.ToLower(x.Def.Table)
+				tbl := normTable(x.Def.Table)
 				v.onTable[tbl] = append(v.onTable[tbl], x)
 				v.plain[tbl] = append(v.plain[tbl], x)
 			}
 			if x.Def.Clustered {
-				tbl := strings.ToLower(x.Def.Table)
+				tbl := normTable(x.Def.Table)
 				if _, ok := v.clustered[tbl]; !ok {
 					v.clustered[tbl] = x
 				}
@@ -254,9 +261,9 @@ func (c *Configuration) ContainsStructure(d *index.Def) bool {
 func (c *Configuration) OnTable(table string, includeMV bool) []*HypoIndex {
 	v := c.mat()
 	if includeMV {
-		return v.onTable[strings.ToLower(table)]
+		return v.onTable[normTable(table)]
 	}
-	return v.plain[strings.ToLower(table)]
+	return v.plain[normTable(table)]
 }
 
 // MVIndexes returns the MV indexes in insertion order. The slice is shared
@@ -265,7 +272,7 @@ func (c *Configuration) MVIndexes() []*HypoIndex { return c.mat().mvs }
 
 // Clustered returns the clustered index on the table, if any.
 func (c *Configuration) Clustered(table string) *HypoIndex {
-	return c.mat().clustered[strings.ToLower(table)]
+	return c.mat().clustered[normTable(table)]
 }
 
 // sizeContribution is one index's share of SizeBytes: a clustered index

@@ -136,9 +136,14 @@ func (cc *costCache) relevantSignature(stmt *workload.Statement, cfg *Configurat
 				b.WriteString(cc.atom(h))
 			}
 		}
-	case stmt.Insert != nil:
-		for _, h := range cfg.OnTable(stmt.Insert.Table, true) {
-			b.WriteString(cc.atom(h))
+	default:
+		// Writes: every index on the written table (plus matching-fact MV
+		// indexes) can change the plan — maintenance for all writes, and the
+		// qualifying-row lookup path for predicated UPDATE/DELETE.
+		if t, ok := stmt.WriteTable(); ok {
+			for _, h := range cfg.OnTable(t, true) {
+				b.WriteString(cc.atom(h))
+			}
 		}
 	}
 	return b.String()

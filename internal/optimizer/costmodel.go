@@ -126,6 +126,10 @@ func (cm *CostModel) Plan(stmt *workload.Statement, cfg *Configuration) *Plan {
 		return cm.planQuery(stmt.Query, cfg)
 	case stmt.Insert != nil:
 		return cm.planInsert(stmt.Insert, cfg)
+	case stmt.Update != nil:
+		return cm.planUpdate(stmt.Update, cfg)
+	case stmt.Delete != nil:
+		return cm.planDelete(stmt.Delete, cfg)
 	}
 	return &Plan{}
 }
@@ -630,9 +634,14 @@ func (cm *CostModel) planInsert(ins *workload.Insert, cfg *Configuration) *Plan 
 	plan.Total += baseIO + baseCPU
 	plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: cl, Kind: "base-insert", Rows: n, Cost: baseIO + baseCPU})
 
-	// Maintenance of secondary, partial and MV indexes.
+	// Maintenance of secondary, partial and MV indexes. The clustered index
+	// is the base structure above; skip it by identity (Def.ID), not by
+	// pointer — a clustered index reached through a different HypoIndex
+	// pointer (e.g. a duplicate entry, or a copy introduced by persistent-
+	// configuration Replace) must not be double-counted as secondary
+	// maintenance.
 	for _, h := range cfg.OnTable(t.Name, true) {
-		if h == cl {
+		if isSameIndex(h, cl) {
 			continue
 		}
 		affected := n
@@ -642,17 +651,220 @@ func (cm *CostModel) planInsert(ins *workload.Insert, cfg *Configuration) *Plan 
 		if h.Def.MV != nil {
 			affected = n * mvWhereSelectivity(cm.DB, h.Def.MV)
 		}
-		entryW := float64(32)
-		if h.Rows > 0 {
-			entryW = float64(h.UncompressedBytes) / float64(h.Rows)
-		}
-		writePages := affected * entryW / storage.UsablePageBytes * h.CF()
+		writePages := affected * entryWidth(h) / storage.UsablePageBytes * h.CF()
 		io := cm.SeqPageIO * writePages * 2
 		cpu := cm.CPUInsert*affected + cm.Alpha[methodOf(h)]*affected
 		plan.Total += io + cpu
 		plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: h, Kind: "index-maintain", Rows: affected, Cost: io + cpu})
 	}
 	return plan
+}
+
+// isSameIndex reports whether two hypothetical indexes denote the same
+// physical structure+method, regardless of wrapper pointer identity.
+func isSameIndex(a, b *HypoIndex) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a == b || a.Def.ID() == b.Def.ID()
+}
+
+// entryWidth is the average uncompressed leaf-entry width of an index.
+func entryWidth(h *HypoIndex) float64 {
+	if h.Rows > 0 {
+		return float64(h.UncompressedBytes) / float64(h.Rows)
+	}
+	return 32
+}
+
+// planUpdate costs a predicated UPDATE following Appendix A:
+// CPUCost_update = BaseCPUCost + α(method)·#tuples_written. The qualifying
+// rows are located through the cheapest access path under the configuration,
+// the base structure (heap or clustered index) rewrites them in place, and
+// every other index whose columns the update touches is maintained —
+// touched-column awareness: an index that stores none of the SET columns
+// needs no maintenance.
+func (cm *CostModel) planUpdate(u *workload.Update, cfg *Configuration) *Plan {
+	t := cm.DB.Table(u.Table)
+	if t == nil {
+		return &Plan{}
+	}
+	plan := &Plan{}
+
+	// 1. Locate the qualifying rows; the touched columns must be fetched so
+	// the rewrite can happen.
+	lookup := cm.bestAccess(t, u.Preds, u.SetCols(), cfg)
+	n := lookup.Rows
+	plan.Paths = append(plan.Paths, lookup)
+	plan.Total += lookup.Cost
+
+	// 2. Rewrite the base structure. Unlike a bulk load, predicated updates
+	// dirty the pages their rows happen to live in, so the write I/O does
+	// not shrink with compression — what differentiates the methods is the
+	// Appendix A α(method) CPU paid per tuple written. Updating a clustered
+	// key column moves the row, which costs a delete+reinsert instead of an
+	// in-place rewrite.
+	cl := cfg.Clustered(t.Name)
+	writePages := n * t.AvgRowWidth() / storage.UsablePageBytes
+	baseIO := cm.SeqPageIO * writePages
+	baseCPU := cm.CPUInsert*n + cm.Alpha[methodOf(cl)]*n
+	if cl != nil && touchesAny(u, cl.Def.KeyCols) {
+		baseIO *= 2
+		baseCPU += cm.CPUInsert * n
+	}
+	plan.Total += baseIO + baseCPU
+	plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: cl, Kind: "base-update", Rows: n, Cost: baseIO + baseCPU})
+
+	// 3. Maintain the other indexes the update touches.
+	for _, h := range cfg.OnTable(t.Name, true) {
+		if isSameIndex(h, cl) {
+			continue
+		}
+		affected, moves, ok := cm.updateAffected(t, u, h, n)
+		if !ok {
+			continue
+		}
+		cost := cm.maintainCost(h, affected, moves)
+		plan.Total += cost
+		plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: h, Kind: "index-maintain", Rows: affected, Cost: cost})
+	}
+	return plan
+}
+
+// planDelete costs a predicated DELETE: locate the qualifying rows through
+// the cheapest access path, remove them from the base structure, and remove
+// the corresponding entries from every index on the table (deletes touch all
+// indexes — there is no touched-column filter).
+func (cm *CostModel) planDelete(d *workload.Delete, cfg *Configuration) *Plan {
+	t := cm.DB.Table(d.Table)
+	if t == nil {
+		return &Plan{}
+	}
+	plan := &Plan{}
+
+	lookup := cm.bestAccess(t, d.Preds, nil, cfg)
+	n := lookup.Rows
+	plan.Paths = append(plan.Paths, lookup)
+	plan.Total += lookup.Cost
+
+	// Base-structure removal: the dirtied pages must be rewritten (page
+	// count is method-independent, as in planUpdate), and compressed pages
+	// pay α to re-compress.
+	cl := cfg.Clustered(t.Name)
+	writePages := n * t.AvgRowWidth() / storage.UsablePageBytes
+	baseIO := cm.SeqPageIO * writePages
+	baseCPU := cm.CPUInsert*n + cm.Alpha[methodOf(cl)]*n
+	plan.Total += baseIO + baseCPU
+	plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: cl, Kind: "base-delete", Rows: n, Cost: baseIO + baseCPU})
+
+	for _, h := range cfg.OnTable(t.Name, true) {
+		if isSameIndex(h, cl) {
+			continue
+		}
+		affected := n
+		if h.Def.IsPartial() {
+			affected = n * CombinedSelectivity(t, h.Def.Where)
+		}
+		if h.Def.MV != nil {
+			affected = n * mvWhereSelectivity(cm.DB, h.Def.MV)
+		}
+		cost := cm.maintainCost(h, affected, false)
+		plan.Total += cost
+		plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: h, Kind: "index-maintain", Rows: affected, Cost: cost})
+	}
+	return plan
+}
+
+// updateAffected decides whether the update maintains index h, and with how
+// many affected entries. moves reports whether entries relocate (key or
+// partial-filter columns touched: delete+reinsert) rather than being
+// rewritten in place (include columns touched).
+func (cm *CostModel) updateAffected(t *catalog.Table, u *workload.Update, h *HypoIndex, n float64) (affected float64, moves, ok bool) {
+	if h.Def.MV != nil {
+		if !mvTouchedByUpdate(h.Def.MV, u) {
+			return 0, false, false
+		}
+		return n * mvWhereSelectivity(cm.DB, h.Def.MV), true, true
+	}
+	if h.Def.IsPartial() {
+		// Touching the filter column migrates rows in and out of the index;
+		// every qualifying row may need an entry inserted or removed.
+		for _, p := range h.Def.Where {
+			if u.Touches(p.Col) {
+				return n, true, true
+			}
+		}
+		if !touchesAny(u, h.Def.Columns()) {
+			return 0, false, false
+		}
+		return n * CombinedSelectivity(t, h.Def.Where), touchesAny(u, h.Def.KeyCols), true
+	}
+	cols := h.Def.Columns()
+	if h.Def.Clustered {
+		cols = t.Schema.Names()
+	}
+	if !touchesAny(u, cols) {
+		return 0, false, false
+	}
+	return n, touchesAny(u, h.Def.KeyCols), true
+}
+
+// maintainCost is the per-index write-maintenance cost for affected entries:
+// a tree descent to locate them, leaf-page writes (twice when entries move),
+// per-entry CPU and the Appendix A α(method) compression CPU. The leaf
+// write I/O is method-independent — scattered maintenance dirties whole
+// pages regardless of how tightly they pack — so compressed variants
+// compete on α alone, which is exactly the trade-off that makes DTAc back
+// off PAGE under update-heavy mixes.
+func (cm *CostModel) maintainCost(h *HypoIndex, affected float64, moves bool) float64 {
+	writePages := affected * entryWidth(h) / storage.UsablePageBytes
+	passes := 1.0
+	if moves {
+		passes = 2
+	}
+	io := cm.RandPageIO*cm.treeHeight(float64(h.Pages())) + cm.SeqPageIO*writePages*passes
+	cpu := cm.CPUInsert*affected*passes + cm.Alpha[methodOf(h)]*affected
+	return io + cpu
+}
+
+// touchesAny reports whether the update rewrites any of the columns.
+func touchesAny(u *workload.Update, cols []string) bool {
+	for _, c := range cols {
+		if u.Touches(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// mvTouchedByUpdate reports whether an update on the MV's fact table touches
+// any column the MV materializes or filters on (group-by, aggregate input,
+// WHERE or fact-side join columns).
+func mvTouchedByUpdate(mv *index.MVDef, u *workload.Update) bool {
+	for _, g := range mv.GroupBy {
+		if u.Touches(g.Col) {
+			return true
+		}
+	}
+	for _, a := range mv.Aggs {
+		if a.Col.Col != "" && u.Touches(a.Col.Col) {
+			return true
+		}
+	}
+	for _, p := range mv.Where {
+		if u.Touches(p.Col) {
+			return true
+		}
+	}
+	for _, j := range mv.Joins {
+		if strings.EqualFold(j.LeftTable, mv.Fact) && u.Touches(j.LeftCol) {
+			return true
+		}
+		if strings.EqualFold(j.RightTable, mv.Fact) && u.Touches(j.RightCol) {
+			return true
+		}
+	}
+	return false
 }
 
 func mvWhereSelectivity(db *catalog.Database, mv *index.MVDef) float64 {

@@ -1,7 +1,6 @@
 package optimizer
 
 import (
-	"strings"
 	"sync/atomic"
 
 	"cadb/internal/workload"
@@ -56,14 +55,14 @@ type stmtScope struct {
 
 // affectedBy reports whether adding/removing h can change the statement's
 // plan. Mirrors costCache.relevantSignature: plain indexes are relevant to
-// queries on their table and inserts into it; MV indexes are relevant to
-// queries whose driving table is the MV's fact (mvMatches accepts no others)
-// and to inserts into the fact.
+// queries on their table and writes (INSERT/UPDATE/DELETE) against it; MV
+// indexes are relevant to queries whose driving table is the MV's fact
+// (mvMatches accepts no others) and to writes against the fact.
 func (sc stmtScope) affectedBy(h *HypoIndex) bool {
 	if h.Def.MV != nil {
-		return sc.mvFacts[strings.ToLower(h.Def.MV.Fact)]
+		return sc.mvFacts[normTable(h.Def.MV.Fact)]
 	}
-	return sc.tables[strings.ToLower(h.Def.Table)]
+	return sc.tables[normTable(h.Def.Table)]
 }
 
 // affectedByAny reports whether any of the delta's indexes is relevant.
@@ -76,21 +75,26 @@ func (sc stmtScope) affectedByAny(touched []*HypoIndex) bool {
 	return false
 }
 
-// scopeOf computes a statement's relevance scope.
+// scopeOf computes a statement's relevance scope. Every write statement —
+// bulk INSERT, predicated UPDATE or DELETE — is relevant to the indexes on
+// its table (maintenance and, for predicated writes, the qualifying-row
+// lookup) and to MV indexes whose fact table it modifies.
 func scopeOf(s *workload.Statement) stmtScope {
 	sc := stmtScope{tables: map[string]bool{}, mvFacts: map[string]bool{}}
 	switch {
 	case s.Query != nil:
 		for _, t := range s.Query.Tables {
-			sc.tables[strings.ToLower(t)] = true
+			sc.tables[normTable(t)] = true
 		}
 		if len(s.Query.Tables) > 0 {
-			sc.mvFacts[strings.ToLower(s.Query.Tables[0])] = true
+			sc.mvFacts[normTable(s.Query.Tables[0])] = true
 		}
-	case s.Insert != nil:
-		t := strings.ToLower(s.Insert.Table)
-		sc.tables[t] = true
-		sc.mvFacts[t] = true
+	default:
+		if t, ok := s.WriteTable(); ok {
+			lt := normTable(t)
+			sc.tables[lt] = true
+			sc.mvFacts[lt] = true
+		}
 	}
 	return sc
 }

@@ -48,6 +48,8 @@ func evalWorkload(t *testing.T) *workload.Workload {
 		parseQ(t, "SELECT COUNT(*) FROM customer WHERE c_mktsegment = 'BUILDING'"),
 		parseQ(t, "INSERT INTO lineitem BULK 500"),
 		parseQ(t, "INSERT INTO orders BULK 200"),
+		parseQ(t, "UPDATE lineitem SET l_discount = 0.02 WHERE l_shipdate BETWEEN DATE 9100 AND DATE 9400"),
+		parseQ(t, "DELETE FROM orders WHERE o_orderdate < DATE 8200"),
 	}
 	for i, s := range stmts {
 		s.Weight = float64(1 + i%3)
@@ -142,9 +144,10 @@ func TestEvaluatorSkipsIrrelevantStatements(t *testing.T) {
 	ev2 := NewEvaluator(cm, wl, NewConfiguration(), stats2)
 	hLine := build(t, &index.Def{Table: "lineitem", KeyCols: []string{"l_quantity"}})
 	_, _ = ev2.CostWithAdd(hLine)
-	// lineitem: three queries, the join, and the lineitem insert.
-	if _, delta, _ := stats2.Snapshot(); delta != 4 {
-		t.Fatalf("lineitem index: want 4 statements re-planned, got %d", delta)
+	// lineitem: three queries, the join, the lineitem insert and the
+	// lineitem update.
+	if _, delta, _ := stats2.Snapshot(); delta != 5 {
+		t.Fatalf("lineitem index: want 5 statements re-planned, got %d", delta)
 	}
 }
 

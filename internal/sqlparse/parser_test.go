@@ -117,7 +117,7 @@ func TestParseSelectStar(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",
-		"DELETE FROM t",
+		"TRUNCATE t",
 		"SELECT FROM t",
 		"SELECT a FROM",
 		"SELECT a FROM t WHERE",
@@ -200,5 +200,90 @@ func TestRoundTripThroughString(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("String()=%q missing %q", out, want)
 		}
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	s := mustParse(t, "UPDATE lineitem SET l_discount = 0.05, l_tax = 0.02 WHERE l_shipdate BETWEEN DATE 9000 AND DATE 9365 AND l_quantity < 24")
+	u := s.Update
+	if u == nil {
+		t.Fatal("expected an Update statement")
+	}
+	if u.Table != "lineitem" {
+		t.Fatalf("table=%q", u.Table)
+	}
+	if len(u.Set) != 2 || u.Set[0].Col != "l_discount" || u.Set[1].Col != "l_tax" {
+		t.Fatalf("set=%v", u.Set)
+	}
+	if u.Set[0].Value.Float != 0.05 {
+		t.Fatalf("set value=%v", u.Set[0].Value)
+	}
+	if len(u.Preds) != 2 || u.Preds[0].Op != workload.OpBetween || u.Preds[1].Op != workload.OpLt {
+		t.Fatalf("preds=%v", u.Preds)
+	}
+}
+
+func TestParseUpdateNoWhere(t *testing.T) {
+	s := mustParse(t, "UPDATE t SET a = 1")
+	if s.Update == nil || len(s.Update.Preds) != 0 || len(s.Update.Set) != 1 {
+		t.Fatalf("parsed %+v", s.Update)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	s := mustParse(t, "DELETE FROM orders WHERE o_orderdate < DATE 8200")
+	d := s.Delete
+	if d == nil {
+		t.Fatal("expected a Delete statement")
+	}
+	if d.Table != "orders" || len(d.Preds) != 1 || d.Preds[0].Col != "o_orderdate" {
+		t.Fatalf("parsed %+v", d)
+	}
+	if s2 := mustParse(t, "delete from t"); s2.Delete == nil || len(s2.Delete.Preds) != 0 {
+		t.Fatal("lowercase DELETE without WHERE should parse")
+	}
+}
+
+func TestParseUpdateDeleteErrors(t *testing.T) {
+	for _, sql := range []string{
+		"UPDATE SET a = 1",            // missing table
+		"UPDATE t a = 1",              // missing SET
+		"UPDATE t SET a 1",            // missing =
+		"UPDATE t SET a = ",           // missing literal
+		"DELETE t WHERE a = 1",        // missing FROM
+		"DELETE FROM WHERE a = 1",     // missing table
+		"UPDATE t SET a = 1 WHERE",    // dangling WHERE
+		"UPDATE t SET a = 1 trailing", // trailing tokens
+	} {
+		if _, err := ParseStatement(sql); err == nil {
+			t.Errorf("expected error for %q", sql)
+		}
+	}
+}
+
+func TestParseScriptMixedWrites(t *testing.T) {
+	wl, err := ParseScript(`
+-- label: Q1 weight: 2
+SELECT COUNT(*) FROM t WHERE a = 1;
+-- label: U1 weight: 3
+UPDATE t SET a = 2 WHERE b >= 10;
+-- label: D1 weight: 0.5
+DELETE FROM t WHERE c = 'x';
+INSERT INTO t BULK 100;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Statements) != 4 {
+		t.Fatalf("statements=%d want 4", len(wl.Statements))
+	}
+	if wl.Statements[1].Update == nil || wl.Statements[1].Weight != 3 || wl.Statements[1].Label != "U1" {
+		t.Fatalf("update statement mis-parsed: %v", wl.Statements[1])
+	}
+	if wl.Statements[2].Delete == nil || wl.Statements[2].Weight != 0.5 {
+		t.Fatalf("delete statement mis-parsed: %v", wl.Statements[2])
+	}
+	if got := len(wl.Updates()); got != 2 {
+		t.Fatalf("Updates()=%d want 2", got)
 	}
 }

@@ -295,3 +295,14 @@ func TestAvgRowWidth(t *testing.T) {
 		t.Fatal("empty input should fall back to schema RowWidth")
 	}
 }
+
+func TestRowWithValueCopyOnWrite(t *testing.T) {
+	r := Row{IntVal(1), StringVal("a")}
+	r2 := r.WithValue(1, StringVal("b"))
+	if r[1].Str != "a" {
+		t.Fatal("WithValue must not mutate the receiver")
+	}
+	if r2[0].Int != 1 || r2[1].Str != "b" {
+		t.Fatalf("WithValue result wrong: %v", r2)
+	}
+}

@@ -191,3 +191,12 @@ func (r Row) Clone() Row {
 	copy(out, r)
 	return out
 }
+
+// WithValue returns a copy of the row with column i replaced by v. The
+// receiver is left untouched, so rows shared between a table and derived
+// structures (samples, materialized indexes) stay consistent.
+func (r Row) WithValue(i int, v Value) Row {
+	out := r.Clone()
+	out[i] = v
+	return out
+}

@@ -1,10 +1,11 @@
 // Package workload defines the statement intermediate representation the
 // advisor tunes for: single-table and foreign-key-join SELECT queries with
-// range/equality predicates, grouping and aggregation, plus bulk-load INSERT
-// statements. A Workload is a weighted set of statements, mirroring the
-// paper's setup (TPC-H: 22 analytic queries + 2 bulk loads; Sales: 50 + 2)
-// where bulk-load weights are varied to produce SELECT-intensive and
-// INSERT-intensive mixes.
+// range/equality predicates, grouping and aggregation, plus write statements
+// — bulk-load INSERTs and predicated UPDATE/DELETE statements. A Workload is
+// a weighted set of statements, mirroring the paper's setup (TPC-H: 22
+// analytic queries + 2 bulk loads; Sales: 50 + 2) where write-statement
+// weights are varied to produce SELECT-intensive, INSERT-intensive and
+// update-intensive mixes.
 package workload
 
 import (
@@ -362,17 +363,143 @@ func (i *Insert) String() string {
 	return fmt.Sprintf("INSERT INTO %s BULK %d", i.Table, i.Rows)
 }
 
-// Statement is one weighted workload entry: exactly one of Query or Insert
-// is non-nil.
+// Assignment is one SET clause of an UPDATE: Col = Value.
+type Assignment struct {
+	Col   string
+	Value storage.Value
+}
+
+// String renders the assignment.
+func (a Assignment) String() string {
+	return fmt.Sprintf("%s = %s", a.Col, a.Value)
+}
+
+// Update is a predicated UPDATE statement: rewrite the Set columns of every
+// row of Table matching the (implicitly ANDed) predicates.
+type Update struct {
+	Table string
+	Set   []Assignment
+	Preds []Predicate
+}
+
+// SetCols returns the updated column names, de-duplicated, in SET order.
+func (u *Update) SetCols() []string {
+	var out []string
+	for _, a := range u.Set {
+		dup := false
+		for _, c := range out {
+			if strings.EqualFold(c, a.Col) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, a.Col)
+		}
+	}
+	return out
+}
+
+// Touches reports whether the update rewrites the named column.
+func (u *Update) Touches(col string) bool {
+	for _, a := range u.Set {
+		if strings.EqualFold(a.Col, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the update as SQL.
+func (u *Update) String() string {
+	var b strings.Builder
+	b.WriteString("UPDATE ")
+	b.WriteString(u.Table)
+	b.WriteString(" SET ")
+	for i, a := range u.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	writeWhere(&b, u.Preds)
+	return b.String()
+}
+
+// Delete is a predicated DELETE statement removing the rows of Table
+// matching the predicates.
+type Delete struct {
+	Table string
+	Preds []Predicate
+}
+
+// String renders the delete as SQL.
+func (d *Delete) String() string {
+	var b strings.Builder
+	b.WriteString("DELETE FROM ")
+	b.WriteString(d.Table)
+	writeWhere(&b, d.Preds)
+	return b.String()
+}
+
+func writeWhere(b *strings.Builder, preds []Predicate) {
+	if len(preds) == 0 {
+		return
+	}
+	b.WriteString(" WHERE ")
+	for i, p := range preds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(p.String())
+	}
+}
+
+// Statement is one weighted workload entry: exactly one of Query, Insert,
+// Update or Delete is non-nil.
 type Statement struct {
 	Query  *Query
 	Insert *Insert
+	Update *Update
+	Delete *Delete
 	Weight float64
-	Label  string // e.g. "Q6", "LOAD-LINEITEM"
+	Label  string // e.g. "Q6", "LOAD-LINEITEM", "U1"
 }
 
 // IsQuery reports whether the statement is a SELECT.
 func (s *Statement) IsQuery() bool { return s.Query != nil }
+
+// IsWrite reports whether the statement modifies data (INSERT, UPDATE or
+// DELETE).
+func (s *Statement) IsWrite() bool {
+	return s.Insert != nil || s.Update != nil || s.Delete != nil
+}
+
+// WriteTable returns the table a write statement modifies; ok is false for
+// queries.
+func (s *Statement) WriteTable() (string, bool) {
+	switch {
+	case s.Insert != nil:
+		return s.Insert.Table, true
+	case s.Update != nil:
+		return s.Update.Table, true
+	case s.Delete != nil:
+		return s.Delete.Table, true
+	}
+	return "", false
+}
+
+// WritePreds returns the predicates qualifying a predicated write (UPDATE or
+// DELETE); nil for bulk inserts and queries.
+func (s *Statement) WritePreds() []Predicate {
+	switch {
+	case s.Update != nil:
+		return s.Update.Preds
+	case s.Delete != nil:
+		return s.Delete.Preds
+	}
+	return nil
+}
 
 // String renders the statement.
 func (s *Statement) String() string {
@@ -382,6 +509,10 @@ func (s *Statement) String() string {
 		body = s.Query.String()
 	case s.Insert != nil:
 		body = s.Insert.String()
+	case s.Update != nil:
+		body = s.Update.String()
+	case s.Delete != nil:
+		body = s.Delete.String()
 	default:
 		body = "<empty>"
 	}
@@ -418,15 +549,42 @@ func (w *Workload) Inserts() []*Statement {
 	return out
 }
 
+// Updates returns the UPDATE and DELETE statements.
+func (w *Workload) Updates() []*Statement {
+	var out []*Statement
+	for _, s := range w.Statements {
+		if s.Update != nil || s.Delete != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Reweight returns a copy of the workload with every INSERT statement's
 // weight multiplied by factor. This is how the SELECT-intensive and
 // INSERT-intensive variants of a workload are derived (Section 7).
 func (w *Workload) Reweight(insertFactor float64) *Workload {
+	return w.reweight(insertFactor, func(s *Statement) bool { return s.Insert != nil })
+}
+
+// ReweightUpdates returns a copy with every UPDATE and DELETE statement's
+// weight multiplied by factor — how the update-intensive mixes are derived.
+func (w *Workload) ReweightUpdates(factor float64) *Workload {
+	return w.reweight(factor, func(s *Statement) bool { return s.Update != nil || s.Delete != nil })
+}
+
+// ReweightWrites returns a copy with every write statement's (INSERT, UPDATE,
+// DELETE) weight multiplied by factor.
+func (w *Workload) ReweightWrites(factor float64) *Workload {
+	return w.reweight(factor, (*Statement).IsWrite)
+}
+
+func (w *Workload) reweight(factor float64, match func(*Statement) bool) *Workload {
 	out := &Workload{}
 	for _, s := range w.Statements {
 		c := *s
-		if s.Insert != nil {
-			c.Weight *= insertFactor
+		if match(s) {
+			c.Weight *= factor
 		}
 		out.Statements = append(out.Statements, &c)
 	}

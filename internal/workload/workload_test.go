@@ -199,3 +199,81 @@ func TestStringRenderings(t *testing.T) {
 		}
 	}
 }
+
+func TestUpdateDeleteIR(t *testing.T) {
+	u := &Update{
+		Table: "t",
+		Set: []Assignment{
+			{Col: "a", Value: storage.IntVal(1)},
+			{Col: "B", Value: storage.IntVal(2)},
+			{Col: "A", Value: storage.IntVal(3)}, // dup of a, different case
+		},
+		Preds: []Predicate{{Col: "c", Op: OpGe, Lo: storage.IntVal(5)}},
+	}
+	if got := u.SetCols(); len(got) != 2 || got[0] != "a" || got[1] != "B" {
+		t.Fatalf("SetCols=%v", got)
+	}
+	if !u.Touches("A") || !u.Touches("b") || u.Touches("c") {
+		t.Fatal("Touches should fold case and ignore predicate columns")
+	}
+	for _, want := range []string{"UPDATE t SET", "a = 1", "WHERE c >= 5"} {
+		if !strings.Contains(u.String(), want) {
+			t.Errorf("update String()=%q missing %q", u.String(), want)
+		}
+	}
+	d := &Delete{Table: "t", Preds: []Predicate{{Col: "x", Op: OpEq, Lo: storage.IntVal(9)}}}
+	if !strings.Contains(d.String(), "DELETE FROM t WHERE x = 9") {
+		t.Errorf("delete String()=%q", d.String())
+	}
+
+	su := &Statement{Update: u}
+	sd := &Statement{Delete: d}
+	si := &Statement{Insert: &Insert{Table: "t", Rows: 1}}
+	sq := &Statement{Query: &Query{Tables: []string{"t"}}}
+	for _, s := range []*Statement{su, sd, si} {
+		if !s.IsWrite() {
+			t.Errorf("%s should be a write", s)
+		}
+		if tbl, ok := s.WriteTable(); !ok || tbl != "t" {
+			t.Errorf("WriteTable(%s)=%q,%v", s, tbl, ok)
+		}
+	}
+	if sq.IsWrite() {
+		t.Error("query is not a write")
+	}
+	if _, ok := sq.WriteTable(); ok {
+		t.Error("query has no write table")
+	}
+	if len(su.WritePreds()) != 1 || len(sd.WritePreds()) != 1 || si.WritePreds() != nil {
+		t.Error("WritePreds mismatch")
+	}
+}
+
+func TestReweightUpdatesAndWrites(t *testing.T) {
+	wl := &Workload{Statements: []*Statement{
+		{Query: &Query{Tables: []string{"t"}}, Weight: 1},
+		{Insert: &Insert{Table: "t", Rows: 10}, Weight: 1},
+		{Update: &Update{Table: "t"}, Weight: 2},
+		{Delete: &Delete{Table: "t"}, Weight: 3},
+	}}
+	up := wl.ReweightUpdates(10)
+	if w := up.Statements[0].Weight; w != 1 {
+		t.Fatalf("query weight changed: %v", w)
+	}
+	if w := up.Statements[1].Weight; w != 1 {
+		t.Fatalf("insert weight changed by ReweightUpdates: %v", w)
+	}
+	if up.Statements[2].Weight != 20 || up.Statements[3].Weight != 30 {
+		t.Fatalf("update/delete weights not scaled: %v %v", up.Statements[2].Weight, up.Statements[3].Weight)
+	}
+	all := wl.ReweightWrites(2)
+	if all.Statements[1].Weight != 2 || all.Statements[2].Weight != 4 || all.Statements[3].Weight != 6 {
+		t.Fatal("ReweightWrites must scale all writes")
+	}
+	if wl.Statements[2].Weight != 2 {
+		t.Fatal("reweight must not mutate the receiver")
+	}
+	if got := len(wl.Updates()); got != 2 {
+		t.Fatalf("Updates()=%d want 2", got)
+	}
+}

@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cadb/internal/sqlparse"
+	"cadb/internal/workload"
+)
+
+// The update-intensive workload variants. The paper varies write weights to
+// show the advisor backing off PAGE compression when maintenance dominates
+// (Appendix A's α(method) CPU term); these variants extend the two bundled
+// workloads with predicated UPDATE/DELETE statements so that trade-off is
+// reproducible end-to-end. Weights start at 1 (balanced); derive heavier
+// mixes with UpdateIntensive or Workload.ReweightUpdates.
+
+// tpchUpdateSQL mirrors TPC-H's refresh-function spirit in the supported
+// subset: price/discount corrections on recent lineitem windows, order
+// re-prioritization, account resets, and trailing-history deletes. The SET
+// columns deliberately overlap the columns the analytic queries aggregate
+// and group on, so the updates maintain exactly the covering indexes the
+// advisor likes to recommend; the WHERE clauses are selective date windows
+// (the shape real refresh traffic has), so the qualifying-row lookup is an
+// index seek and the per-tuple α(method) maintenance CPU — not a scan — is
+// what scales with update weight.
+const tpchUpdateSQL = `
+-- label: U1 weight: 1
+UPDATE lineitem SET l_discount = 0.05, l_tax = 0.02 WHERE l_shipdate BETWEEN DATE 9700 AND DATE 9790;
+
+-- label: U2 weight: 1
+UPDATE lineitem SET l_returnflag = 'R' WHERE l_shipdate BETWEEN DATE 9800 AND DATE 9890;
+
+-- label: U3 weight: 1
+UPDATE lineitem SET l_extendedprice = 0.0 WHERE l_shipdate BETWEEN DATE 10000 AND DATE 10090;
+
+-- label: U4 weight: 1
+UPDATE orders SET o_orderpriority = '3-MEDIUM' WHERE o_orderdate BETWEEN DATE 9500 AND DATE 9590;
+
+-- label: U5 weight: 1
+UPDATE customer SET c_acctbal = 0.0 WHERE c_acctbal < -500.0;
+
+-- label: D1 weight: 1
+DELETE FROM lineitem WHERE l_shipdate < DATE 8200;
+
+-- label: D2 weight: 1
+DELETE FROM orders WHERE o_orderdate < DATE 8150;
+`
+
+// TPCHWithUpdates returns the TPC-H-shaped workload extended with the
+// predicated UPDATE/DELETE statements above.
+func TPCHWithUpdates() (*workload.Workload, error) {
+	return sqlparse.ParseScript(tpchSQL + tpchUpdateSQL)
+}
+
+// MustTPCHWithUpdates panics on parse errors (the script is a compile-time
+// constant).
+func MustTPCHWithUpdates() *workload.Workload {
+	wl, err := TPCHWithUpdates()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: TPC-H update script: %v", err))
+	}
+	return wl
+}
+
+// SalesWithUpdates returns the generated Sales workload extended with seeded
+// UPDATE/DELETE statements over the fact table: discount/promo corrections
+// on date windows, quantity capping, and trailing-history deletes.
+func SalesWithUpdates(seed int64) (*workload.Workload, error) {
+	base, err := Sales(seed)
+	if err != nil {
+		return nil, err
+	}
+	// A separate stream keeps Sales(seed) byte-identical to the plain
+	// variant.
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed0bad))
+	const dateLo, dateHi = 12000, 13500
+	win := func(span int) (int, int) {
+		lo := dateLo + rng.Intn(dateHi-dateLo-span)
+		return lo, lo + span
+	}
+	var b strings.Builder
+	lo1, hi1 := win(90)
+	fmt.Fprintf(&b, "-- label: SU1 weight: 1\nUPDATE sales SET discount = 0.15 WHERE orderdate BETWEEN DATE %d AND DATE %d;\n", lo1, hi1)
+	lo2, hi2 := win(60)
+	fmt.Fprintf(&b, "-- label: SU2 weight: 1\nUPDATE sales SET promo = 'CLEAR25', price = 0.0 WHERE orderdate BETWEEN DATE %d AND DATE %d;\n", lo2, hi2)
+	fmt.Fprintf(&b, "-- label: SU3 weight: 1\nUPDATE sales SET qty = 1 WHERE qty >= %d;\n", 8+rng.Intn(2))
+	fmt.Fprintf(&b, "-- label: SD1 weight: 1\nDELETE FROM sales WHERE orderdate < DATE %d;\n", dateLo+30+rng.Intn(30))
+	upd, err := sqlparse.ParseScript(b.String())
+	if err != nil {
+		return nil, err
+	}
+	base.Statements = append(base.Statements, upd.Statements...)
+	return base, nil
+}
+
+// MustSalesWithUpdates panics on generation errors.
+func MustSalesWithUpdates(seed int64) *workload.Workload {
+	wl, err := SalesWithUpdates(seed)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: sales update script: %v", err))
+	}
+	return wl
+}
+
+// UpdateIntensive scales the UPDATE/DELETE weights up by 10x, the
+// update-dominated mix.
+func UpdateIntensive(wl *workload.Workload) *workload.Workload {
+	return wl.ReweightUpdates(10)
+}

@@ -134,3 +134,83 @@ func TestSalesWorkloadDeterministic(t *testing.T) {
 		t.Fatal("different seeds must differ")
 	}
 }
+
+func TestUpdateWorkloadVariantsParse(t *testing.T) {
+	tpch := MustTPCHWithUpdates()
+	if got := len(tpch.Queries()); got != 22 {
+		t.Fatalf("tpch queries=%d want 22", got)
+	}
+	if got := len(tpch.Updates()); got != 7 {
+		t.Fatalf("tpch updates+deletes=%d want 7", got)
+	}
+	// Every SET and predicate column must exist on the written table.
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 500, Seed: 1})
+	for _, s := range tpch.Updates() {
+		tbl, _ := s.WriteTable()
+		tab := db.Table(tbl)
+		if tab == nil {
+			t.Fatalf("%s writes unknown table %s", s.Label, tbl)
+		}
+		if s.Update != nil {
+			for _, c := range s.Update.SetCols() {
+				if !tab.Schema.Has(c) {
+					t.Fatalf("%s: SET column %s not on %s", s.Label, c, tbl)
+				}
+			}
+		}
+		for _, p := range s.WritePreds() {
+			if !tab.Schema.Has(p.Col) {
+				t.Fatalf("%s: predicate column %s not on %s", s.Label, p.Col, tbl)
+			}
+		}
+	}
+
+	sales := MustSalesWithUpdates(7)
+	if got := len(sales.Updates()); got != 4 {
+		t.Fatalf("sales updates+deletes=%d want 4", got)
+	}
+	sdb := datagen.NewSales(datagen.SalesConfig{FactRows: 500, Seed: 1})
+	for _, s := range sales.Updates() {
+		tbl, _ := s.WriteTable()
+		tab := sdb.Table(tbl)
+		if tab == nil {
+			t.Fatalf("%s writes unknown table %s", s.Label, tbl)
+		}
+		if s.Update != nil {
+			for _, c := range s.Update.SetCols() {
+				if !tab.Schema.Has(c) {
+					t.Fatalf("%s: SET column %s not on %s", s.Label, c, tbl)
+				}
+			}
+		}
+	}
+	// The plain Sales workload is untouched by the update extension.
+	if len(MustSales(7).Statements)+4 != len(sales.Statements) {
+		t.Fatal("SalesWithUpdates must extend, not rewrite, the base workload")
+	}
+}
+
+func TestUpdateIntensiveReweights(t *testing.T) {
+	wl := MustTPCHWithUpdates()
+	up := UpdateIntensive(wl)
+	for i, s := range wl.Statements {
+		got := up.Statements[i].Weight
+		if s.Update != nil || s.Delete != nil {
+			if got != s.Weight*10 {
+				t.Fatalf("%s weight %v want %v", s.Label, got, s.Weight*10)
+			}
+		} else if got != s.Weight {
+			t.Fatalf("%s weight must be untouched", s.Label)
+		}
+	}
+}
+
+func TestSalesWithUpdatesDeterministic(t *testing.T) {
+	a := MustSalesWithUpdates(7)
+	b := MustSalesWithUpdates(7)
+	for i := range a.Statements {
+		if a.Statements[i].String() != b.Statements[i].String() {
+			t.Fatalf("statement %d differs across runs", i)
+		}
+	}
+}
