@@ -41,6 +41,7 @@ import (
 	"cadb/internal/core"
 	"cadb/internal/datagen"
 	"cadb/internal/estimator"
+	"cadb/internal/exec"
 	"cadb/internal/experiments"
 	"cadb/internal/index"
 	"cadb/internal/optimizer"
@@ -48,6 +49,7 @@ import (
 	"cadb/internal/sizeest"
 	"cadb/internal/sizing"
 	"cadb/internal/sqlparse"
+	"cadb/internal/storage"
 	"cadb/internal/workload"
 	"cadb/internal/workloads"
 )
@@ -246,6 +248,72 @@ func PlanEstimation(db *Database, targets []*IndexDef, e, q float64, seed int64)
 // ExecuteEstimation runs a plan, returning estimates keyed by IndexDef.ID().
 func ExecuteEstimation(est *SizeEstimator, p *EstimationPlan) (map[string]*SizeEstimate, error) {
 	return sizing.Execute(est, p)
+}
+
+// ---------------------------------------------------------------------------
+// The physical page store and segment-backed execution
+
+// Segment is a materialized compressed page store (rows encoded into real
+// 8 KB slotted pages by a per-method codec).
+type Segment = storage.Segment
+
+// SegmentIndex is a physically materialized index: leaf rows compressed into
+// a segment, with per-page low keys for leading-key seeks and measured
+// sizes diffable against the size model.
+type SegmentIndex = index.SegmentIndex
+
+// SegmentStore is the segment-backed executor: per-table compressed page
+// stores plus key-ordered index segments, with scan/seek access paths that
+// decode pages on demand and count their physical I/O. Results are
+// byte-identical to the plain-row reference executor.
+type SegmentStore = exec.Store
+
+// ExecResult is an executed query's output (rows plus, for segment-backed
+// runs, the I/O counters and access-path descriptions).
+type ExecResult = exec.Result
+
+// ExecIOStats counts the physical page work of a segment-backed execution.
+type ExecIOStats = exec.IOStats
+
+// BuildSegmentIndex materializes an index definition as a compressed page
+// segment. Only NONE/ROW/PAGE have materializing codecs.
+func BuildSegmentIndex(db *Database, d *IndexDef) (*SegmentIndex, error) {
+	return index.BuildSegmentIndex(db, d)
+}
+
+// NewSegmentStore materializes a physical design as a segment-backed store.
+func NewSegmentStore(db *Database, defs []*IndexDef) (*SegmentStore, error) {
+	return exec.NewStore(db, defs)
+}
+
+// MeasuredSize is one structure×method comparison of the size model against
+// a materialized segment (the ext-measured experiment's unit).
+type MeasuredSize = experiments.MeasuredSize
+
+// MeasuredExec is one statement's estimated-vs-counted page-read comparison
+// with its oracle-identity verdict.
+type MeasuredExec = experiments.MeasuredExec
+
+// MeasuredScenario is one execution-comparison scenario of ext-measured.
+type MeasuredScenario = experiments.MeasuredScenario
+
+// MeasuredSizes materializes each structure under each method and diffs the
+// size model against the physical segment.
+func MeasuredSizes(db *Database, structures []*IndexDef, methods []CompressionMethod) ([]MeasuredSize, error) {
+	return experiments.MeasuredSizes(db, structures, methods)
+}
+
+// MeasuredScenarios builds the TPC-H/Sales/update-mix execution scenarios at
+// the given experiment scale.
+func MeasuredScenarios(sc ExperimentScale) []MeasuredScenario {
+	return experiments.MeasuredScenarios(sc)
+}
+
+// MeasuredExecution runs a workload through the segment-backed store and the
+// plain-row oracle on twin databases, recording estimated and counted page
+// reads per statement.
+func MeasuredExecution(mkdb func() *Database, wl *Workload, defs []*IndexDef) ([]MeasuredExec, error) {
+	return experiments.MeasuredExecution(mkdb, wl, defs)
 }
 
 // ---------------------------------------------------------------------------

@@ -96,8 +96,8 @@ func TestFacadeSizeEstimation(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 16 {
-		t.Fatalf("experiments=%d want 16", len(ids))
+	if len(ids) != 17 {
+		t.Fatalf("experiments=%d want 17", len(ids))
 	}
 	var buf bytes.Buffer
 	sc := QuickExperimentScale()
@@ -107,6 +107,55 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "Greedy") {
 		t.Fatalf("unexpected report: %s", buf.String())
+	}
+}
+
+// TestFacadeSegmentStore closes the loop at the facade level: tune a
+// database, materialize the recommended design as a real page store, and
+// run the workload's queries through it — results must match the plain-row
+// oracle and report physical I/O.
+func TestFacadeSegmentStore(t *testing.T) {
+	db := NewTPCH(TPCHConfig{LineitemRows: 3000, Seed: 2})
+	wl := SelectIntensive(TPCHWorkload())
+	rec, err := Tune(db, wl, DefaultOptions(db.TotalHeapBytes()/4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defs []*IndexDef
+	for _, h := range rec.Config.Indexes() {
+		defs = append(defs, h.Def)
+	}
+	st, err := NewSegmentStore(db, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, s := range wl.Queries() {
+		res, err := st.RunQuery(s.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Label, err)
+		}
+		if len(res.Rows) > 0 && res.IO.PageReads == 0 {
+			t.Fatalf("%s: rows without page reads", s.Label)
+		}
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no queries executed")
+	}
+
+	// A recommended structure materializes within the size model's tolerance.
+	for _, h := range rec.Config.Indexes() {
+		if h.Def.IsMV() || h.Def.Method == GlobalDictCompression || h.Def.Method == RLECompression {
+			continue
+		}
+		si, err := BuildSegmentIndex(db, h.Def)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Def, err)
+		}
+		if e := si.SizeError(); e > 0.10 || e < -0.10 {
+			t.Fatalf("%s: size model off by %.1f%%", h.Def, 100*e)
+		}
 	}
 }
 

@@ -9,12 +9,13 @@
 //	cadb-advisor -db sales -budget 0.1 -mix insert -baseline
 //	cadb-advisor -db tpch -budget 0.25 -mix update
 //	cadb-advisor -db tpch -budget 0.5 -features all -verbose
-//	cadb-advisor -db tpch -workload my_queries.sql
+//	cadb-advisor -db tpcds -workload my_queries.sql
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,21 +23,34 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and exit code, so flag handling is
+// testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cadb-advisor", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		dbName   = flag.String("db", "tpch", "database: tpch | sales | tpcds")
-		rows     = flag.Int("rows", 20000, "fact-table row count")
-		zipf     = flag.Float64("zipf", 0, "value skew Z (tpch only)")
-		seed     = flag.Int64("seed", 42, "generator seed")
-		budget   = flag.Float64("budget", 0.25, "storage budget as a fraction of the heap-only database size")
-		mix      = flag.String("mix", "select", "workload mix: select | insert | update | balanced")
-		baseline = flag.Bool("baseline", false, "run compression-blind DTA instead of DTAc")
-		staged   = flag.Bool("staged", false, "run the naive staged (select-then-compress) baseline")
-		features = flag.String("features", "simple", "candidate features: simple | all (adds partial indexes and MVs)")
-		wlFile   = flag.String("workload", "", "optional SQL workload file (overrides the built-in workload)")
-		par      = flag.Int("parallelism", 0, "what-if costing workers (0 = one per CPU; results are identical at any setting)")
-		verbose  = flag.Bool("verbose", false, "print per-phase timing and the estimation plan")
+		dbName   = fs.String("db", "tpch", "database: tpch | sales | tpcds")
+		rows     = fs.Int("rows", 20000, "fact-table row count")
+		zipf     = fs.Float64("zipf", 0, "value skew Z (tpch only)")
+		seed     = fs.Int64("seed", 42, "generator seed")
+		budget   = fs.Float64("budget", 0.25, "storage budget as a fraction of the heap-only database size")
+		mix      = fs.String("mix", "select", "workload mix: select | insert | update | balanced")
+		baseline = fs.Bool("baseline", false, "run compression-blind DTA instead of DTAc")
+		staged   = fs.Bool("staged", false, "run the naive staged (select-then-compress) baseline")
+		features = fs.String("features", "simple", "candidate features: simple | all (adds partial indexes and MVs)")
+		wlFile   = fs.String("workload", "", "optional SQL workload file (overrides the built-in workload)")
+		par      = fs.Int("parallelism", 0, "what-if costing workers (0 = one per CPU; results are identical at any setting)")
+		verbose  = fs.Bool("verbose", false, "print per-phase timing and the estimation plan")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	var db *cadb.Database
 	var wl *cadb.Workload
@@ -57,24 +71,26 @@ func main() {
 		}
 	case "tpcds":
 		db = cadb.NewTPCDS(cadb.TPCDSConfig{StoreSalesRows: *rows, Seed: *seed})
-		fmt.Fprintln(os.Stderr, "cadb-advisor: tpcds has no built-in workload; pass -workload")
+		// tpcds ships no built-in workload: only warn (and bail) when the
+		// user did not pass one.
 		if *wlFile == "" {
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cadb-advisor: tpcds has no built-in workload; pass -workload")
+			return 1
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "cadb-advisor: unknown db %q\n", *dbName)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cadb-advisor: unknown db %q\n", *dbName)
+		return 1
 	}
 	if *wlFile != "" {
 		text, err := os.ReadFile(*wlFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cadb-advisor:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cadb-advisor:", err)
+			return 1
 		}
 		wl, err = cadb.ParseWorkload(string(text))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "cadb-advisor:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "cadb-advisor:", err)
+			return 1
 		}
 	}
 	switch *mix {
@@ -86,8 +102,8 @@ func main() {
 		wl = cadb.UpdateIntensive(wl)
 	case "balanced":
 	default:
-		fmt.Fprintf(os.Stderr, "cadb-advisor: unknown mix %q\n", *mix)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "cadb-advisor: unknown mix %q\n", *mix)
+		return 1
 	}
 
 	heap := db.TotalHeapBytes()
@@ -106,42 +122,43 @@ func main() {
 	opts.Seed = *seed
 	opts.Parallelism = *par
 
-	fmt.Printf("database %s: %d tables, %.1f MB heap; budget %.1f MB (%.0f%%)\n",
+	fmt.Fprintf(stdout, "database %s: %d tables, %.1f MB heap; budget %.1f MB (%.0f%%)\n",
 		*dbName, len(db.Tables()), mb(heap), mb(budgetBytes), 100**budget)
-	fmt.Printf("workload: %d statements (%d queries, %d updates/deletes), mix=%s, tool=%s\n",
+	fmt.Fprintf(stdout, "workload: %d statements (%d queries, %d updates/deletes), mix=%s, tool=%s\n",
 		len(wl.Statements), len(wl.Queries()), len(wl.Updates()), *mix, toolName(*baseline, *staged))
 
 	start := time.Now()
 	rec, err := cadb.Tune(db, wl, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "cadb-advisor:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "cadb-advisor:", err)
+		return 1
 	}
-	fmt.Printf("\nrecommendation (%v, %d candidates considered):\n", time.Since(start).Round(time.Millisecond), rec.CandidateCount)
-	fmt.Print(rec)
-	fmt.Printf("net storage: %.1f MB of %.1f MB budget\n", mb(rec.SizeBytes), mb(budgetBytes))
+	fmt.Fprintf(stdout, "\nrecommendation (%v, %d candidates considered):\n", time.Since(start).Round(time.Millisecond), rec.CandidateCount)
+	fmt.Fprint(stdout, rec)
+	fmt.Fprintf(stdout, "net storage: %.1f MB of %.1f MB budget\n", mb(rec.SizeBytes), mb(budgetBytes))
 
 	if *verbose {
 		t := rec.Timing
-		fmt.Printf("\ntiming: total=%v candgen=%v estimate=%v (samples=%v plan-solve=%v plan-exec=%v table-est=%v partial-est=%v mv-est=%v) enum=%v\n",
+		fmt.Fprintf(stdout, "\ntiming: total=%v candgen=%v estimate=%v (samples=%v plan-solve=%v plan-exec=%v table-est=%v partial-est=%v mv-est=%v) enum=%v\n",
 			t.Total.Round(time.Millisecond), t.CandidateGen.Round(time.Millisecond),
 			t.EstimateAll.Round(time.Millisecond),
 			t.SampleBuild.Round(time.Millisecond), t.PlanSolve.Round(time.Millisecond),
 			t.PlanExecute.Round(time.Millisecond), t.TableEstimate.Round(time.Millisecond),
 			t.PartialEstim.Round(time.Millisecond), t.MVEstimate.Round(time.Millisecond),
 			t.Enumerate.Round(time.Millisecond))
-		fmt.Printf("size oracle: %d SampleCF calls; late admissions %d deduced / %d sampled; %d estimation errors tolerated\n",
+		fmt.Fprintf(stdout, "size oracle: %d SampleCF calls; late admissions %d deduced / %d sampled; %d estimation errors tolerated\n",
 			t.SampleCFCalls, t.AdmittedDeduced, t.AdmittedSampled, t.EstimationErrors)
 		if planned := t.DeltaStatements + t.ReusedStatements; planned > 0 {
-			fmt.Printf("what-if: %d delta evaluations; %d statement costs re-planned, %d reused from base vectors (%.1f%% skipped); statement cache %d hits / %d misses\n",
+			fmt.Fprintf(stdout, "what-if: %d delta evaluations; %d statement costs re-planned, %d reused from base vectors (%.1f%% skipped); statement cache %d hits / %d misses\n",
 				t.WhatIfEvaluations, t.DeltaStatements, t.ReusedStatements,
 				100*float64(t.ReusedStatements)/float64(planned),
 				t.CostCacheHits, t.CostCacheMisses)
 		}
 		if rec.EstimationPlan != nil {
-			fmt.Printf("\nestimation plan:\n%s", rec.EstimationPlan.Describe())
+			fmt.Fprintf(stdout, "\nestimation plan:\n%s", rec.EstimationPlan.Describe())
 		}
 	}
+	return 0
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

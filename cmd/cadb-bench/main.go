@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	cadb-bench                          # writes BENCH_enumerate.json + BENCH_sizing.json + BENCH_update.json
-//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json
+//	cadb-bench        # writes BENCH_enumerate.json + BENCH_sizing.json +
+//	                  #        BENCH_update.json + BENCH_measured.json
+//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json -measured-out measured.json
 //	cadb-bench -n 5 -quiet
 package main
 
@@ -43,12 +44,13 @@ type report struct {
 
 func main() {
 	var (
-		rows      = flag.Int("rows", 8000, "fact-table row count for the benchmark database")
-		out       = flag.String("out", "BENCH_enumerate.json", "output JSON path")
-		sizingOut = flag.String("sizing-out", "BENCH_sizing.json", "size-estimation benchmark output JSON path")
-		updateOut = flag.String("update-out", "BENCH_update.json", "update-mix benchmark output JSON path")
-		iters     = flag.Int("n", 3, "iterations per benchmark")
-		quiet     = flag.Bool("quiet", false, "suppress the human-readable summary")
+		rows        = flag.Int("rows", 8000, "fact-table row count for the benchmark database")
+		out         = flag.String("out", "BENCH_enumerate.json", "output JSON path")
+		sizingOut   = flag.String("sizing-out", "BENCH_sizing.json", "size-estimation benchmark output JSON path")
+		updateOut   = flag.String("update-out", "BENCH_update.json", "update-mix benchmark output JSON path")
+		measuredOut = flag.String("measured-out", "BENCH_measured.json", "measured-vs-estimated benchmark output JSON path")
+		iters       = flag.Int("n", 3, "iterations per benchmark")
+		quiet       = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
 	flag.Parse()
 	if *iters < 1 {
@@ -290,6 +292,79 @@ func main() {
 		})
 	}
 	writeReport(updRep, *updateOut, *quiet)
+
+	// Measured-vs-estimated benchmarks -> BENCH_measured.json: the physical
+	// segment layer. Segment builds report the size model's byte error per
+	// method as extra metrics; workload execution through the segment-backed
+	// store reports estimated vs counted page reads and the oracle-identity
+	// verdict (1 = every statement byte-identical).
+	meaRep := newReport()
+	cur = meaRep
+	sc := cadb.QuickExperimentScale()
+	sc.LineitemRows = *rows
+	sc.SalesRows = *rows
+
+	segStructures := []*cadb.IndexDef{
+		{Table: "lineitem", KeyCols: []string{"l_orderkey", "l_linenumber"}, Clustered: true},
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_quantity", "l_extendedprice"}},
+		{Table: "orders", KeyCols: []string{"o_orderdate"}, IncludeCols: []string{"o_totalprice"}},
+	}
+	for _, m := range []cadb.CompressionMethod{cadb.NoCompression, cadb.RowCompression, cadb.PageCompression} {
+		m := m
+		run(fmt.Sprintf("SegmentBuild/%s", m), *iters, len(segStructures), func() map[string]float64 {
+			sizes, err := cadb.MeasuredSizes(db, segStructures, []cadb.CompressionMethod{m})
+			if err != nil {
+				fatal(err)
+			}
+			var worst float64
+			var bytes int64
+			for _, s := range sizes {
+				if e := s.ByteErr(); e > worst || -e > worst {
+					worst = e
+					if worst < 0 {
+						worst = -worst
+					}
+				}
+				bytes += s.MaterializedBytes
+			}
+			return map[string]float64{
+				"size-err-worst-%":   100 * worst,
+				"materialized-bytes": float64(bytes),
+			}
+		})
+	}
+
+	for _, scen := range cadb.MeasuredScenarios(sc) {
+		scen := scen
+		run(fmt.Sprintf("SegmentExec/%s", scen.Name), *iters, 1, func() map[string]float64 {
+			results, err := cadb.MeasuredExecution(scen.Mkdb, scen.WL, scen.Defs)
+			if err != nil {
+				fatal(err)
+			}
+			var est float64
+			var counted, decoded int64
+			identical := 1.0
+			for _, r := range results {
+				est += r.EstReads
+				counted += r.CountedReads
+				decoded += r.PagesDecoded
+				if !r.Identical {
+					identical = 0
+				}
+			}
+			extra := map[string]float64{
+				"est-page-reads":     est,
+				"counted-page-reads": float64(counted),
+				"pages-decoded":      float64(decoded),
+				"oracle-identical":   identical,
+			}
+			if counted > 0 {
+				extra["est-over-counted"] = est / float64(counted)
+			}
+			return extra
+		})
+	}
+	writeReport(meaRep, *measuredOut, *quiet)
 }
 
 func writeReport(rep *report, path string, quiet bool) {

@@ -18,10 +18,16 @@ import (
 	"cadb/internal/workload"
 )
 
-// Result is an executed query's output.
+// Result is an executed query's output. IO and Paths are populated only by
+// the segment-backed executor (Store.RunQuery); the plain-row oracle leaves
+// them zero.
 type Result struct {
 	Schema *storage.Schema
 	Rows   []storage.Row
+	// IO counts the physical page work of a segment-backed execution.
+	IO IOStats
+	// Paths describes the access paths taken, one entry per table access.
+	Paths []string
 }
 
 // Run executes the query against the database and returns the result rows.
@@ -99,6 +105,12 @@ func runProjection(db *catalog.Database, q *workload.Query) (*Result, error) {
 		if err := orderBy(res, q.OrderBy); err != nil {
 			return nil, err
 		}
+	} else {
+		// No ORDER BY leaves the output order unconstrained; canonicalize it
+		// (as runAggregate does) so projection results are reproducible
+		// regardless of join order — differential tests against the
+		// segment-backed access paths rely on this.
+		sortCanonical(res)
 	}
 	return res, nil
 }

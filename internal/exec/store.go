@@ -1,0 +1,648 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/index"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+// IOStats counts the physical work of a segment-backed execution.
+type IOStats struct {
+	// PageReads is the number of physical page accesses (an overflow run
+	// counts once per page; a page re-read by a later RID batch counts
+	// again).
+	PageReads int64
+	// PagesDecoded is the number of pages run through a codec (cache hits
+	// within one statement don't decode twice).
+	PagesDecoded int64
+	// TuplesDecoded is the number of rows materialized by those decodes.
+	TuplesDecoded int64
+}
+
+// Add accumulates another stats bucket.
+func (io *IOStats) Add(o IOStats) {
+	io.PageReads += o.PageReads
+	io.PagesDecoded += o.PagesDecoded
+	io.TuplesDecoded += o.TuplesDecoded
+}
+
+// Store is the physical half of the database: every table materialized as a
+// page-backed heap segment (insertion order, compressed with the clustered
+// index's method when the design has one), plus key-ordered segments for the
+// clustered index and every non-partial secondary. Queries run against
+// decoded pages — full scans and leading-key seeks — and report their I/O;
+// results are byte-identical to the plain-row oracle (Run) because every
+// access path restores insertion order before the join/aggregate pipeline.
+type Store struct {
+	db    *catalog.Database
+	heaps map[string]*segHandle   // lowercased table -> heap segment
+	secs  map[string][]*segHandle // lowercased table -> ordered structures
+}
+
+// segHandle lazily builds (and rebuilds after writes) one segment.
+type segHandle struct {
+	def   *index.Def // the materialization def (synthetic for heaps)
+	id    string     // stable identity for deterministic candidate order
+	kind  string     // "heap", "clustered", "secondary"
+	si    *index.SegmentIndex
+	stale bool
+}
+
+// NewStore materializes the physical design over the database. Partial and
+// MV index definitions are accepted but not used as access paths (partial
+// RID spaces and MV matching stay the optimizer's business); clustered
+// definitions choose the heap's compression method and become seekable
+// key-ordered structures.
+func NewStore(db *catalog.Database, defs []*index.Def) (*Store, error) {
+	st := &Store{
+		db:    db,
+		heaps: make(map[string]*segHandle),
+		secs:  make(map[string][]*segHandle),
+	}
+	clustered := make(map[string]*index.Def)
+	for _, d := range defs {
+		if d.IsMV() || d.IsPartial() {
+			continue
+		}
+		if !compress.HasCodec(d.Method) {
+			return nil, fmt.Errorf("exec: method %s has no materializing codec", d.Method)
+		}
+		t := db.Table(d.Table)
+		if t == nil {
+			return nil, fmt.Errorf("exec: index %s on unknown table %q", d, d.Table)
+		}
+		// Validate eagerly: segments build lazily, so a bad column would
+		// otherwise surface only if the structure ever became seekable.
+		for _, c := range d.Columns() {
+			if !t.Schema.Has(c) {
+				return nil, fmt.Errorf("exec: index %s references unknown column %q", d, c)
+			}
+		}
+		key := strings.ToLower(d.Table)
+		if d.Clustered {
+			if _, dup := clustered[key]; dup {
+				return nil, fmt.Errorf("exec: two clustered indexes on %s", d.Table)
+			}
+			clustered[key] = d
+			continue
+		}
+		st.secs[key] = append(st.secs[key], &segHandle{def: d, id: d.ID(), kind: "secondary"})
+	}
+	for _, t := range db.Tables() {
+		key := strings.ToLower(t.Name)
+		heapDef := &index.Def{Table: t.Name, Clustered: true}
+		if cl := clustered[key]; cl != nil {
+			heapDef.Method = cl.Method
+			// The clustered index is materialized as a key-ordered structure
+			// carrying every column plus a RID, so seeks can restore
+			// insertion order.
+			synth := &index.Def{
+				Table:   t.Name,
+				KeyCols: cl.KeyCols,
+				Method:  cl.Method,
+			}
+			for _, c := range t.Schema.Names() {
+				if !containsFoldStr(synth.KeyCols, c) {
+					synth.IncludeCols = append(synth.IncludeCols, c)
+				}
+			}
+			st.secs[key] = append(st.secs[key], &segHandle{def: synth, id: cl.ID(), kind: "clustered"})
+		}
+		st.heaps[key] = &segHandle{def: heapDef, id: "heap:" + key, kind: "heap"}
+	}
+	for _, hs := range st.secs {
+		sort.Slice(hs, func(i, j int) bool { return hs[i].id < hs[j].id })
+	}
+	return st, nil
+}
+
+func containsFoldStr(list []string, s string) bool {
+	for _, x := range list {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// segment returns the handle's segment index, building it on first use and
+// after invalidation.
+func (st *Store) segment(h *segHandle) (*index.SegmentIndex, error) {
+	if h.si == nil || h.stale {
+		si, err := index.BuildSegmentIndex(st.db, h.def)
+		if err != nil {
+			return nil, err
+		}
+		h.si, h.stale = si, false
+	}
+	return h.si, nil
+}
+
+// Invalidate marks every segment over the table stale; the next access
+// rebuilds from the catalog rows. Writes call this automatically.
+func (st *Store) Invalidate(table string) {
+	key := strings.ToLower(table)
+	if h := st.heaps[key]; h != nil {
+		h.stale = true
+	}
+	for _, h := range st.secs[key] {
+		h.stale = true
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-statement run state: the decode cache and I/O counters
+
+type runState struct {
+	io    IOStats
+	cache map[pageKey][]storage.Row
+	paths []string
+}
+
+type pageKey struct {
+	seg  *storage.Segment
+	page int
+}
+
+// readPage returns page i of the segment, decoding at most once per
+// statement and counting every physical access.
+func (rs *runState) readPage(seg *storage.Segment, i int) ([]storage.Row, error) {
+	rs.io.PageReads += seg.Page(i).PhysicalPages()
+	k := pageKey{seg, i}
+	if rows, ok := rs.cache[k]; ok {
+		return rows, nil
+	}
+	rows, err := seg.DecodePage(i)
+	if err != nil {
+		return nil, err
+	}
+	rs.io.PagesDecoded++
+	rs.io.TuplesDecoded += int64(len(rows))
+	rs.cache[k] = rows
+	return rows, nil
+}
+
+func (rs *runState) readRange(seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+	out := make([]storage.Row, 0, 64)
+	for i := lo; i < hi; i++ {
+		rows, err := rs.readPage(seg, i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+func newRunState() *runState {
+	return &runState{cache: make(map[pageKey][]storage.Row)}
+}
+
+// ---------------------------------------------------------------------------
+// Access paths
+
+// access produces the driving-table rows for a statement: a leading-key seek
+// over the cheapest seekable structure when a sargable predicate allows it,
+// otherwise a full heap scan. Rows always come back in insertion (RID)
+// order, projected onto the chosen structure's columns (the full table
+// schema except for covering secondary serves), so downstream operators see
+// exactly what the plain-row oracle sees.
+func (st *Store) access(rs *runState, table string, preds []workload.Predicate, needed []string) (*storage.Schema, []storage.Row, error) {
+	key := strings.ToLower(table)
+	heapH := st.heaps[key]
+	if heapH == nil {
+		return nil, nil, fmt.Errorf("exec: unknown table %q", table)
+	}
+	heap, err := st.segment(heapH)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	type candidate struct {
+		h        *segHandle
+		si       *index.SegmentIndex
+		lo, hi   int
+		score    int64
+		covering bool
+	}
+	var best *candidate
+	heapPages := heap.Seg.PhysicalPages()
+	for _, h := range st.secs[key] {
+		if len(h.def.KeyCols) == 0 {
+			continue
+		}
+		loV, hasLo, hiV, hasHi := seekBounds(preds, h.def.KeyCols[0])
+		if !hasLo && !hasHi {
+			continue
+		}
+		si, err := st.segment(h)
+		if err != nil {
+			return nil, nil, err
+		}
+		lo, hi := si.SeekPages(loV, hasLo, hiV, hasHi)
+		var rangePages int64
+		for i := lo; i < hi; i++ {
+			rangePages += si.Seg.Page(i).PhysicalPages()
+		}
+		c := candidate{h: h, si: si, lo: lo, hi: hi, score: rangePages}
+		c.covering = h.kind == "clustered" || coversAll(si, needed)
+		if best == nil || c.score < best.score ||
+			(c.score == best.score && (boolRank(c.covering) > boolRank(best.covering) ||
+				c.covering == best.covering && c.h.id < best.h.id)) {
+			cc := c
+			best = &cc
+		}
+	}
+	scan := func() (*storage.Schema, []storage.Row, error) {
+		// Full heap scan: pages decode in insertion order, full schema.
+		rows, err := rs.readRange(heap.Seg, 0, heap.Seg.NumPages())
+		if err != nil {
+			return nil, nil, err
+		}
+		rs.paths = append(rs.paths, fmt.Sprintf("seg-scan %s (%d pages)", table, heap.Seg.NumPages()))
+		return heap.Schema(), rows, nil
+	}
+	if best == nil || best.score >= heapPages {
+		return scan()
+	}
+
+	entries, err := rs.readRange(best.si.Seg, best.lo, best.hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Filter the entries by the predicates resolvable on the structure —
+	// anything left over is re-applied by the pipeline.
+	entries = filterOnSchema(best.si.Schema(), entries, preds)
+	ridIdx := best.si.Schema().ColIndex("__rid")
+	if ridIdx < 0 {
+		return nil, nil, fmt.Errorf("exec: structure %s has no RID column", best.h.id)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i][ridIdx].Int < entries[j][ridIdx].Int })
+
+	if best.covering {
+		schema, rows := stripColumn(best.si.Schema(), entries, ridIdx)
+		if best.h.kind == "clustered" {
+			// The clustered structure carries every table column; restore the
+			// catalog's column order so downstream name resolution and row
+			// layout match the oracle exactly.
+			t := st.db.MustTable(table)
+			rows = projectRows(schema, rows, lowerNames(t.Schema))
+			schema = t.Schema
+		}
+		rs.paths = append(rs.paths, fmt.Sprintf("seg-%s-seek %s via %s (%d of %d pages)",
+			best.h.kind, table, best.h.id, best.hi-best.lo, best.si.Seg.NumPages()))
+		return schema, rows, nil
+	}
+
+	// RID lookups into the heap, batched in insertion order. If the matched
+	// entries would touch more heap pages than a scan, fall back to scanning
+	// (the index pages already read stay counted — the descent was real
+	// work).
+	rids := make([]int64, len(entries))
+	for i, e := range entries {
+		rids[i] = e[ridIdx].Int
+	}
+	if best.score+distinctHeapPages(heap, rids) >= heapPages {
+		return scan()
+	}
+	rows, err := st.ridLookup(rs, heap, rids)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs.paths = append(rs.paths, fmt.Sprintf("seg-index-seek+lookup %s via %s (%d of %d pages, %d lookups)",
+		table, best.h.id, best.hi-best.lo, best.si.Seg.NumPages(), len(rids)))
+	return heap.Schema(), rows, nil
+}
+
+// distinctHeapPages counts the heap pages a sorted RID batch touches.
+func distinctHeapPages(heap *index.SegmentIndex, rids []int64) int64 {
+	var n int64
+	last := -1
+	at := int64(0)
+	page := 0
+	for _, rid := range rids {
+		for page < heap.Seg.NumPages() && at+int64(heap.Seg.PageRows(page)) <= rid {
+			at += int64(heap.Seg.PageRows(page))
+			page++
+		}
+		if page != last {
+			n++
+			last = page
+		}
+	}
+	return n
+}
+
+// ridLookup fetches heap rows by position. RIDs must be sorted; each heap
+// page is read once per contiguous batch.
+func (st *Store) ridLookup(rs *runState, heap *index.SegmentIndex, rids []int64) ([]storage.Row, error) {
+	// Page start offsets from the per-page row counts.
+	starts := make([]int64, heap.Seg.NumPages()+1)
+	for i := 0; i < heap.Seg.NumPages(); i++ {
+		starts[i+1] = starts[i] + int64(heap.Seg.PageRows(i))
+	}
+	out := make([]storage.Row, 0, len(rids))
+	for _, rid := range rids {
+		p := sort.Search(heap.Seg.NumPages(), func(i int) bool { return starts[i+1] > rid })
+		if p >= heap.Seg.NumPages() {
+			return nil, fmt.Errorf("exec: RID %d out of range", rid)
+		}
+		rows, err := rs.readPage(heap.Seg, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows[rid-starts[p]])
+	}
+	return out, nil
+}
+
+// seekBounds derives a conservative leading-key interval from the sargable
+// predicates on keyCol: the first equality pins both ends; otherwise the
+// first lower and upper range bounds are used. The page range only has to
+// contain every qualifying row — the pipeline re-applies the predicates.
+func seekBounds(preds []workload.Predicate, keyCol string) (lo storage.Value, hasLo bool, hi storage.Value, hasHi bool) {
+	for _, p := range preds {
+		if !strings.EqualFold(p.Col, keyCol) || !p.Sargable() {
+			continue
+		}
+		switch p.Op {
+		case workload.OpEq:
+			return p.Lo, true, p.Lo, true
+		case workload.OpGt, workload.OpGe:
+			if !hasLo {
+				lo, hasLo = p.Lo, true
+			}
+		case workload.OpLt, workload.OpLe:
+			if !hasHi {
+				hi, hasHi = p.Lo, true
+			}
+		case workload.OpBetween:
+			if !hasLo {
+				lo, hasLo = p.Lo, true
+			}
+			if !hasHi {
+				hi, hasHi = p.Hi, true
+			}
+		}
+	}
+	return lo, hasLo, hi, hasHi
+}
+
+// coversAll reports whether the structure's leaf carries every needed
+// column.
+func coversAll(si *index.SegmentIndex, needed []string) bool {
+	for _, c := range needed {
+		if !si.Schema().Has(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// filterOnSchema applies the predicates whose columns exist in the schema.
+func filterOnSchema(s *storage.Schema, rows []storage.Row, preds []workload.Predicate) []storage.Row {
+	var local []workload.Predicate
+	for _, p := range preds {
+		if s.Has(p.Col) {
+			local = append(local, p)
+		}
+	}
+	if len(local) == 0 {
+		return rows
+	}
+	out := rows[:0:0]
+	for _, r := range rows {
+		if matchesAll(s, r, local) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// stripColumn removes column i from the schema and rows.
+func stripColumn(s *storage.Schema, rows []storage.Row, idx int) (*storage.Schema, []storage.Row) {
+	cols := make([]storage.Column, 0, len(s.Columns)-1)
+	for i, c := range s.Columns {
+		if i != idx {
+			cols = append(cols, c)
+		}
+	}
+	out := make([]storage.Row, len(rows))
+	for i, r := range rows {
+		row := make(storage.Row, 0, len(cols))
+		row = append(row, r[:idx]...)
+		row = append(row, r[idx+1:]...)
+		out[i] = row
+	}
+	return storage.NewSchema(cols...), out
+}
+
+func lowerNames(s *storage.Schema) []string {
+	out := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		out[i] = strings.ToLower(c.Name)
+	}
+	return out
+}
+
+func boolRank(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// Statement execution
+
+// RunQuery executes the query against the page store, reporting the rows
+// (byte-identical to Run's) and the physical I/O performed.
+func (st *Store) RunQuery(q *workload.Query) (*Result, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("exec: query has no tables")
+	}
+	rs := newRunState()
+	var res *Result
+	var err error
+	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
+		res, err = st.runAggregate(rs, q)
+	} else {
+		res, err = st.runProjection(rs, q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.IO = rs.io
+	res.Paths = rs.paths
+	return res, nil
+}
+
+// fetch serves dimension tables to the join machinery from their heap
+// segments (full scans, counted).
+func (st *Store) fetch(rs *runState) index.TableFetch {
+	return func(table string) (*storage.Schema, []storage.Row, error) {
+		key := strings.ToLower(table)
+		h := st.heaps[key]
+		if h == nil {
+			return nil, nil, fmt.Errorf("exec: unknown table %q", table)
+		}
+		heap, err := st.segment(h)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, err := rs.readRange(heap.Seg, 0, heap.Seg.NumPages())
+		if err != nil {
+			return nil, nil, err
+		}
+		rs.paths = append(rs.paths, fmt.Sprintf("seg-scan %s (%d pages)", table, heap.Seg.NumPages()))
+		return heap.Schema(), rows, nil
+	}
+}
+
+func (st *Store) neededCols(q *workload.Query, table string) []string {
+	has := func(tbl, col string) bool {
+		t := st.db.Table(tbl)
+		return t != nil && t.Schema.Has(col)
+	}
+	if len(q.Aggs) == 0 && len(q.GroupBy) == 0 && len(q.Select) == 0 {
+		// SELECT *: every column of the driving table.
+		return st.db.MustTable(table).Schema.Names()
+	}
+	return q.ColumnsOn(table, has)
+}
+
+func (st *Store) runAggregate(rs *runState, q *workload.Query) (*Result, error) {
+	fact := q.Tables[0]
+	has := func(tbl, col string) bool {
+		t := st.db.Table(tbl)
+		return t != nil && t.Schema.Has(col)
+	}
+	factSchema, factRows, err := st.access(rs, fact, q.PredsOn(fact, has), st.neededCols(q, fact))
+	if err != nil {
+		return nil, err
+	}
+	mv := &index.MVDef{
+		Name:    "q",
+		Fact:    fact,
+		Joins:   q.Joins,
+		Where:   q.Preds,
+		GroupBy: q.GroupBy,
+		Aggs:    q.Aggs,
+	}
+	schema, rows, err := index.MaterializeMVWith(st.db, mv, factSchema, factRows, st.fetch(rs))
+	if err != nil {
+		return nil, err
+	}
+	keep := make([]string, 0, len(schema.Columns))
+	for _, c := range schema.Columns {
+		if c.Name != "__count" {
+			keep = append(keep, c.Name)
+		}
+	}
+	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
+	if len(q.OrderBy) > 0 {
+		if err := orderBy(res, q.OrderBy); err != nil {
+			return nil, err
+		}
+	} else {
+		sortCanonical(res)
+	}
+	return res, nil
+}
+
+func (st *Store) runProjection(rs *runState, q *workload.Query) (*Result, error) {
+	fact := q.Tables[0]
+	has := func(tbl, col string) bool {
+		t := st.db.Table(tbl)
+		return t != nil && t.Schema.Has(col)
+	}
+	factSchema, factRows, err := st.access(rs, fact, q.PredsOn(fact, has), st.neededCols(q, fact))
+	if err != nil {
+		return nil, err
+	}
+	schema, rows, err := index.JoinRowsWith(st.db, fact, factSchema, factRows, q.Joins, st.fetch(rs))
+	if err != nil {
+		return nil, err
+	}
+	rows, err = index.FilterRows(schema, rows, q.Preds)
+	if err != nil {
+		return nil, err
+	}
+	cols := q.Select
+	if len(cols) == 0 {
+		t := st.db.MustTable(fact)
+		for _, c := range t.Schema.Names() {
+			cols = append(cols, workload.ColRef{Table: fact, Col: c})
+		}
+	}
+	keep := make([]string, 0, len(cols))
+	for _, c := range cols {
+		name, err := resolveName(schema, c)
+		if err != nil {
+			return nil, err
+		}
+		keep = append(keep, name)
+	}
+	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
+	if len(q.OrderBy) > 0 {
+		if err := orderBy(res, q.OrderBy); err != nil {
+			return nil, err
+		}
+	} else {
+		sortCanonical(res)
+	}
+	return res, nil
+}
+
+// RunUpdate applies a predicated UPDATE through the page store: qualifying
+// rows are located via the cheapest access path (counting the reads), the
+// catalog rows are rewritten in place, and every segment over the table is
+// invalidated. The returned count is identical to the plain RunUpdate's.
+func (st *Store) RunUpdate(u *workload.Update) (int64, IOStats, error) {
+	rs := newRunState()
+	t := st.db.Table(u.Table)
+	if t == nil {
+		return 0, rs.io, fmt.Errorf("exec: unknown table %q", u.Table)
+	}
+	// Locate through the access layer so the lookup I/O is accounted; the
+	// mutation itself is delegated to the oracle-path implementation, which
+	// is the semantics being validated.
+	if _, _, err := st.access(rs, u.Table, u.Preds, t.Schema.Names()); err != nil {
+		return 0, rs.io, err
+	}
+	n, err := RunUpdate(st.db, u)
+	if err != nil {
+		return 0, rs.io, err
+	}
+	if n > 0 {
+		st.Invalidate(u.Table)
+	}
+	return n, rs.io, nil
+}
+
+// RunDelete applies a predicated DELETE through the page store; see
+// RunUpdate.
+func (st *Store) RunDelete(d *workload.Delete) (int64, IOStats, error) {
+	rs := newRunState()
+	t := st.db.Table(d.Table)
+	if t == nil {
+		return 0, rs.io, fmt.Errorf("exec: unknown table %q", d.Table)
+	}
+	if _, _, err := st.access(rs, d.Table, d.Preds, t.Schema.Names()); err != nil {
+		return 0, rs.io, err
+	}
+	n, err := RunDelete(st.db, d)
+	if err != nil {
+		return 0, rs.io, err
+	}
+	if n > 0 {
+		st.Invalidate(d.Table)
+	}
+	return n, rs.io, nil
+}

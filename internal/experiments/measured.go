@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/datagen"
+	"cadb/internal/exec"
+	"cadb/internal/index"
+	"cadb/internal/optimizer"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+	"cadb/internal/workloads"
+)
+
+// MeasuredMethods are the materializable methods the measured experiment
+// sweeps.
+var MeasuredMethods = []compress.Method{compress.None, compress.Row, compress.Page}
+
+// MeasuredSize is one structure×method size comparison: the size model's
+// estimate against the physically materialized segment.
+type MeasuredSize struct {
+	DB        string
+	Structure string
+	Method    compress.Method
+	// EstimatedBytes is compress.SizeRows over the leaf rows (the model).
+	EstimatedBytes int64
+	// MaterializedBytes is the segment's accounted payload (the bytes).
+	MaterializedBytes int64
+	EstimatedPages    int64
+	MaterializedPages int64
+}
+
+// ByteErr returns the relative size-model error (estimated vs materialized).
+func (m MeasuredSize) ByteErr() float64 {
+	if m.MaterializedBytes == 0 {
+		return 0
+	}
+	return float64(m.EstimatedBytes-m.MaterializedBytes) / float64(m.MaterializedBytes)
+}
+
+// MeasuredSizes materializes each structure under each method and diffs the
+// size model against the segment.
+func MeasuredSizes(db *catalog.Database, structures []*index.Def, methods []compress.Method) ([]MeasuredSize, error) {
+	var out []MeasuredSize
+	for _, s := range structures {
+		for _, m := range methods {
+			d := s.WithMethod(m)
+			si, err := index.BuildSegmentIndex(db, d)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", d, err)
+			}
+			out = append(out, MeasuredSize{
+				DB:                db.Name,
+				Structure:         d.StructureID(),
+				Method:            m,
+				EstimatedBytes:    si.Physical.Bytes,
+				MaterializedBytes: si.MaterializedBytes(),
+				EstimatedPages:    storage.PagesForBytes(si.Physical.Bytes),
+				MaterializedPages: si.MaterializedPages(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// MeasuredExec is one statement's estimated-vs-counted page-read comparison,
+// with the differential-correctness verdict against the plain-row oracle.
+type MeasuredExec struct {
+	Label string
+	// EstReads is the optimizer plan's page-read estimate under the design.
+	EstReads float64
+	// CountedReads is the executor's physical PageReads counter.
+	CountedReads  int64
+	PagesDecoded  int64
+	TuplesDecoded int64
+	// Identical reports byte-identical rows (queries) or equal affected-row
+	// counts (writes) against the oracle.
+	Identical bool
+	IsWrite   bool
+}
+
+// MeasuredExecution runs every statement of the workload through the
+// segment-backed store and the plain-row oracle on twin databases (mkdb must
+// be deterministic), recording estimated and counted page reads and the
+// identity verdict. Write statements mutate both databases in workload
+// order.
+func MeasuredExecution(mkdb func() *catalog.Database, wl *workload.Workload, defs []*index.Def) ([]MeasuredExec, error) {
+	oracleDB, storeDB := mkdb(), mkdb()
+	st, err := exec.NewStore(storeDB, defs)
+	if err != nil {
+		return nil, err
+	}
+	cm := optimizer.NewCostModel(oracleDB)
+	var hypos []*optimizer.HypoIndex
+	for _, d := range defs {
+		p, err := index.Build(oracleDB, d)
+		if err != nil {
+			return nil, err
+		}
+		hypos = append(hypos, optimizer.FromPhysical(p))
+	}
+	cfg := optimizer.NewConfiguration(hypos...)
+
+	var out []MeasuredExec
+	for _, s := range wl.Statements {
+		if s.Insert != nil {
+			continue // bulk loads have no executable row semantics
+		}
+		me := MeasuredExec{Label: s.Label, EstReads: cm.Plan(s, cfg).EstimatedPageReads()}
+		switch {
+		case s.Query != nil:
+			want, err := exec.Run(oracleDB, s.Query)
+			if err != nil {
+				return nil, fmt.Errorf("%s: oracle: %w", s.Label, err)
+			}
+			got, err := st.RunQuery(s.Query)
+			if err != nil {
+				return nil, fmt.Errorf("%s: store: %w", s.Label, err)
+			}
+			me.CountedReads = got.IO.PageReads
+			me.PagesDecoded = got.IO.PagesDecoded
+			me.TuplesDecoded = got.IO.TuplesDecoded
+			me.Identical = resultsIdentical(got, want)
+		case s.Update != nil:
+			me.IsWrite = true
+			want, err := exec.RunUpdate(oracleDB, s.Update)
+			if err != nil {
+				return nil, fmt.Errorf("%s: oracle: %w", s.Label, err)
+			}
+			got, io, err := st.RunUpdate(s.Update)
+			if err != nil {
+				return nil, fmt.Errorf("%s: store: %w", s.Label, err)
+			}
+			me.CountedReads, me.PagesDecoded, me.TuplesDecoded = io.PageReads, io.PagesDecoded, io.TuplesDecoded
+			me.Identical = got == want
+			// Writes invalidate the optimizer's premise too: refresh stats.
+			cm.ResetCostCache()
+		case s.Delete != nil:
+			me.IsWrite = true
+			want, err := exec.RunDelete(oracleDB, s.Delete)
+			if err != nil {
+				return nil, fmt.Errorf("%s: oracle: %w", s.Label, err)
+			}
+			got, io, err := st.RunDelete(s.Delete)
+			if err != nil {
+				return nil, fmt.Errorf("%s: store: %w", s.Label, err)
+			}
+			me.CountedReads, me.PagesDecoded, me.TuplesDecoded = io.PageReads, io.PagesDecoded, io.TuplesDecoded
+			me.Identical = got == want
+			cm.ResetCostCache()
+		}
+		out = append(out, me)
+	}
+	return out, nil
+}
+
+// resultsIdentical compares two executed results byte-for-byte under the
+// canonical row encoding.
+func resultsIdentical(a, b *exec.Result) bool {
+	if len(a.Rows) != len(b.Rows) || len(a.Schema.Columns) != len(b.Schema.Columns) {
+		return false
+	}
+	for i := range a.Schema.Columns {
+		if !strings.EqualFold(a.Schema.Columns[i].Name, b.Schema.Columns[i].Name) {
+			return false
+		}
+	}
+	for i := range a.Rows {
+		if !bytes.Equal(storage.EncodeRow(a.Schema, a.Rows[i], nil), storage.EncodeRow(b.Schema, b.Rows[i], nil)) {
+			return false
+		}
+	}
+	return true
+}
+
+// measuredTPCHStructures is a representative structure family over the TPC-H
+// fact tables: clustered, plain and covering secondaries, and an MV.
+func measuredTPCHStructures() []*index.Def {
+	return []*index.Def{
+		{Table: "lineitem", KeyCols: []string{"l_orderkey", "l_linenumber"}, Clustered: true},
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_quantity", "l_extendedprice"}},
+		{Table: "lineitem", KeyCols: []string{"l_shipmode"}},
+		{Table: "orders", KeyCols: []string{"o_orderdate"}, IncludeCols: []string{"o_totalprice"}},
+		{Table: "mv_mode_rev", KeyCols: []string{"lineitem_l_shipmode"}, MV: &index.MVDef{
+			Name:    "mv_mode_rev",
+			Fact:    "lineitem",
+			GroupBy: []workload.ColRef{{Table: "lineitem", Col: "l_shipmode"}},
+			Aggs:    []workload.Aggregate{{Func: workload.AggSum, Col: workload.ColRef{Table: "lineitem", Col: "l_extendedprice"}}},
+		}},
+	}
+}
+
+func measuredSalesStructures() []*index.Def {
+	return []*index.Def{
+		{Table: "sales", KeyCols: []string{"orderdate"}, Clustered: true},
+		{Table: "sales", KeyCols: []string{"qty"}, IncludeCols: []string{"price"}},
+		{Table: "sales", KeyCols: []string{"state"}},
+	}
+}
+
+// measuredTPCHDesign is the physical design the execution comparison runs
+// under (methods fixed so the per-method read error is attributable).
+func measuredTPCHDesign() []*index.Def {
+	return []*index.Def{
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Clustered: true, Method: compress.Page},
+		{Table: "lineitem", KeyCols: []string{"l_quantity"}, IncludeCols: []string{"l_extendedprice"}, Method: compress.Row},
+		{Table: "orders", KeyCols: []string{"o_orderdate"}, IncludeCols: []string{"o_totalprice"}, Method: compress.Row},
+	}
+}
+
+func measuredSalesDesign() []*index.Def {
+	return []*index.Def{
+		{Table: "sales", KeyCols: []string{"orderdate"}, Clustered: true, Method: compress.Row},
+		{Table: "sales", KeyCols: []string{"state"}, IncludeCols: []string{"price", "channel"}, Method: compress.Page},
+	}
+}
+
+// MeasuredScenario is one execution-comparison scenario of ext-measured.
+type MeasuredScenario struct {
+	Name string
+	Mkdb func() *catalog.Database
+	WL   *workload.Workload
+	Defs []*index.Def
+}
+
+// MeasuredScenarios builds the TPC-H / Sales / update-mix scenarios at the
+// given scale.
+func MeasuredScenarios(sc Scale) []MeasuredScenario {
+	return []MeasuredScenario{
+		{
+			Name: "tpch/select",
+			Mkdb: func() *catalog.Database { return newTPCHAt(sc) },
+			WL:   workloads.SelectIntensive(workloads.MustTPCH()),
+			Defs: measuredTPCHDesign(),
+		},
+		{
+			Name: "tpch/update",
+			Mkdb: func() *catalog.Database { return newTPCHAt(sc) },
+			WL:   workloads.UpdateIntensive(workloads.MustTPCHWithUpdates()),
+			Defs: measuredTPCHDesign(),
+		},
+		{
+			Name: "sales/select",
+			Mkdb: func() *catalog.Database { return newSalesAt(sc) },
+			WL:   workloads.SelectIntensive(workloads.MustSales(sc.Seed)),
+			Defs: measuredSalesDesign(),
+		},
+		{
+			Name: "sales/update",
+			Mkdb: func() *catalog.Database { return newSalesAt(sc) },
+			WL:   workloads.UpdateIntensive(workloads.MustSalesWithUpdates(sc.Seed)),
+			Defs: measuredSalesDesign(),
+		},
+	}
+}
+
+// ExtMeasured closes the measured-vs-estimated loop the rest of the system
+// is built on: (1) materialize real compressed segments for a family of
+// structures and diff their physical sizes against the compress.SizeRows /
+// SizePages model per method; (2) run the built-in workloads through the
+// segment-backed executor, diff its counted page reads against the
+// optimizer's estimates, and verify every result byte-identical to the
+// plain-row oracle.
+func ExtMeasured(sc Scale) *Report {
+	rep := &Report{ID: "ext-measured", Title: "Extension: materialized segments vs the size and I/O models"}
+
+	sizeTable := rep.NewTable("size model vs materialized segments",
+		"db", "structure", "method", "est-bytes", "actual-bytes", "byte-err", "est-pages", "actual-pages")
+	var worst float64
+	for _, setup := range []struct {
+		db         *catalog.Database
+		structures []*index.Def
+	}{
+		{newTPCHAt(sc), measuredTPCHStructures()},
+		{newSalesAt(sc), measuredSalesStructures()},
+	} {
+		sizes, err := MeasuredSizes(setup.db, setup.structures, MeasuredMethods)
+		if err != nil {
+			rep.Notef("size measurement failed: %v", err)
+			continue
+		}
+		for _, m := range sizes {
+			if e := math.Abs(m.ByteErr()); e > worst {
+				worst = e
+			}
+			sizeTable.Add(m.DB, m.Structure, m.Method.String(),
+				m.EstimatedBytes, m.MaterializedBytes, fmt.Sprintf("%+.1f%%", 100*m.ByteErr()),
+				m.EstimatedPages, m.MaterializedPages)
+		}
+	}
+	rep.Notef("worst byte-level size-model error: %.1f%% (NONE and ROW are exact by construction)", 100*worst)
+
+	execTable := rep.NewTable("optimizer page-read estimates vs executor counters",
+		"scenario", "statements", "est-reads", "counted-reads", "ratio", "identical")
+	for _, scen := range MeasuredScenarios(sc) {
+		results, err := MeasuredExecution(scen.Mkdb, scen.WL, scen.Defs)
+		if err != nil {
+			execTable.Add(scen.Name, "err", err.Error())
+			continue
+		}
+		var est float64
+		var counted int64
+		identical := true
+		for _, r := range results {
+			est += r.EstReads
+			counted += r.CountedReads
+			identical = identical && r.Identical
+		}
+		ratio := math.Inf(1)
+		if counted > 0 {
+			ratio = est / float64(counted)
+		}
+		execTable.Add(scen.Name, len(results),
+			fmt.Sprintf("%.0f", est), counted, fmt.Sprintf("%.2f", ratio), identical)
+	}
+	rep.Notef("ratio is model/reality: >1 means the cost model over-estimates physical reads (it prices tree descents and ignores the executor's per-statement page cache)")
+	rep.Notef("identical=true asserts byte-identical rows (queries) and equal affected-row counts (writes) against the plain-row oracle, with writes applied in workload order")
+	return rep
+}
+
+func newTPCHAt(sc Scale) *catalog.Database {
+	return datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: sc.LineitemRows, Seed: sc.Seed})
+}
+
+func newSalesAt(sc Scale) *catalog.Database {
+	return datagen.NewSales(datagen.SalesConfig{FactRows: sc.SalesRows, Zipf: 0.8, Seed: sc.Seed})
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"cadb/internal/compress"
+)
+
+// TestMeasuredSizesWithinTolerance pins the acceptance bound: materialized
+// segment sizes within 10% of the compress.SizeRows/SizePages estimates for
+// NONE/ROW/PAGE on both TPC-H and Sales — exact for the order-independent
+// codecs.
+func TestMeasuredSizesWithinTolerance(t *testing.T) {
+	sc := QuickScale()
+	cases := []struct {
+		name  string
+		sizes func() ([]MeasuredSize, error)
+	}{
+		{"tpch", func() ([]MeasuredSize, error) {
+			return MeasuredSizes(newTPCHAt(sc), measuredTPCHStructures(), MeasuredMethods)
+		}},
+		{"sales", func() ([]MeasuredSize, error) {
+			return MeasuredSizes(newSalesAt(sc), measuredSalesStructures(), MeasuredMethods)
+		}},
+	}
+	for _, c := range cases {
+		sizes, err := c.sizes()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(sizes) == 0 {
+			t.Fatalf("%s: no measurements", c.name)
+		}
+		for _, m := range sizes {
+			if e := math.Abs(m.ByteErr()); e > 0.10 {
+				t.Errorf("%s %s %s: size error %.1f%% (est %d, actual %d)",
+					c.name, m.Structure, m.Method, 100*e, m.EstimatedBytes, m.MaterializedBytes)
+			}
+			if (m.Method == compress.None || m.Method == compress.Row) && m.ByteErr() != 0 {
+				t.Errorf("%s %s %s: order-independent codec must match the model exactly, off by %.3f%%",
+					c.name, m.Structure, m.Method, 100*m.ByteErr())
+			}
+			if m.MaterializedPages == 0 || m.EstimatedPages == 0 {
+				t.Errorf("%s %s %s: zero pages", c.name, m.Structure, m.Method)
+			}
+		}
+	}
+}
+
+// TestMeasuredExecutionIdenticalAcrossScenarios pins the other acceptance
+// half: segment-backed execution agrees with the plain-row oracle for every
+// built-in workload statement (including updates/deletes), with non-zero
+// counted I/O and non-degenerate estimates.
+func TestMeasuredExecutionIdenticalAcrossScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload sweep is not short")
+	}
+	sc := QuickScale()
+	for _, scen := range MeasuredScenarios(sc) {
+		results, err := MeasuredExecution(scen.Mkdb, scen.WL, scen.Defs)
+		if err != nil {
+			t.Fatalf("%s: %v", scen.Name, err)
+		}
+		if len(results) == 0 {
+			t.Fatalf("%s: no statements measured", scen.Name)
+		}
+		var counted int64
+		var est float64
+		for _, r := range results {
+			if !r.Identical {
+				t.Errorf("%s %s: store result differs from the oracle", scen.Name, r.Label)
+			}
+			counted += r.CountedReads
+			est += r.EstReads
+		}
+		if counted == 0 || est == 0 {
+			t.Errorf("%s: degenerate I/O totals (est=%g counted=%d)", scen.Name, est, counted)
+		}
+	}
+}

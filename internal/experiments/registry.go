@@ -11,29 +11,30 @@ type Runner func(Scale) *Report
 
 // Registry maps experiment IDs to their runners, in paper order.
 var Registry = map[string]Runner{
-	"table1":      Table1,
-	"fig9":        Fig9,
-	"table2":      Table2,
-	"fig10":       Fig10,
-	"table3":      Table3,
-	"table4":      Table4,
-	"fig11":       Fig11,
-	"fig12":       Fig12,
-	"fig13":       Fig13,
-	"fig14":       Fig14,
-	"fig15":       Fig15,
-	"fig16":       Fig16,
-	"fig17":       Fig17,
-	"motivating":  Motivating,
-	"ext-methods": ExtMethods,
-	"ext-updates": ExtUpdates,
+	"table1":       Table1,
+	"fig9":         Fig9,
+	"table2":       Table2,
+	"fig10":        Fig10,
+	"table3":       Table3,
+	"table4":       Table4,
+	"fig11":        Fig11,
+	"fig12":        Fig12,
+	"fig13":        Fig13,
+	"fig14":        Fig14,
+	"fig15":        Fig15,
+	"fig16":        Fig16,
+	"fig17":        Fig17,
+	"motivating":   Motivating,
+	"ext-methods":  ExtMethods,
+	"ext-updates":  ExtUpdates,
+	"ext-measured": ExtMeasured,
 }
 
 // Order is the canonical presentation order.
 var Order = []string{
 	"motivating", "table1", "fig9", "table2", "fig10", "table3",
 	"table4", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"ext-methods", "ext-updates",
+	"ext-methods", "ext-updates", "ext-measured",
 }
 
 // IDs returns the registered experiment IDs, sorted.

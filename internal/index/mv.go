@@ -24,7 +24,14 @@ func MaterializeMV(db *catalog.Database, mv *MVDef) (*storage.Schema, []storage.
 // override; the sampling subsystem passes a fact sample here to build MV
 // samples over join synopses (Appendix B).
 func MaterializeMVOver(db *catalog.Database, mv *MVDef, factSchema *storage.Schema, factRows []storage.Row) (*storage.Schema, []storage.Row, error) {
-	schema, rows, err := JoinRowsFrom(db, mv.Fact, factSchema, factRows, mv.Joins)
+	return MaterializeMVWith(db, mv, factSchema, factRows, nil)
+}
+
+// MaterializeMVWith additionally routes dimension-table access through fetch
+// (see JoinRowsWith) — the segment-backed executor materializes aggregates
+// with every table read served from the page store.
+func MaterializeMVWith(db *catalog.Database, mv *MVDef, factSchema *storage.Schema, factRows []storage.Row, fetch TableFetch) (*storage.Schema, []storage.Row, error) {
+	schema, rows, err := JoinRowsWith(db, mv.Fact, factSchema, factRows, mv.Joins, fetch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -55,11 +62,21 @@ func JoinRows(db *catalog.Database, fact string, joins []workload.Join) (*storag
 	return JoinRowsFrom(db, fact, nil, nil, joins)
 }
 
+// TableFetch overrides where a table's rows come from during joins; nil
+// falls back to the catalog's in-memory rows. The segment-backed executor
+// supplies a fetch that decodes pages (and counts the reads).
+type TableFetch func(table string) (*storage.Schema, []storage.Row, error)
+
 // JoinRowsFrom is JoinRows but with an optional row override for the fact
 // table (factSchema/factRows non-nil) — used by the sampling subsystem to
 // join a fact-table sample against the full dimension tables (join synopses,
 // Appendix B.2).
 func JoinRowsFrom(db *catalog.Database, fact string, factSchema *storage.Schema, factRows []storage.Row, joins []workload.Join) (*storage.Schema, []storage.Row, error) {
+	return JoinRowsWith(db, fact, factSchema, factRows, joins, nil)
+}
+
+// JoinRowsWith is JoinRowsFrom with dimension access routed through fetch.
+func JoinRowsWith(db *catalog.Database, fact string, factSchema *storage.Schema, factRows []storage.Row, joins []workload.Join, fetch TableFetch) (*storage.Schema, []storage.Row, error) {
 	ft := db.Table(fact)
 	if ft == nil {
 		return nil, nil, fmt.Errorf("index: unknown fact table %q", fact)
@@ -88,13 +105,21 @@ func JoinRowsFrom(db *catalog.Database, fact string, factSchema *storage.Schema,
 		if dim == nil {
 			return nil, nil, fmt.Errorf("index: unknown dimension table %q", dimName)
 		}
+		dimSchema, dimRows := dim.Schema, dim.Rows
+		if fetch != nil {
+			var err error
+			dimSchema, dimRows, err = fetch(dimName)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
 		// Hash the dimension on its key.
-		dimKey := dim.Schema.ColIndex(dimCol)
+		dimKey := dimSchema.ColIndex(dimCol)
 		if dimKey < 0 {
 			return nil, nil, fmt.Errorf("index: %s has no column %q", dimName, dimCol)
 		}
-		hash := make(map[storage.ValueKey]storage.Row, len(dim.Rows))
-		for _, r := range dim.Rows {
+		hash := make(map[storage.ValueKey]storage.Row, len(dimRows))
+		for _, r := range dimRows {
 			hash[r[dimKey].Key()] = r
 		}
 		// Probe side column index in the current wide row.
@@ -102,7 +127,7 @@ func JoinRowsFrom(db *catalog.Database, fact string, factSchema *storage.Schema,
 		if probeIdx < 0 {
 			return nil, nil, fmt.Errorf("index: join column %q not found in joined row", factCol)
 		}
-		newCols := append(append([]storage.Column{}, curCols...), qualifyColumns(dimName, dim.Schema.Columns)...)
+		newCols := append(append([]storage.Column{}, curCols...), qualifyColumns(dimName, dimSchema.Columns)...)
 		out := make([]storage.Row, 0, len(curRows))
 		for _, r := range curRows {
 			m, ok := hash[r[probeIdx].Key()]

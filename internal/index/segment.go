@@ -1,0 +1,130 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"cadb/internal/catalog"
+	"cadb/internal/compress"
+	"cadb/internal/storage"
+)
+
+// SegmentIndex is a physically materialized index: the leaf rows encoded
+// into a compressed page-backed segment, plus the per-page low keys a seek
+// needs to land on the right leaf page without decoding the level. It is the
+// ground truth the size model's estimates (Physical.Bytes/Pages) are diffed
+// against.
+type SegmentIndex struct {
+	Def *Def
+	// Physical carries the size-model measurements (compress.SizeRows over
+	// the leaf rows) for the same definition.
+	Physical *Physical
+	// Seg is the materialized page store.
+	Seg *storage.Segment
+	// lowKeys[i] holds the key-column values of the first row on page i.
+	lowKeys [][]storage.Value
+	nKeys   int
+}
+
+// BuildSegmentIndex materializes the index as a compressed segment over the
+// database. Only methods with a materializing codec (NONE, ROW, PAGE) can be
+// built; estimation-only methods return an error.
+func BuildSegmentIndex(db *catalog.Database, d *Def) (*SegmentIndex, error) {
+	schema, rows, err := MaterializeRows(db, d)
+	if err != nil {
+		return nil, err
+	}
+	return BuildSegmentOver(schema, rows, d)
+}
+
+// BuildSegmentOver materializes a segment index over pre-built, pre-sorted
+// leaf rows.
+func BuildSegmentOver(schema *storage.Schema, rows []storage.Row, d *Def) (*SegmentIndex, error) {
+	codec := compress.Codec(d.Method)
+	if codec == nil {
+		return nil, fmt.Errorf("index: method %s has no materializing codec", d.Method)
+	}
+	seg, err := storage.BuildSegment(schema, rows, codec)
+	if err != nil {
+		return nil, err
+	}
+	si := &SegmentIndex{
+		Def:      d,
+		Physical: BuildFromRows(schema, rows, d),
+		Seg:      seg,
+		nKeys:    len(d.KeyCols),
+	}
+	if si.nKeys > 0 {
+		si.lowKeys = make([][]storage.Value, seg.NumPages())
+		at := 0
+		for i := 0; i < seg.NumPages(); i++ {
+			key := make([]storage.Value, si.nKeys)
+			copy(key, rows[at][:si.nKeys])
+			si.lowKeys[i] = key
+			at += seg.PageRows(i)
+		}
+	}
+	return si, nil
+}
+
+// Schema returns the leaf schema (key + include columns, plus __rid for
+// non-clustered indexes).
+func (si *SegmentIndex) Schema() *storage.Schema { return si.Seg.Schema }
+
+// MaterializedBytes is the accounted payload size of the real segment.
+func (si *SegmentIndex) MaterializedBytes() int64 { return si.Seg.PayloadBytes() }
+
+// MaterializedPages is the physical page count of the real segment.
+func (si *SegmentIndex) MaterializedPages() int64 { return si.Seg.PhysicalPages() }
+
+// SizeError returns the relative error of the size model against the
+// materialized segment: (estimated - actual) / actual.
+func (si *SegmentIndex) SizeError() float64 {
+	actual := si.MaterializedBytes()
+	if actual == 0 {
+		return 0
+	}
+	return float64(si.Physical.Bytes-actual) / float64(actual)
+}
+
+// compareKey orders a page low key against a single leading-key bound.
+func leadingCompare(key []storage.Value, bound storage.Value) int {
+	if len(key) == 0 {
+		return 0
+	}
+	return key[0].Compare(bound.CoerceTo(key[0].Kind))
+}
+
+// SeekPages returns the half-open page range [lo, hi) that can contain rows
+// whose leading key lies in [loKey, hiKey]. Unbounded ends are expressed
+// with hasLo/hasHi=false. The range is conservative: every qualifying row is
+// inside it, pages at the edges may hold non-qualifying rows.
+func (si *SegmentIndex) SeekPages(loKey storage.Value, hasLo bool, hiKey storage.Value, hasHi bool) (int, int) {
+	n := si.Seg.NumPages()
+	if si.nKeys == 0 || n == 0 {
+		return 0, n
+	}
+	lo := 0
+	if hasLo {
+		// First page whose low key reaches loKey; the qualifying range can
+		// start on the page before it (whose tail may hold loKey), but no
+		// earlier — every row there is strictly below the page after's low
+		// key. Note >= 0, not > 0: with duplicate keys spanning pages, the
+		// first qualifying row sits before the *last* page opening with
+		// loKey.
+		i := sort.Search(n, func(i int) bool { return leadingCompare(si.lowKeys[i], loKey) >= 0 })
+		lo = i - 1
+		if lo < 0 {
+			lo = 0
+		}
+	}
+	hi := n
+	if hasHi {
+		// Pages whose low key exceeds hiKey cannot hold qualifying rows.
+		hi = sort.Search(n, func(i int) bool { return leadingCompare(si.lowKeys[i], hiKey) > 0 })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}

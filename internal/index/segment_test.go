@@ -1,0 +1,143 @@
+package index
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"cadb/internal/compress"
+	"cadb/internal/datagen"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+)
+
+func segTestDefs() []*Def {
+	return []*Def{
+		{Table: "lineitem", KeyCols: []string{"l_orderkey", "l_linenumber"}, Clustered: true, Method: compress.None},
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_quantity"}, Method: compress.Row},
+		{Table: "lineitem", KeyCols: []string{"l_shipmode"}, Method: compress.Page},
+		{Table: "orders", KeyCols: []string{"o_orderdate"}, Method: compress.Page},
+	}
+}
+
+// TestSegmentIndexRoundTrip pins that a materialized segment decodes back to
+// exactly the leaf rows the index materializer produced, for every codec and
+// structure shape (clustered, secondary, MV).
+func TestSegmentIndexRoundTrip(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 3000, Seed: 21})
+	defs := segTestDefs()
+	defs = append(defs, &Def{
+		Table:   "mv_rev",
+		KeyCols: []string{"lineitem_l_shipmode"},
+		Method:  compress.Row,
+		MV: &MVDef{
+			Name:    "mv_rev",
+			Fact:    "lineitem",
+			GroupBy: []workload.ColRef{{Table: "lineitem", Col: "l_shipmode"}},
+			Aggs:    []workload.Aggregate{{Func: workload.AggSum, Col: workload.ColRef{Table: "lineitem", Col: "l_extendedprice"}}},
+		},
+	})
+	for _, d := range defs {
+		schema, want, err := MaterializeRows(db, d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		si, err := BuildSegmentIndex(db, d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		got, err := si.Seg.ScanAll()
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows vs %d", d, len(got), len(want))
+		}
+		for i := range got {
+			g := storage.EncodeRow(schema, got[i], nil)
+			w := storage.EncodeRow(schema, want[i], nil)
+			if !bytes.Equal(g, w) {
+				t.Fatalf("%s: row %d differs", d, i)
+			}
+		}
+	}
+}
+
+// TestSegmentIndexSizeWithinTolerance checks the acceptance bound directly
+// at the structure level: materialized bytes within 10% of the size model
+// (exact for NONE/ROW).
+func TestSegmentIndexSizeWithinTolerance(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 3000, Seed: 21})
+	for _, d := range segTestDefs() {
+		si, err := BuildSegmentIndex(db, d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if e := math.Abs(si.SizeError()); e > 0.10 {
+			t.Errorf("%s: size model off by %.1f%% (est %d, actual %d)",
+				d, 100*e, si.Physical.Bytes, si.MaterializedBytes())
+		}
+		if d.Method == compress.None || d.Method == compress.Row {
+			if si.SizeError() != 0 {
+				t.Errorf("%s: %s must match the model exactly, got %.4f%%",
+					d, d.Method, 100*si.SizeError())
+			}
+		}
+		estPages := storage.PagesForBytes(si.Physical.Bytes)
+		gotPages := si.MaterializedPages()
+		if diff := gotPages - estPages; diff < -1 && float64(-diff) > 0.1*float64(estPages) ||
+			diff > 1 && float64(diff) > 0.1*float64(estPages)+1 {
+			t.Errorf("%s: page estimate %d vs materialized %d", d, estPages, gotPages)
+		}
+	}
+}
+
+// TestSeekPagesCoversAllMatches verifies the seek contract: every row whose
+// leading key falls in the bound lies inside the returned page range.
+func TestSeekPagesCoversAllMatches(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 4000, Seed: 9})
+	d := &Def{Table: "lineitem", KeyCols: []string{"l_shipmode"}, Method: compress.Row}
+	si, err := BuildSegmentIndex(db, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"AIR", "MAIL", "TRUCK"} {
+		bound := storage.StringVal(mode)
+		lo, hi := si.SeekPages(bound, true, bound, true)
+		var inRange, total int64
+		for p := 0; p < si.Seg.NumPages(); p++ {
+			rows, err := si.Seg.DecodePage(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r[0].Compare(bound) == 0 {
+					total++
+					if p >= lo && p < hi {
+						inRange++
+					}
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: degenerate (no matches)", mode)
+		}
+		if inRange != total {
+			t.Fatalf("%s: page range [%d,%d) covers %d of %d matching rows", mode, lo, hi, inRange, total)
+		}
+	}
+	// Unbounded seek covers everything.
+	if lo, hi := si.SeekPages(storage.Value{}, false, storage.Value{}, false); lo != 0 || hi != si.Seg.NumPages() {
+		t.Fatalf("unbounded seek = [%d,%d)", lo, hi)
+	}
+}
+
+func TestBuildSegmentIndexRejectsEstimationOnlyMethods(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 500, Seed: 1})
+	for _, m := range []compress.Method{compress.GlobalDict, compress.RLE} {
+		d := &Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Method: m}
+		if _, err := BuildSegmentIndex(db, d); err == nil {
+			t.Fatalf("%s: expected an error (no materializing codec)", m)
+		}
+	}
+}

@@ -87,6 +87,11 @@ type AccessPath struct {
 	Rows    float64    // rows produced
 	Cost    float64
 	Lookups float64 // RID lookups performed
+	// EstPageReads is the model's estimate of physical page reads for this
+	// path (leaf pages scanned, tree-descent reads, RID lookups) — the
+	// validation hook the segment-backed executor's counted IOStats are
+	// diffed against (ext-measured).
+	EstPageReads float64
 }
 
 // Plan is the costed plan of a statement.
@@ -94,6 +99,16 @@ type Plan struct {
 	Total float64
 	Paths []AccessPath
 	Note  string
+}
+
+// EstimatedPageReads sums the page-read estimates of every access path in
+// the plan.
+func (p *Plan) EstimatedPageReads() float64 {
+	var total float64
+	for _, ap := range p.Paths {
+		total += ap.EstPageReads
+	}
+	return total
 }
 
 // String renders the plan compactly.
@@ -236,7 +251,7 @@ func (cm *CostModel) baseScan(t *catalog.Table, preds []workload.Predicate, cols
 	}
 	pages := float64(t.HeapPages())
 	cost := cm.SeqPageIO*pages + cm.CPUTuple*rows
-	return AccessPath{Table: t.Name, Kind: "heap-scan", Rows: outRows, Cost: cost}
+	return AccessPath{Table: t.Name, Kind: "heap-scan", Rows: outRows, Cost: cost, EstPageReads: pages}
 }
 
 // indexPath costs using the given index for the table, returning ok=false
@@ -314,13 +329,15 @@ func (cm *CostModel) indexPath(t *catalog.Table, h *HypoIndex, preds []workload.
 		if clustered {
 			kind = "clustered-seek"
 		}
-		ap := AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost}
+		ap := AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost,
+			EstPageReads: height + math.Ceil(seekSel*pages)}
 		if !covering {
 			// RID lookups for rows surviving all predicates resolvable on
 			// the index; remaining predicates are applied after the lookup.
 			lookups := idxRows * seekSel * residualFraction(t, remaining, idxCols)
 			ap.Lookups = lookups
 			ap.Cost += cm.RandPageIO*lookups + cm.CPUTuple*lookups
+			ap.EstPageReads += lookups
 		}
 		return ap, true
 	}
@@ -337,7 +354,7 @@ func (cm *CostModel) indexPath(t *catalog.Table, h *HypoIndex, preds []workload.
 	}
 	cost := cm.SeqPageIO*pages + cm.CPUTuple*idxRows + beta*idxRows*float64(usedCols)
 	_ = residualSel
-	return AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost}, true
+	return AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost, EstPageReads: pages}, true
 }
 
 // residualFraction estimates the fraction of prefix-matched rows that
@@ -518,16 +535,18 @@ func (cm *CostModel) mvAccess(h *HypoIndex, residual []workload.Predicate, q *wo
 			}
 		}
 	}
-	var cost float64
+	var cost, reads float64
 	kind := "mv-scan"
 	if seek {
 		kind = "mv-seek"
 		cost = cm.RandPageIO*cm.treeHeight(pages) + cm.SeqPageIO*math.Ceil(sel*pages)
 		cost += cm.CPUTuple*sel*rows + beta*sel*rows*float64(usedCols)
+		reads = cm.treeHeight(pages) + math.Ceil(sel*pages)
 	} else {
 		cost = cm.SeqPageIO*pages + cm.CPUTuple*rows + beta*rows*float64(usedCols)
+		reads = pages
 	}
-	return AccessPath{Table: h.Def.Table, Index: h, Kind: kind, Rows: sel * rows, Cost: cost}
+	return AccessPath{Table: h.Def.Table, Index: h, Kind: kind, Rows: sel * rows, Cost: cost, EstPageReads: reads}
 }
 
 // mvPredSelectivity estimates a residual predicate's selectivity using the

@@ -1,0 +1,70 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cadb/internal/datagen"
+	"cadb/internal/index"
+	"cadb/internal/sqlparse"
+	"cadb/internal/workload"
+)
+
+// TestEstimatedPageReads pins the validation hook the measured experiments
+// diff against executor-counted reads: a heap scan estimates the heap pages,
+// a selective seek estimates far fewer, and plans sum per-path estimates.
+func TestEstimatedPageReads(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 6000, Seed: 4})
+	cm := NewCostModel(db)
+	stmt, err := sqlparse.ParseStatement(
+		"SELECT COUNT(*) FROM lineitem WHERE l_shipdate BETWEEN 9000 AND 9030 GROUP BY l_shipmode")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := cm.Plan(stmt, NewConfiguration())
+	heapPages := float64(db.MustTable("lineitem").HeapPages())
+	if got := base.EstimatedPageReads(); got != heapPages {
+		t.Fatalf("heap scan estimates %g page reads, want %g", got, heapPages)
+	}
+
+	p, err := index.Build(db, &index.Def{
+		Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_shipmode"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfiguration(FromPhysical(p))
+	seek := cm.Plan(stmt, cfg)
+	if got := seek.EstimatedPageReads(); got <= 0 || got >= base.EstimatedPageReads()/2 {
+		t.Fatalf("seek estimates %g page reads vs scan %g — expected far fewer", got, base.EstimatedPageReads())
+	}
+
+	// Multi-table plans sum per-path estimates.
+	join, err := sqlparse.ParseStatement(
+		"SELECT o_orderpriority, COUNT(*) FROM orders JOIN lineitem ON lineitem.l_orderkey = orders.o_orderkey GROUP BY o_orderpriority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jp := cm.Plan(join, NewConfiguration())
+	var sum float64
+	for _, ap := range jp.Paths {
+		if ap.EstPageReads <= 0 {
+			t.Fatalf("path %s on %s has no page-read estimate", ap.Kind, ap.Table)
+		}
+		sum += ap.EstPageReads
+	}
+	if jp.EstimatedPageReads() != sum {
+		t.Fatalf("EstimatedPageReads=%g, path sum=%g", jp.EstimatedPageReads(), sum)
+	}
+
+	// Write plans carry the estimate on their lookup path.
+	upd := &workload.Statement{Update: &workload.Update{
+		Table: "lineitem",
+		Set:   []workload.Assignment{{Col: "l_comment"}},
+		Preds: stmt.Query.Preds[:1],
+	}, Weight: 1}
+	wp := cm.Plan(upd, NewConfiguration())
+	if wp.EstimatedPageReads() <= 0 {
+		t.Fatalf("update plan has no page-read estimate: %+v", wp)
+	}
+}

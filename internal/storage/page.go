@@ -40,28 +40,38 @@ type PageGroup struct {
 //
 // Packing follows the first-fit rule of a bulk-loaded B+-tree leaf level with
 // a 100% fill factor: rows are appended until the next row would overflow the
-// page.
+// page. A row wider than UsablePageBytes gets a group of its own spanning an
+// overflow-page run, charged at whole pages (ceil of its true encoded size) —
+// clamping it to a single page would under-count the payload bytes that
+// heap-size and compression-fraction estimates are built on.
 func PackRows(s *Schema, rows []Row) ([]PageGroup, int64) {
 	var groups []PageGroup
 	var total int64
 	start := 0
 	used := 0
+	flush := func(end int) {
+		if end > start {
+			groups = append(groups, PageGroup{Start: start, End: end, Bytes: used})
+			start = end
+			used = 0
+		}
+	}
 	for i, r := range rows {
 		sz := EncodedRowSize(s, r) + SlotSize
 		if sz > UsablePageBytes {
-			sz = UsablePageBytes // oversized rows take a full page
+			flush(i)
+			used = int(PagesForBytes(int64(sz))) * UsablePageBytes
+			total += int64(used)
+			flush(i + 1)
+			continue
 		}
 		if used+sz > UsablePageBytes && used > 0 {
-			groups = append(groups, PageGroup{Start: start, End: i, Bytes: used})
-			start = i
-			used = 0
+			flush(i)
 		}
 		used += sz
 		total += int64(sz)
 	}
-	if used > 0 || len(rows) > 0 && start < len(rows) {
-		groups = append(groups, PageGroup{Start: start, End: len(rows), Bytes: used})
-	}
+	flush(len(rows))
 	return groups, total
 }
 

@@ -1,0 +1,114 @@
+package storage
+
+import "fmt"
+
+// PageCodec turns rows into physical page payloads and back. Implementations
+// live in internal/compress (one per materializable compression method); the
+// codec owns the packing policy so order-dependent methods can mirror the
+// grouping their size model assumes.
+type PageCodec interface {
+	// Name is the method name ("NONE", "ROW", "PAGE").
+	Name() string
+	// EncodeRows packs the rows into page payloads. Each payload must be
+	// decodable by DecodePage on its own.
+	EncodeRows(s *Schema, rows []Row) ([]EncodedPage, error)
+	// DecodePage reconstructs the rows of one page payload.
+	DecodePage(s *Schema, payload []byte, nrows int) ([]Row, error)
+}
+
+// EncodedPage is one materialized page: the real payload bytes plus the
+// slot-array accounting the size model charges per row.
+type EncodedPage struct {
+	// Payload is the encoded page body. It is at most UsablePageBytes except
+	// for an overflow run holding a single oversized row.
+	Payload []byte
+	// Rows is the number of rows encoded in the payload.
+	Rows int
+	// AccountedBytes is payload plus per-row slot overhead — the number the
+	// size model (compress.SizeRows) is diffed against.
+	AccountedBytes int
+}
+
+// PhysicalPages returns the number of fixed-size pages the payload occupies
+// (usually 1; more for an overflow run).
+func (p *EncodedPage) PhysicalPages() int64 {
+	n := PagesForBytes(int64(p.AccountedBytes))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Segment is a materialized page store: rows encoded into real pages by a
+// codec. Segments are immutable once built; decoding a page reproduces the
+// original rows (up to the codec's documented CHAR(n) normalization).
+type Segment struct {
+	Schema *Schema
+	Codec  PageCodec
+
+	pages        []EncodedPage
+	rows         int64
+	payloadBytes int64
+	physPages    int64
+}
+
+// BuildSegment encodes the rows into a segment using the codec.
+func BuildSegment(s *Schema, rows []Row, c PageCodec) (*Segment, error) {
+	if c == nil {
+		return nil, fmt.Errorf("storage: nil page codec")
+	}
+	pages, err := c.EncodeRows(s, rows)
+	if err != nil {
+		return nil, err
+	}
+	seg := &Segment{Schema: s, Codec: c, pages: pages}
+	for i := range pages {
+		seg.rows += int64(pages[i].Rows)
+		seg.payloadBytes += int64(pages[i].AccountedBytes)
+		seg.physPages += pages[i].PhysicalPages()
+	}
+	if seg.rows != int64(len(rows)) {
+		return nil, fmt.Errorf("storage: codec %s encoded %d of %d rows", c.Name(), seg.rows, len(rows))
+	}
+	return seg, nil
+}
+
+// NumPages returns the number of encoded pages (overflow runs count once).
+func (g *Segment) NumPages() int { return len(g.pages) }
+
+// PhysicalPages returns the total fixed-size page count, the number page-read
+// accounting and SizePages estimates are diffed against.
+func (g *Segment) PhysicalPages() int64 { return g.physPages }
+
+// Rows returns the total row count.
+func (g *Segment) Rows() int64 { return g.rows }
+
+// PayloadBytes returns the accounted payload size (encoded bytes plus slot
+// overhead), comparable to compress.SizeRows.
+func (g *Segment) PayloadBytes() int64 { return g.payloadBytes }
+
+// Page returns the i-th encoded page.
+func (g *Segment) Page(i int) *EncodedPage { return &g.pages[i] }
+
+// PageRows returns the row count of page i without decoding it.
+func (g *Segment) PageRows(i int) int { return g.pages[i].Rows }
+
+// DecodePage decodes page i back into rows.
+func (g *Segment) DecodePage(i int) ([]Row, error) {
+	p := &g.pages[i]
+	return g.Codec.DecodePage(g.Schema, p.Payload, p.Rows)
+}
+
+// ScanAll decodes every page in order — the full-scan access path without
+// accounting (callers that need PageReads counters decode page by page).
+func (g *Segment) ScanAll() ([]Row, error) {
+	out := make([]Row, 0, g.rows)
+	for i := range g.pages {
+		rows, err := g.DecodePage(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}

@@ -231,6 +231,53 @@ func TestPackRowsBasic(t *testing.T) {
 	}
 }
 
+// TestPackRowsOversizedRowAccounting pins the overflow-page fix: a row wider
+// than a page must be charged whole overflow pages (ceil of its true encoded
+// size), not clamped to a single page — clamping under-counted the heap and
+// compression-fraction estimates of wide-string schemas.
+func TestPackRowsOversizedRowAccounting(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "k", Kind: KindInt},
+		Column{Name: "blob", Kind: KindString},
+	)
+	big := make([]byte, 2*UsablePageBytes+500)
+	for i := range big {
+		big[i] = 'a'
+	}
+	rows := []Row{
+		{IntVal(1), StringVal("x")},
+		{IntVal(2), StringVal(string(big))},
+		{IntVal(3), StringVal("y")},
+	}
+	groups, total := PackRows(s, rows)
+	if len(groups) != 3 {
+		t.Fatalf("want 3 groups (row, overflow run, row), got %d: %+v", len(groups), groups)
+	}
+	over := groups[1]
+	if over.Start != 1 || over.End != 2 {
+		t.Fatalf("overflow group must hold exactly the oversized row: %+v", over)
+	}
+	sz := EncodedRowSize(s, rows[1]) + SlotSize
+	wantBytes := int(PagesForBytes(int64(sz))) * UsablePageBytes
+	if over.Bytes != wantBytes {
+		t.Fatalf("overflow charged %d bytes, want %d (ceil of %d)", over.Bytes, wantBytes, sz)
+	}
+	if total < int64(sz) {
+		t.Fatalf("total %d under-counts the oversized row (%d encoded bytes)", total, sz)
+	}
+	if got := PagesForBytes(total); got < 3 {
+		t.Fatalf("a >2-page row must need at least 3 pages, got %d", got)
+	}
+	// Row coverage stays contiguous.
+	at := 0
+	for _, g := range groups {
+		if g.Start != at {
+			t.Fatalf("gap at %d: %+v", at, g)
+		}
+		at = g.End
+	}
+}
+
 func TestPackRowsEmpty(t *testing.T) {
 	s := NewSchema(Column{Name: "a", Kind: KindInt})
 	groups, total := PackRows(s, nil)
