@@ -69,6 +69,9 @@ type Workload = workload.Workload
 // Statement is one workload entry (query or bulk insert).
 type Statement = workload.Statement
 
+// Query is a SELECT statement in the supported subset.
+type Query = workload.Query
+
 // IndexDef describes a (possibly compressed, partial, clustered or MV)
 // index.
 type IndexDef = index.Def
@@ -93,6 +96,10 @@ const (
 	// RLECompression is per-page run-length encoding.
 	RLECompression = compress.RLE
 )
+
+// HasCodec reports whether the method has a materializing page codec (and so
+// can back a physical segment); GlobalDict and RLE are estimation-only.
+func HasCodec(m CompressionMethod) bool { return compress.HasCodec(m) }
 
 // ---------------------------------------------------------------------------
 // Data and workload generation
@@ -263,17 +270,29 @@ type Segment = storage.Segment
 type SegmentIndex = index.SegmentIndex
 
 // SegmentStore is the segment-backed executor: per-table compressed page
-// stores plus key-ordered index segments, with scan/seek access paths that
-// decode pages on demand and count their physical I/O. Results are
-// byte-identical to the plain-row reference executor.
+// stores plus key-ordered index segments. Queries run as a streaming
+// operator pipeline — pages decode lazily and column-selectively, with
+// sargable predicates pushed down into the page codec — and report their
+// physical I/O. Results are byte-identical to the plain-row reference
+// executor. SetEagerDecode(true) restores the full-decode baseline.
 type SegmentStore = exec.Store
 
 // ExecResult is an executed query's output (rows plus, for segment-backed
 // runs, the I/O counters and access-path descriptions).
 type ExecResult = exec.Result
 
-// ExecIOStats counts the physical page work of a segment-backed execution.
+// ExecIOStats counts the physical work of a segment-backed execution: page
+// reads, pages and tuples decoded, and per-page column payloads decoded.
 type ExecIOStats = exec.IOStats
+
+// DecodeSpec tells a page codec which columns to reconstruct and which
+// predicates to evaluate during decode (the pushed-down half of a streaming
+// scan).
+type DecodeSpec = storage.DecodeSpec
+
+// ColPredicate is one pushed-down comparison: a column ordinal, an operator
+// and bounds pre-coerced to the column kind.
+type ColPredicate = storage.ColPredicate
 
 // BuildSegmentIndex materializes an index definition as a compressed page
 // segment. Only NONE/ROW/PAGE have materializing codecs.

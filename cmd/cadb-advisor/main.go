@@ -157,8 +157,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if rec.EstimationPlan != nil {
 			fmt.Fprintf(stdout, "\nestimation plan:\n%s", rec.EstimationPlan.Describe())
 		}
+		printStatementIO(stdout, stderr, db, wl, rec)
 	}
 	return 0
+}
+
+// printStatementIO materializes the recommended design and re-runs the
+// workload's queries through the segment-backed streaming executor, printing
+// each statement's counted I/O (page reads plus the pages/tuples/columns the
+// pipeline actually decoded). Write statements are skipped: replaying them
+// would mutate the database the recommendation was tuned for.
+func printStatementIO(stdout, stderr io.Writer, db *cadb.Database, wl *cadb.Workload, rec *cadb.Recommendation) {
+	var defs []*cadb.IndexDef
+	for _, h := range rec.Config.Indexes() {
+		defs = append(defs, h.Def)
+	}
+	st, err := cadb.NewSegmentStore(db, defs)
+	if err != nil {
+		fmt.Fprintln(stderr, "cadb-advisor: per-statement I/O unavailable:", err)
+		return
+	}
+	fmt.Fprintf(stdout, "\nper-statement I/O under the recommended design (queries only):\n")
+	fmt.Fprintf(stdout, "  %-32s %8s %8s %8s %10s %8s\n", "statement", "rows", "reads", "pages", "tuples", "cols")
+	for _, s := range wl.Statements {
+		if s.Query == nil {
+			continue
+		}
+		res, err := st.RunQuery(s.Query)
+		if err != nil {
+			fmt.Fprintf(stderr, "cadb-advisor: %s: %v\n", s.Label, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "  %-32s %8d %8d %8d %10d %8d\n",
+			s.Label, len(res.Rows), res.IO.PageReads, res.IO.PagesDecoded,
+			res.IO.TuplesDecoded, res.IO.ColumnsDecoded)
+	}
 }
 
 func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -7,8 +7,9 @@
 // Usage:
 //
 //	cadb-bench        # writes BENCH_enumerate.json + BENCH_sizing.json +
-//	                  #        BENCH_update.json + BENCH_measured.json
-//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json -measured-out measured.json
+//	                  #        BENCH_update.json + BENCH_measured.json +
+//	                  #        BENCH_exec.json
+//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json -measured-out measured.json -exec-out exec.json
 //	cadb-bench -n 5 -quiet
 package main
 
@@ -49,6 +50,7 @@ func main() {
 		sizingOut   = flag.String("sizing-out", "BENCH_sizing.json", "size-estimation benchmark output JSON path")
 		updateOut   = flag.String("update-out", "BENCH_update.json", "update-mix benchmark output JSON path")
 		measuredOut = flag.String("measured-out", "BENCH_measured.json", "measured-vs-estimated benchmark output JSON path")
+		execOut     = flag.String("exec-out", "BENCH_exec.json", "streaming-execution benchmark output JSON path")
 		iters       = flag.Int("n", 3, "iterations per benchmark")
 		quiet       = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
@@ -342,12 +344,14 @@ func main() {
 				fatal(err)
 			}
 			var est float64
-			var counted, decoded int64
+			var counted, decoded, tuples, columns int64
 			identical := 1.0
 			for _, r := range results {
 				est += r.EstReads
 				counted += r.CountedReads
 				decoded += r.PagesDecoded
+				tuples += r.TuplesDecoded
+				columns += r.ColumnsDecoded
 				if !r.Identical {
 					identical = 0
 				}
@@ -356,6 +360,8 @@ func main() {
 				"est-page-reads":     est,
 				"counted-page-reads": float64(counted),
 				"pages-decoded":      float64(decoded),
+				"tuples-decoded":     float64(tuples),
+				"columns-decoded":    float64(columns),
 				"oracle-identical":   identical,
 			}
 			if counted > 0 {
@@ -365,6 +371,62 @@ func main() {
 		})
 	}
 	writeReport(meaRep, *measuredOut, *quiet)
+
+	// Streaming-execution benchmarks -> BENCH_exec.json: the lazy
+	// column-selective executor against its eager full-decode baseline, per
+	// codec, on a selective single-column filter and a covering aggregate.
+	// The decode counters ride along as extra metrics, so the pushdown
+	// savings (tuples/columns decoded, streaming vs eager) are tracked in the
+	// same trajectory as the timings.
+	execRep := newReport()
+	cur = execRep
+	execStatements := []struct{ name, sql string }{
+		{"filter-selective", "SELECT l_extendedprice FROM lineitem WHERE l_quantity <= 5"},
+		{"covering-agg", "SELECT l_shipmode, SUM(l_extendedprice) FROM lineitem WHERE l_shipmode = 'AIR' GROUP BY l_shipmode"},
+	}
+	for _, m := range []cadb.CompressionMethod{cadb.NoCompression, cadb.RowCompression, cadb.PageCompression} {
+		m := m
+		execDefs := []*cadb.IndexDef{
+			{Table: "lineitem", KeyCols: []string{"l_orderkey", "l_linenumber"}, Clustered: true, Method: m},
+			{Table: "lineitem", KeyCols: []string{"l_shipmode"}, IncludeCols: []string{"l_extendedprice"}, Method: m},
+		}
+		streamSt, err := cadb.NewSegmentStore(db, execDefs)
+		if err != nil {
+			fatal(err)
+		}
+		eagerSt, err := cadb.NewSegmentStore(db, execDefs)
+		if err != nil {
+			fatal(err)
+		}
+		eagerSt.SetEagerDecode(true)
+		for _, es := range execStatements {
+			wl, err := cadb.ParseWorkload(es.sql + ";")
+			if err != nil {
+				fatal(err)
+			}
+			q := wl.Statements[0].Query
+			for _, variant := range []struct {
+				name string
+				st   *cadb.SegmentStore
+			}{{"stream", streamSt}, {"eager", eagerSt}} {
+				variant := variant
+				run(fmt.Sprintf("SegmentQuery/%s/%s/%s", es.name, m, variant.name), *iters, 1, func() map[string]float64 {
+					res, err := variant.st.RunQuery(q)
+					if err != nil {
+						fatal(err)
+					}
+					return map[string]float64{
+						"page-reads":      float64(res.IO.PageReads),
+						"pages-decoded":   float64(res.IO.PagesDecoded),
+						"tuples-decoded":  float64(res.IO.TuplesDecoded),
+						"columns-decoded": float64(res.IO.ColumnsDecoded),
+						"rows":            float64(len(res.Rows)),
+					}
+				})
+			}
+		}
+	}
+	writeReport(execRep, *execOut, *quiet)
 }
 
 func writeReport(rep *report, path string, quiet bool) {

@@ -1,0 +1,214 @@
+package compress
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cadb/internal/storage"
+)
+
+// refDecodeColumns is the semantics yardstick: a full decode followed by
+// slot filtering, predicate evaluation and projection. Every codec's
+// DecodeColumns must return exactly these rows and slots.
+func refDecodeColumns(t *testing.T, seg *storage.Segment, page int, spec *storage.DecodeSpec) *storage.DecodedPage {
+	t.Helper()
+	full, err := seg.DecodePage(page)
+	if err != nil {
+		t.Fatalf("DecodePage(%d): %v", page, err)
+	}
+	return storage.FallbackDecodeColumns(seg.Schema, full, spec)
+}
+
+func assertSelectiveDecode(t *testing.T, seg *storage.Segment, spec *storage.DecodeSpec, label string) {
+	t.Helper()
+	proj := make([]storage.Column, len(spec.Needed))
+	for i, ci := range spec.Needed {
+		proj[i] = seg.Schema.Columns[ci]
+	}
+	projSchema := storage.NewSchema(proj...)
+	for p := 0; p < seg.NumPages(); p++ {
+		want := refDecodeColumns(t, seg, p, spec)
+		got, err := seg.DecodeColumnsPage(p, spec)
+		if err != nil {
+			t.Fatalf("%s: DecodeColumnsPage(%d): %v", label, p, err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("%s: page %d: got %d rows, want %d", label, p, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			if got.Slots[i] != want.Slots[i] {
+				t.Fatalf("%s: page %d row %d: slot %d, want %d", label, p, i, got.Slots[i], want.Slots[i])
+			}
+			gb := storage.EncodeRow(projSchema, got.Rows[i], nil)
+			wb := storage.EncodeRow(projSchema, want.Rows[i], nil)
+			if !bytes.Equal(gb, wb) {
+				t.Fatalf("%s: page %d slot %d: row mismatch\n got %v\nwant %v",
+					label, p, got.Slots[i], got.Rows[i], want.Rows[i])
+			}
+		}
+		// Selective decode must never materialize more than the full decode.
+		if got.TuplesDecoded > want.TuplesDecoded || got.ColumnsDecoded > want.ColumnsDecoded {
+			t.Fatalf("%s: page %d: decode counters (%d tuples, %d cols) exceed full decode (%d, %d)",
+				label, p, got.TuplesDecoded, got.ColumnsDecoded, want.TuplesDecoded, want.ColumnsDecoded)
+		}
+	}
+}
+
+// randomSpec builds a random decode spec over the schema: a non-empty
+// ascending needed set, up to three predicates with bounds drawn from the
+// data (plus occasional NULL bounds), and sometimes a slot filter.
+func randomSpec(rng *rand.Rand, s *storage.Schema, rows []storage.Row) *storage.DecodeSpec {
+	spec := &storage.DecodeSpec{}
+	for ci := range s.Columns {
+		if rng.Float64() < 0.5 {
+			spec.Needed = append(spec.Needed, ci)
+		}
+	}
+	if len(spec.Needed) == 0 {
+		spec.Needed = []int{rng.Intn(len(s.Columns))}
+	}
+	ops := []storage.PredOp{
+		storage.PredEq, storage.PredNe, storage.PredLt, storage.PredLe,
+		storage.PredGt, storage.PredGe, storage.PredBetween,
+	}
+	for np := rng.Intn(4); np > 0; np-- {
+		ci := rng.Intn(len(s.Columns))
+		kind := s.Columns[ci].Kind
+		pick := func() storage.Value {
+			if len(rows) == 0 || rng.Float64() < 0.1 {
+				return storage.NullValue(kind)
+			}
+			return rows[rng.Intn(len(rows))][ci]
+		}
+		spec.Preds = append(spec.Preds, storage.ColPredicate{
+			Col: ci,
+			Op:  ops[rng.Intn(len(ops))],
+			Lo:  pick().CoerceTo(kind),
+			Hi:  pick().CoerceTo(kind),
+		})
+	}
+	if rng.Float64() < 0.3 {
+		seen := map[int]bool{}
+		for k := rng.Intn(20) + 1; k > 0; k-- {
+			seen[rng.Intn(len(rows)+1)] = true
+		}
+		for sl := range seen {
+			spec.Slots = append(spec.Slots, sl)
+		}
+		sort.Ints(spec.Slots)
+	}
+	return spec
+}
+
+func TestDecodeColumnsMatchesFullDecode(t *testing.T) {
+	s := codecSchema()
+	rows := genCodecRows(900, 0.2, 42)
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range codecMethods {
+		seg, err := storage.BuildSegment(s, rows, Codec(m))
+		if err != nil {
+			t.Fatalf("%s: BuildSegment: %v", m, err)
+		}
+		for trial := 0; trial < 60; trial++ {
+			spec := randomSpec(rng, s, rows)
+			assertSelectiveDecode(t, seg, spec, fmt.Sprintf("%s trial %d", m, trial))
+		}
+	}
+}
+
+// TestDecodeColumnsPrefixShortcuts stresses the page-level common-prefix
+// outcomes: a string column where every value shares a long prefix and an
+// integer column that is constant per page, with bounds positioned on every
+// side of the prefix.
+func TestDecodeColumnsPrefixShortcuts(t *testing.T) {
+	s := storage.NewSchema(
+		storage.Column{Name: "tag", Kind: storage.KindString, Nullable: true},
+		storage.Column{Name: "grp", Kind: storage.KindInt},
+		storage.Column{Name: "val", Kind: storage.KindFloat, Nullable: true},
+	)
+	rng := rand.New(rand.NewSource(3))
+	rows := make([]storage.Row, 800)
+	for i := range rows {
+		tag := storage.StringVal(fmt.Sprintf("PREFIX-%03d", rng.Intn(40)))
+		if rng.Float64() < 0.1 {
+			tag = storage.NullValue(storage.KindString)
+		}
+		rows[i] = storage.Row{tag, storage.IntVal(777), storage.FloatVal(rng.NormFloat64())}
+	}
+	seg, err := storage.BuildSegment(s, rows, Codec(Page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := []string{"", "A", "PREFIX-", "PREFIX-005", "PREFIX-9", "PREFIY", "Z", "PREFIX-005x"}
+	ops := []storage.PredOp{
+		storage.PredEq, storage.PredNe, storage.PredLt, storage.PredLe,
+		storage.PredGt, storage.PredGe,
+	}
+	label := 0
+	for _, lo := range bounds {
+		for _, op := range ops {
+			spec := &storage.DecodeSpec{
+				Needed: []int{0, 2},
+				Preds:  []storage.ColPredicate{{Col: 0, Op: op, Lo: storage.StringVal(lo)}},
+			}
+			assertSelectiveDecode(t, seg, spec, fmt.Sprintf("tag case %d", label))
+			label++
+		}
+		spec := &storage.DecodeSpec{
+			Needed: []int{2},
+			Preds: []storage.ColPredicate{{
+				Col: 0, Op: storage.PredBetween,
+				Lo: storage.StringVal(lo), Hi: storage.StringVal("PREFIX-9"),
+			}},
+		}
+		assertSelectiveDecode(t, seg, spec, fmt.Sprintf("tag between %d", label))
+		label++
+	}
+	// Constant integer column: the page prefix is the full encoding, so
+	// equality against a different value short-circuits the whole page.
+	for _, iv := range []int64{777, 778, 0, -777} {
+		for _, op := range []storage.PredOp{storage.PredEq, storage.PredNe} {
+			spec := &storage.DecodeSpec{
+				Needed: []int{0},
+				Preds:  []storage.ColPredicate{{Col: 1, Op: op, Lo: storage.IntVal(iv)}},
+			}
+			assertSelectiveDecode(t, seg, spec, fmt.Sprintf("grp %d op %d", iv, op))
+		}
+	}
+}
+
+// TestDecodeColumnsSkipsWork asserts the point of the refactor: a selective
+// PAGE decode materializes strictly fewer tuples and columns than a full
+// decode when the predicate is selective.
+func TestDecodeColumnsSkipsWork(t *testing.T) {
+	s := codecSchema()
+	rows := genCodecRows(900, 0.1, 5)
+	seg, err := storage.BuildSegment(s, rows, Codec(Page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &storage.DecodeSpec{
+		Needed: []int{1},
+		Preds:  []storage.ColPredicate{{Col: 1, Op: storage.PredEq, Lo: storage.IntVal(7)}},
+	}
+	var sel, full storage.IOStats
+	for p := 0; p < seg.NumPages(); p++ {
+		got, err := seg.DecodeColumnsPage(p, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.TuplesDecoded += got.TuplesDecoded
+		sel.ColumnsDecoded += got.ColumnsDecoded
+		full.TuplesDecoded += int64(seg.PageRows(p))
+		full.ColumnsDecoded += int64(len(s.Columns))
+	}
+	if sel.TuplesDecoded*2 >= full.TuplesDecoded {
+		t.Fatalf("selective decode materialized %d of %d tuples — pushdown not effective", sel.TuplesDecoded, full.TuplesDecoded)
+	}
+	if sel.ColumnsDecoded >= full.ColumnsDecoded {
+		t.Fatalf("selective decode touched %d of %d column payloads", sel.ColumnsDecoded, full.ColumnsDecoded)
+	}
+}

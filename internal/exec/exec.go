@@ -56,22 +56,7 @@ func runAggregate(db *catalog.Database, q *workload.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Project away the hidden __count column and order the output.
-	keep := make([]string, 0, len(schema.Columns))
-	for _, c := range schema.Columns {
-		if c.Name != "__count" {
-			keep = append(keep, c.Name)
-		}
-	}
-	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
-	if len(q.OrderBy) > 0 {
-		if err := orderBy(res, q.OrderBy); err != nil {
-			return nil, err
-		}
-	} else {
-		sortCanonical(res)
-	}
-	return res, nil
+	return finishAggregate(schema, rows, q)
 }
 
 // runProjection evaluates plain select-project-join queries.
@@ -84,35 +69,7 @@ func runProjection(db *catalog.Database, q *workload.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cols := q.Select
-	if len(cols) == 0 {
-		// SELECT *: every column of the driving table.
-		t := db.MustTable(q.Tables[0])
-		for _, c := range t.Schema.Names() {
-			cols = append(cols, workload.ColRef{Table: q.Tables[0], Col: c})
-		}
-	}
-	keep := make([]string, 0, len(cols))
-	for _, c := range cols {
-		name, err := resolveName(schema, c)
-		if err != nil {
-			return nil, err
-		}
-		keep = append(keep, name)
-	}
-	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
-	if len(q.OrderBy) > 0 {
-		if err := orderBy(res, q.OrderBy); err != nil {
-			return nil, err
-		}
-	} else {
-		// No ORDER BY leaves the output order unconstrained; canonicalize it
-		// (as runAggregate does) so projection results are reproducible
-		// regardless of join order — differential tests against the
-		// segment-backed access paths rely on this.
-		sortCanonical(res)
-	}
-	return res, nil
+	return finishProjection(db, q.Tables[0], schema, rows, q)
 }
 
 func projectRows(schema *storage.Schema, rows []storage.Row, keep []string) []storage.Row {

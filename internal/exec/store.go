@@ -12,38 +12,33 @@ import (
 	"cadb/internal/workload"
 )
 
-// IOStats counts the physical work of a segment-backed execution.
-type IOStats struct {
-	// PageReads is the number of physical page accesses (an overflow run
-	// counts once per page; a page re-read by a later RID batch counts
-	// again).
-	PageReads int64
-	// PagesDecoded is the number of pages run through a codec (cache hits
-	// within one statement don't decode twice).
-	PagesDecoded int64
-	// TuplesDecoded is the number of rows materialized by those decodes.
-	TuplesDecoded int64
-}
-
-// Add accumulates another stats bucket.
-func (io *IOStats) Add(o IOStats) {
-	io.PageReads += o.PageReads
-	io.PagesDecoded += o.PagesDecoded
-	io.TuplesDecoded += o.TuplesDecoded
-}
+// IOStats counts the physical work of a segment-backed execution. It is an
+// alias of storage.IOStats so codecs, cursors and the executor share one
+// accounting currency (see that type for the field semantics).
+type IOStats = storage.IOStats
 
 // Store is the physical half of the database: every table materialized as a
 // page-backed heap segment (insertion order, compressed with the clustered
 // index's method when the design has one), plus key-ordered segments for the
-// clustered index and every non-partial secondary. Queries run against
-// decoded pages — full scans and leading-key seeks — and report their I/O;
-// results are byte-identical to the plain-row oracle (Run) because every
-// access path restores insertion order before the join/aggregate pipeline.
+// clustered index and every non-partial secondary. Queries run as an
+// operator pipeline over streaming cursors — pages decode lazily, only the
+// columns the statement can observe are reconstructed, and sargable
+// predicates are evaluated inside the codec — and report their I/O. Results
+// are byte-identical to the plain-row oracle (Run) because order-sensitive
+// consumers get insertion order restored before the join/aggregate pipeline
+// and the rest canonicalize their output.
 type Store struct {
 	db    *catalog.Database
 	heaps map[string]*segHandle   // lowercased table -> heap segment
 	secs  map[string][]*segHandle // lowercased table -> ordered structures
+	eager bool
 }
+
+// SetEagerDecode switches the store back to the pre-streaming access path:
+// every visited page fully decoded, filtering and projection done on
+// materialized rows. Kept as the differential baseline for the streaming
+// path's results and decode budgets.
+func (st *Store) SetEagerDecode(on bool) { st.eager = on }
 
 // segHandle lazily builds (and rebuilds after writes) one segment.
 type segHandle struct {
@@ -184,6 +179,7 @@ func (rs *runState) readPage(seg *storage.Segment, i int) ([]storage.Row, error)
 	}
 	rs.io.PagesDecoded++
 	rs.io.TuplesDecoded += int64(len(rows))
+	rs.io.ColumnsDecoded += int64(len(seg.Schema.Columns))
 	rs.cache[k] = rows
 	return rows, nil
 }
@@ -207,13 +203,22 @@ func newRunState() *runState {
 // ---------------------------------------------------------------------------
 // Access paths
 
-// access produces the driving-table rows for a statement: a leading-key seek
-// over the cheapest seekable structure when a sargable predicate allows it,
-// otherwise a full heap scan. Rows always come back in insertion (RID)
-// order, projected onto the chosen structure's columns (the full table
-// schema except for covering secondary serves), so downstream operators see
-// exactly what the plain-row oracle sees.
-func (st *Store) access(rs *runState, table string, preds []workload.Predicate, needed []string) (*storage.Schema, []storage.Row, error) {
+// candidate is a scored seekable structure: the conservative page range its
+// leading key admits for the statement's predicates, and whether its leaf
+// carries every needed column.
+type candidate struct {
+	h        *segHandle
+	si       *index.SegmentIndex
+	lo, hi   int
+	score    int64
+	covering bool
+}
+
+// planAccess picks the cheapest seekable structure for a statement, or nil
+// when no sargable predicate beats a full heap scan's page count. The plan
+// logic is shared by the eager access path and the streaming cursors, so
+// both take identical access paths for identical statements.
+func (st *Store) planAccess(table string, preds []workload.Predicate, needed []string) (*index.SegmentIndex, *candidate, error) {
 	key := strings.ToLower(table)
 	heapH := st.heaps[key]
 	if heapH == nil {
@@ -223,16 +228,7 @@ func (st *Store) access(rs *runState, table string, preds []workload.Predicate, 
 	if err != nil {
 		return nil, nil, err
 	}
-
-	type candidate struct {
-		h        *segHandle
-		si       *index.SegmentIndex
-		lo, hi   int
-		score    int64
-		covering bool
-	}
 	var best *candidate
-	heapPages := heap.Seg.PhysicalPages()
 	for _, h := range st.secs[key] {
 		if len(h.def.KeyCols) == 0 {
 			continue
@@ -259,6 +255,26 @@ func (st *Store) access(rs *runState, table string, preds []workload.Predicate, 
 			best = &cc
 		}
 	}
+	if best != nil && best.score >= heap.Seg.PhysicalPages() {
+		best = nil
+	}
+	return heap, best, nil
+}
+
+// access produces the driving-table rows for a statement eagerly: a
+// leading-key seek over the cheapest seekable structure when a sargable
+// predicate allows it, otherwise a full heap scan — every visited page fully
+// decoded. Rows always come back in insertion (RID) order, projected onto
+// the chosen structure's columns (the full table schema except for covering
+// secondary serves), so downstream operators see exactly what the plain-row
+// oracle sees. Streaming statements use accessStream instead; this path
+// remains for writes and as the SetEagerDecode baseline.
+func (st *Store) access(rs *runState, table string, preds []workload.Predicate, needed []string) (*storage.Schema, []storage.Row, error) {
+	heap, best, err := st.planAccess(table, preds, needed)
+	if err != nil {
+		return nil, nil, err
+	}
+	heapPages := heap.Seg.PhysicalPages()
 	scan := func() (*storage.Schema, []storage.Row, error) {
 		// Full heap scan: pages decode in insertion order, full schema.
 		rows, err := rs.readRange(heap.Seg, 0, heap.Seg.NumPages())
@@ -268,7 +284,7 @@ func (st *Store) access(rs *runState, table string, preds []workload.Predicate, 
 		rs.paths = append(rs.paths, fmt.Sprintf("seg-scan %s (%d pages)", table, heap.Seg.NumPages()))
 		return heap.Schema(), rows, nil
 	}
-	if best == nil || best.score >= heapPages {
+	if best == nil {
 		return scan()
 	}
 
@@ -517,87 +533,78 @@ func (st *Store) neededCols(q *workload.Query, table string) []string {
 	return q.ColumnsOn(table, has)
 }
 
+// runAggregate pulls the driving-table stream through join → filter →
+// group accumulation. Float sums make the accumulation order-sensitive, so
+// the stream is opened ordered: every batch arrives in insertion (RID)
+// order and the result stays byte-identical to the oracle's.
 func (st *Store) runAggregate(rs *runState, q *workload.Query) (*Result, error) {
 	fact := q.Tables[0]
 	has := func(tbl, col string) bool {
 		t := st.db.Table(tbl)
 		return t != nil && t.Schema.Has(col)
 	}
-	factSchema, factRows, err := st.access(rs, fact, q.PredsOn(fact, has), st.neededCols(q, fact))
+	src, err := st.accessStream(rs, fact, q.PredsOn(fact, has), st.neededCols(q, fact), true)
 	if err != nil {
 		return nil, err
 	}
-	mv := &index.MVDef{
-		Name:    "q",
-		Fact:    fact,
-		Joins:   q.Joins,
-		Where:   q.Preds,
-		GroupBy: q.GroupBy,
-		Aggs:    q.Aggs,
-	}
-	schema, rows, err := index.MaterializeMVWith(st.db, mv, factSchema, factRows, st.fetch(rs))
+	jn, err := index.NewJoiner(st.db, fact, src.schema, q.Joins, st.fetch(rs))
 	if err != nil {
 		return nil, err
 	}
-	keep := make([]string, 0, len(schema.Columns))
-	for _, c := range schema.Columns {
-		if c.Name != "__count" {
-			keep = append(keep, c.Name)
-		}
+	flt, err := index.NewRowFilter(jn.Schema(), q.Preds)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
-	if len(q.OrderBy) > 0 {
-		if err := orderBy(res, q.OrderBy); err != nil {
-			return nil, err
-		}
-	} else {
-		sortCanonical(res)
+	acc, err := index.NewGroupAcc(jn.Schema(), q.GroupBy, q.Aggs)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	if err := src.forEach(func(r storage.Row) error {
+		wide, ok := jn.JoinRow(r)
+		if ok && flt.Keep(wide) {
+			acc.Add(wide)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	schema, rows := acc.Finish()
+	return finishAggregate(schema, rows, q)
 }
 
+// runProjection pulls the driving-table stream through join → filter and
+// collects the survivors. Without an ORDER BY the shared shaping tail
+// canonicalizes the output, so the stream may deliver in whatever order the
+// access path produces (covering seeks skip order restoration entirely);
+// with one, ordered delivery keeps tie-breaking identical to the oracle's.
 func (st *Store) runProjection(rs *runState, q *workload.Query) (*Result, error) {
 	fact := q.Tables[0]
 	has := func(tbl, col string) bool {
 		t := st.db.Table(tbl)
 		return t != nil && t.Schema.Has(col)
 	}
-	factSchema, factRows, err := st.access(rs, fact, q.PredsOn(fact, has), st.neededCols(q, fact))
+	src, err := st.accessStream(rs, fact, q.PredsOn(fact, has), st.neededCols(q, fact), len(q.OrderBy) > 0)
 	if err != nil {
 		return nil, err
 	}
-	schema, rows, err := index.JoinRowsWith(st.db, fact, factSchema, factRows, q.Joins, st.fetch(rs))
+	jn, err := index.NewJoiner(st.db, fact, src.schema, q.Joins, st.fetch(rs))
 	if err != nil {
 		return nil, err
 	}
-	rows, err = index.FilterRows(schema, rows, q.Preds)
+	flt, err := index.NewRowFilter(jn.Schema(), q.Preds)
 	if err != nil {
 		return nil, err
 	}
-	cols := q.Select
-	if len(cols) == 0 {
-		t := st.db.MustTable(fact)
-		for _, c := range t.Schema.Names() {
-			cols = append(cols, workload.ColRef{Table: fact, Col: c})
+	var rows []storage.Row
+	if err := src.forEach(func(r storage.Row) error {
+		if wide, ok := jn.JoinRow(r); ok && flt.Keep(wide) {
+			rows = append(rows, wide)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	keep := make([]string, 0, len(cols))
-	for _, c := range cols {
-		name, err := resolveName(schema, c)
-		if err != nil {
-			return nil, err
-		}
-		keep = append(keep, name)
-	}
-	res := &Result{Schema: schema.Project(keep), Rows: projectRows(schema, rows, keep)}
-	if len(q.OrderBy) > 0 {
-		if err := orderBy(res, q.OrderBy); err != nil {
-			return nil, err
-		}
-	} else {
-		sortCanonical(res)
-	}
-	return res, nil
+	return finishProjection(st.db, fact, jn.Schema(), rows, q)
 }
 
 // RunUpdate applies a predicated UPDATE through the page store: qualifying

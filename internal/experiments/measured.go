@@ -75,9 +75,10 @@ type MeasuredExec struct {
 	// EstReads is the optimizer plan's page-read estimate under the design.
 	EstReads float64
 	// CountedReads is the executor's physical PageReads counter.
-	CountedReads  int64
-	PagesDecoded  int64
-	TuplesDecoded int64
+	CountedReads   int64
+	PagesDecoded   int64
+	TuplesDecoded  int64
+	ColumnsDecoded int64
 	// Identical reports byte-identical rows (queries) or equal affected-row
 	// counts (writes) against the oracle.
 	Identical bool
@@ -125,6 +126,7 @@ func MeasuredExecution(mkdb func() *catalog.Database, wl *workload.Workload, def
 			me.CountedReads = got.IO.PageReads
 			me.PagesDecoded = got.IO.PagesDecoded
 			me.TuplesDecoded = got.IO.TuplesDecoded
+			me.ColumnsDecoded = got.IO.ColumnsDecoded
 			me.Identical = resultsIdentical(got, want)
 		case s.Update != nil:
 			me.IsWrite = true
@@ -136,7 +138,8 @@ func MeasuredExecution(mkdb func() *catalog.Database, wl *workload.Workload, def
 			if err != nil {
 				return nil, fmt.Errorf("%s: store: %w", s.Label, err)
 			}
-			me.CountedReads, me.PagesDecoded, me.TuplesDecoded = io.PageReads, io.PagesDecoded, io.TuplesDecoded
+			me.CountedReads, me.PagesDecoded = io.PageReads, io.PagesDecoded
+			me.TuplesDecoded, me.ColumnsDecoded = io.TuplesDecoded, io.ColumnsDecoded
 			me.Identical = got == want
 			// Writes invalidate the optimizer's premise too: refresh stats.
 			cm.ResetCostCache()
@@ -150,7 +153,8 @@ func MeasuredExecution(mkdb func() *catalog.Database, wl *workload.Workload, def
 			if err != nil {
 				return nil, fmt.Errorf("%s: store: %w", s.Label, err)
 			}
-			me.CountedReads, me.PagesDecoded, me.TuplesDecoded = io.PageReads, io.PagesDecoded, io.TuplesDecoded
+			me.CountedReads, me.PagesDecoded = io.PageReads, io.PagesDecoded
+			me.TuplesDecoded, me.ColumnsDecoded = io.TuplesDecoded, io.ColumnsDecoded
 			me.Identical = got == want
 			cm.ResetCostCache()
 		}

@@ -4,7 +4,12 @@ import (
 	"math"
 	"testing"
 
+	"cadb/internal/catalog"
 	"cadb/internal/compress"
+	"cadb/internal/exec"
+	"cadb/internal/index"
+	"cadb/internal/workload"
+	"cadb/internal/workloads"
 )
 
 // TestMeasuredSizesWithinTolerance pins the acceptance bound: materialized
@@ -76,6 +81,73 @@ func TestMeasuredExecutionIdenticalAcrossScenarios(t *testing.T) {
 		}
 		if counted == 0 || est == 0 {
 			t.Errorf("%s: degenerate I/O totals (est=%g counted=%d)", scen.Name, est, counted)
+		}
+	}
+}
+
+// TestMeasuredDecodeBudgetPAGE is the decode-budget regression guard: with
+// the fact table stored under PAGE compression, every selective single-table
+// filter query of the built-in TPC-H and Sales select workloads must decode
+// strictly fewer tuples than the rows it scans — predicate pushdown into the
+// page decode, visible in the executor's own counters. (Short-mode friendly
+// so CI always runs it.)
+func TestMeasuredDecodeBudgetPAGE(t *testing.T) {
+	sc := QuickScale()
+	cases := []struct {
+		name string
+		fact string
+		db   *catalog.Database
+		wl   *workload.Workload
+		defs []*index.Def
+	}{
+		{
+			name: "tpch", fact: "lineitem",
+			db: newTPCHAt(sc),
+			wl: workloads.SelectIntensive(workloads.MustTPCH()),
+			defs: []*index.Def{
+				{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Clustered: true, Method: compress.Page},
+			},
+		},
+		{
+			name: "sales", fact: "sales",
+			db: newSalesAt(sc),
+			wl: workloads.SelectIntensive(workloads.MustSales(sc.Seed)),
+			defs: []*index.Def{
+				{Table: "sales", KeyCols: []string{"orderdate"}, Clustered: true, Method: compress.Page},
+			},
+		},
+	}
+	for _, c := range cases {
+		st, err := exec.NewStore(c.db, c.defs)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		factRows := int64(len(c.db.MustTable(c.fact).Rows))
+		checked := 0
+		for _, s := range c.wl.Statements {
+			q := s.Query
+			if q == nil || len(q.Tables) != 1 || q.Tables[0] != c.fact || len(q.Preds) == 0 {
+				continue
+			}
+			match, err := exec.CountMatching(c.db, c.fact, q.Preds)
+			if err != nil {
+				t.Fatalf("%s %s: %v", c.name, s.Label, err)
+			}
+			if match*2 > factRows {
+				continue // not selective enough for the guard to be meaningful
+			}
+			res, err := st.RunQuery(q)
+			if err != nil {
+				t.Fatalf("%s %s: %v", c.name, s.Label, err)
+			}
+			if res.IO.TuplesDecoded >= factRows {
+				t.Errorf("%s %s: decoded %d tuples over a %d-row fact table (%d qualifying) — pushdown regressed",
+					c.name, s.Label, res.IO.TuplesDecoded, factRows, match)
+			}
+			checked++
+		}
+		if checked == 0 {
+			t.Fatalf("%s: workload has no selective single-table filter queries to guard", c.name)
 		}
 	}
 }

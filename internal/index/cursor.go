@@ -1,0 +1,127 @@
+package index
+
+import (
+	"sort"
+
+	"cadb/internal/storage"
+)
+
+// Batch is one page's worth of cursor output: the surviving rows projected
+// onto the cursor's needed columns, plus where each row came from — the
+// page-local slot and the segment-wide row offset (RID). Access paths use
+// the (page, slot) positions to restore insertion order with a bounded
+// merge instead of a global sort.
+type Batch struct {
+	Page  int
+	Rows  []storage.Row
+	Slots []int
+	RIDs  []int64
+}
+
+// pageWork is one page visit: slots == nil decodes the whole page, otherwise
+// only the listed slots (ascending).
+type pageWork struct {
+	page  int
+	slots []int
+}
+
+// Cursor streams column-selective page decodes out of a segment index. Each
+// NextBatch call reads and decodes pages until one yields rows (pages whose
+// rows are all filtered out by the pushed predicates cost their read and a
+// metadata-level decode, but materialize nothing). I/O is accounted into the
+// stats sink as it happens, so a partially consumed cursor reports only the
+// work actually done.
+type Cursor struct {
+	seg  *storage.Segment
+	spec *storage.DecodeSpec
+	work []pageWork
+	at   int
+	io   *storage.IOStats
+}
+
+// ScanCursor streams every page in order — the full-scan access path.
+func (si *SegmentIndex) ScanCursor(spec *storage.DecodeSpec, io *storage.IOStats) *Cursor {
+	return si.PageRangeCursor(0, si.Seg.NumPages(), spec, io)
+}
+
+// SeekCursor streams the conservative page range that can hold leading keys
+// in [loKey, hiKey], using the per-page low keys to skip pages before any
+// decode (see SeekPages).
+func (si *SegmentIndex) SeekCursor(loKey storage.Value, hasLo bool, hiKey storage.Value, hasHi bool, spec *storage.DecodeSpec, io *storage.IOStats) *Cursor {
+	lo, hi := si.SeekPages(loKey, hasLo, hiKey, hasHi)
+	return si.PageRangeCursor(lo, hi, spec, io)
+}
+
+// PageRangeCursor streams the half-open page range [lo, hi).
+func (si *SegmentIndex) PageRangeCursor(lo, hi int, spec *storage.DecodeSpec, io *storage.IOStats) *Cursor {
+	work := make([]pageWork, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		work = append(work, pageWork{page: p})
+	}
+	return &Cursor{seg: si.Seg, spec: spec, work: work, io: io}
+}
+
+// RIDCursor streams exactly the rows at the given segment offsets (sorted
+// ascending), visiting each page once with a slot filter — the batched heap
+// lookup half of a non-covering index seek.
+func (si *SegmentIndex) RIDCursor(rids []int64, spec *storage.DecodeSpec, io *storage.IOStats) *Cursor {
+	if !sort.SliceIsSorted(rids, func(i, j int) bool { return rids[i] < rids[j] }) {
+		rids = append([]int64(nil), rids...)
+		sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+	}
+	var work []pageWork
+	for i := 0; i < len(rids); {
+		p := si.Seg.PageForRow(rids[i])
+		if p < 0 {
+			i++
+			continue
+		}
+		start := si.Seg.PageStartRow(p)
+		end := start + int64(si.Seg.PageRows(p))
+		var slots []int
+		for ; i < len(rids) && rids[i] < end; i++ {
+			sl := int(rids[i] - start)
+			if len(slots) == 0 || slots[len(slots)-1] != sl {
+				slots = append(slots, sl)
+			}
+		}
+		work = append(work, pageWork{page: p, slots: slots})
+	}
+	return &Cursor{seg: si.Seg, spec: spec, work: work, io: io}
+}
+
+// NumPages returns how many pages the cursor will visit in total.
+func (c *Cursor) NumPages() int { return len(c.work) }
+
+// NextBatch returns the next non-empty batch, or nil when the cursor is
+// exhausted.
+func (c *Cursor) NextBatch() (*Batch, error) {
+	for c.at < len(c.work) {
+		w := c.work[c.at]
+		c.at++
+		c.io.PageReads += c.seg.Page(w.page).PhysicalPages()
+		spec := c.spec
+		if w.slots != nil {
+			s := *c.spec
+			s.Slots = w.slots
+			spec = &s
+		}
+		dp, err := c.seg.DecodeColumnsPage(w.page, spec)
+		if err != nil {
+			return nil, err
+		}
+		c.io.PagesDecoded++
+		c.io.TuplesDecoded += dp.TuplesDecoded
+		c.io.ColumnsDecoded += dp.ColumnsDecoded
+		if len(dp.Rows) == 0 {
+			continue
+		}
+		start := c.seg.PageStartRow(w.page)
+		rids := make([]int64, len(dp.Slots))
+		for i, sl := range dp.Slots {
+			rids[i] = start + int64(sl)
+		}
+		return &Batch{Page: w.page, Rows: dp.Rows, Slots: dp.Slots, RIDs: rids}, nil
+	}
+	return nil, nil
+}

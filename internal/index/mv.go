@@ -84,10 +84,43 @@ func JoinRowsWith(db *catalog.Database, fact string, factSchema *storage.Schema,
 	if factSchema == nil {
 		factSchema, factRows = ft.Schema, ft.Rows
 	}
+	jn, err := NewJoiner(db, fact, factSchema, joins, fetch)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]storage.Row, 0, len(factRows))
+	for _, r := range factRows {
+		if wide, ok := jn.JoinRow(r); ok {
+			out = append(out, wide)
+		}
+	}
+	return jn.Schema(), out, nil
+}
 
+// Joiner is the streaming form of JoinRowsWith: the dimension hash tables
+// are built once up front, then fact rows widen one at a time. Both the
+// plain-row oracle and the segment-backed executor run their rows through
+// this same probe code, so join behavior (and the resulting float-sum
+// order downstream) cannot diverge between them.
+type Joiner struct {
+	schema *storage.Schema
+	steps  []joinStep
+}
+
+type joinStep struct {
+	hash     map[storage.ValueKey]storage.Row
+	probeIdx int
+}
+
+// NewJoiner resolves the join chain against the database, fetching each
+// dimension (through fetch when given) and hashing it on its key. The fact
+// schema is the shape of the rows that will be fed to JoinRow — possibly a
+// pruned projection of the table when the access path pushes the needed
+// column set down.
+func NewJoiner(db *catalog.Database, fact string, factSchema *storage.Schema, joins []workload.Join, fetch TableFetch) (*Joiner, error) {
 	// Start with the fact table, columns renamed to fact_col.
 	curCols := qualifyColumns(fact, factSchema.Columns)
-	curRows := factRows
+	steps := make([]joinStep, 0, len(joins))
 
 	for _, j := range joins {
 		dimName, dimCol, factCol := j.RightTable, j.RightCol, j.LeftCol
@@ -103,20 +136,20 @@ func JoinRowsWith(db *catalog.Database, fact string, factSchema *storage.Schema,
 		}
 		dim := db.Table(dimName)
 		if dim == nil {
-			return nil, nil, fmt.Errorf("index: unknown dimension table %q", dimName)
+			return nil, fmt.Errorf("index: unknown dimension table %q", dimName)
 		}
 		dimSchema, dimRows := dim.Schema, dim.Rows
 		if fetch != nil {
 			var err error
 			dimSchema, dimRows, err = fetch(dimName)
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 		}
 		// Hash the dimension on its key.
 		dimKey := dimSchema.ColIndex(dimCol)
 		if dimKey < 0 {
-			return nil, nil, fmt.Errorf("index: %s has no column %q", dimName, dimCol)
+			return nil, fmt.Errorf("index: %s has no column %q", dimName, dimCol)
 		}
 		hash := make(map[storage.ValueKey]storage.Row, len(dimRows))
 		for _, r := range dimRows {
@@ -125,24 +158,32 @@ func JoinRowsWith(db *catalog.Database, fact string, factSchema *storage.Schema,
 		// Probe side column index in the current wide row.
 		probeIdx := indexOfQualified(curCols, fact, factCol)
 		if probeIdx < 0 {
-			return nil, nil, fmt.Errorf("index: join column %q not found in joined row", factCol)
+			return nil, fmt.Errorf("index: join column %q not found in joined row", factCol)
 		}
-		newCols := append(append([]storage.Column{}, curCols...), qualifyColumns(dimName, dimSchema.Columns)...)
-		out := make([]storage.Row, 0, len(curRows))
-		for _, r := range curRows {
-			m, ok := hash[r[probeIdx].Key()]
-			if !ok {
-				continue
-			}
-			wide := make(storage.Row, 0, len(newCols))
-			wide = append(wide, r...)
-			wide = append(wide, m...)
-			out = append(out, wide)
-		}
-		curCols = newCols
-		curRows = out
+		steps = append(steps, joinStep{hash: hash, probeIdx: probeIdx})
+		curCols = append(curCols, qualifyColumns(dimName, dimSchema.Columns)...)
 	}
-	return storage.NewSchema(curCols...), curRows, nil
+	return &Joiner{schema: storage.NewSchema(curCols...), steps: steps}, nil
+}
+
+// Schema returns the wide table_col-named schema JoinRow produces.
+func (jn *Joiner) Schema() *storage.Schema { return jn.schema }
+
+// JoinRow widens one fact row through every join step. ok=false means the
+// row found no dimension match and is dropped (inner-join semantics).
+func (jn *Joiner) JoinRow(r storage.Row) (wide storage.Row, ok bool) {
+	wide = r
+	for _, st := range jn.steps {
+		m, found := st.hash[wide[st.probeIdx].Key()]
+		if !found {
+			return nil, false
+		}
+		nw := make(storage.Row, 0, len(wide)+len(m))
+		nw = append(nw, wide...)
+		nw = append(nw, m...)
+		wide = nw
+	}
+	return wide, true
 }
 
 func qualifyColumns(table string, cols []storage.Column) []storage.Column {
@@ -172,36 +213,59 @@ func indexOfQualified(cols []storage.Column, table, col string) int {
 // unqualified (col) or qualified (table.col), both resolved against the wide
 // schema's table_col naming.
 func FilterRows(s *storage.Schema, rows []storage.Row, preds []workload.Predicate) ([]storage.Row, error) {
-	if len(preds) == 0 {
+	f, err := NewRowFilter(s, preds)
+	if err != nil {
+		return nil, err
+	}
+	if f.Empty() {
 		return rows, nil
 	}
-	type bound struct {
-		idx int
-		p   workload.Predicate
+	out := make([]storage.Row, 0, len(rows))
+	for _, r := range rows {
+		if f.Keep(r) {
+			out = append(out, r)
+		}
 	}
-	bounds := make([]bound, 0, len(preds))
+	return out, nil
+}
+
+// RowFilter is the streaming form of FilterRows: predicate columns resolve
+// against the schema once, then rows are tested one at a time.
+type RowFilter struct {
+	bounds []predBound
+}
+
+type predBound struct {
+	idx int
+	p   workload.Predicate
+}
+
+// NewRowFilter resolves every predicate column against the schema, failing
+// on unknown columns exactly as FilterRows does.
+func NewRowFilter(s *storage.Schema, preds []workload.Predicate) (*RowFilter, error) {
+	f := &RowFilter{bounds: make([]predBound, 0, len(preds))}
 	for _, p := range preds {
 		idx := resolveCol(s, p.Table, p.Col)
 		if idx < 0 {
 			return nil, fmt.Errorf("index: predicate column %q not found", p.Col)
 		}
-		bounds = append(bounds, bound{idx: idx, p: p})
+		f.bounds = append(f.bounds, predBound{idx: idx, p: p})
 	}
-	out := make([]storage.Row, 0, len(rows))
-	for _, r := range rows {
-		ok := true
-		for _, b := range bounds {
-			v := r[b.idx]
-			if v.Null || !cmpMatches(b.p, v) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, r)
+	return f, nil
+}
+
+// Empty reports whether the filter has no predicates (every row passes).
+func (f *RowFilter) Empty() bool { return len(f.bounds) == 0 }
+
+// Keep reports whether the row satisfies every predicate (NULLs never do).
+func (f *RowFilter) Keep(r storage.Row) bool {
+	for _, b := range f.bounds {
+		v := r[b.idx]
+		if v.Null || !cmpMatches(b.p, v) {
+			return false
 		}
 	}
-	return out, nil
+	return true
 }
 
 func cmpMatches(p workload.Predicate, v storage.Value) bool {
@@ -252,92 +316,134 @@ func resolveCol(s *storage.Schema, table, col string) int {
 // groupRows groups by the given columns and computes the aggregates plus the
 // hidden __count column.
 func groupRows(s *storage.Schema, rows []storage.Row, groupBy []workload.ColRef, aggs []workload.Aggregate) (*storage.Schema, []storage.Row, error) {
-	gIdx := make([]int, len(groupBy))
+	ga, err := NewGroupAcc(s, groupBy, aggs)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range rows {
+		ga.Add(r)
+	}
+	schema, out := ga.Finish()
+	return schema, out, nil
+}
+
+// GroupAcc is the streaming form of groupRows: a grouping/aggregation
+// accumulator fed one wide row at a time. Because the oracle and the
+// segment-backed executor accumulate through this same code, feeding rows
+// in the same order yields bit-identical float sums — the property the
+// byte-identity differential tests pin down. Groups are emitted in first-
+// appearance order.
+type GroupAcc struct {
+	s       *storage.Schema
+	groupBy []workload.ColRef
+	aggs    []workload.Aggregate
+	gIdx    []int
+	aIdx    []int
+	groups  map[string]*groupState
+	order   []*groupState
+	kb      []byte
+}
+
+type groupState struct {
+	key   storage.Row
+	sums  []float64
+	mins  []storage.Value
+	maxs  []storage.Value
+	nvals []int64
+	count int64
+}
+
+// NewGroupAcc resolves the group-by and aggregate columns against the wide
+// schema.
+func NewGroupAcc(s *storage.Schema, groupBy []workload.ColRef, aggs []workload.Aggregate) (*GroupAcc, error) {
+	ga := &GroupAcc{
+		s:       s,
+		groupBy: groupBy,
+		aggs:    aggs,
+		gIdx:    make([]int, len(groupBy)),
+		aIdx:    make([]int, len(aggs)),
+		groups:  make(map[string]*groupState, 1024),
+		order:   make([]*groupState, 0, 1024),
+	}
 	for i, g := range groupBy {
-		gIdx[i] = resolveCol(s, g.Table, g.Col)
-		if gIdx[i] < 0 {
-			return nil, nil, fmt.Errorf("index: group-by column %q not found", g.String())
+		ga.gIdx[i] = resolveCol(s, g.Table, g.Col)
+		if ga.gIdx[i] < 0 {
+			return nil, fmt.Errorf("index: group-by column %q not found", g.String())
 		}
 	}
-	aIdx := make([]int, len(aggs))
 	for i, a := range aggs {
 		if a.Col.Col == "" { // COUNT(*)
-			aIdx[i] = -1
+			ga.aIdx[i] = -1
 			continue
 		}
-		aIdx[i] = resolveCol(s, a.Col.Table, a.Col.Col)
-		if aIdx[i] < 0 {
-			return nil, nil, fmt.Errorf("index: aggregate column %q not found", a.Col.String())
+		ga.aIdx[i] = resolveCol(s, a.Col.Table, a.Col.Col)
+		if ga.aIdx[i] < 0 {
+			return nil, fmt.Errorf("index: aggregate column %q not found", a.Col.String())
 		}
 	}
+	return ga, nil
+}
 
-	type acc struct {
-		key   storage.Row
-		sums  []float64
-		mins  []storage.Value
-		maxs  []storage.Value
-		nvals []int64
-		count int64
+// Add folds one row into its group.
+func (ga *GroupAcc) Add(r storage.Row) {
+	ga.kb = ga.kb[:0]
+	for _, gi := range ga.gIdx {
+		ga.kb = appendGroupKey(ga.kb, r[gi])
 	}
-	groups := make(map[string]*acc, 1024)
-	order := make([]*acc, 0, 1024)
-	var kb []byte
-	for _, r := range rows {
-		kb = kb[:0]
-		for _, gi := range gIdx {
-			kb = appendGroupKey(kb, r[gi])
+	a, ok := ga.groups[string(ga.kb)]
+	if !ok {
+		a = &groupState{
+			key:   make(storage.Row, len(ga.gIdx)),
+			sums:  make([]float64, len(ga.aggs)),
+			mins:  make([]storage.Value, len(ga.aggs)),
+			maxs:  make([]storage.Value, len(ga.aggs)),
+			nvals: make([]int64, len(ga.aggs)),
 		}
-		a, ok := groups[string(kb)]
-		if !ok {
-			a = &acc{
-				key:   make(storage.Row, len(gIdx)),
-				sums:  make([]float64, len(aggs)),
-				mins:  make([]storage.Value, len(aggs)),
-				maxs:  make([]storage.Value, len(aggs)),
-				nvals: make([]int64, len(aggs)),
-			}
-			for i, gi := range gIdx {
-				a.key[i] = r[gi]
-			}
-			groups[string(kb)] = a
-			order = append(order, a)
+		for i, gi := range ga.gIdx {
+			a.key[i] = r[gi]
 		}
-		a.count++
-		for i := range aggs {
-			if aIdx[i] < 0 {
-				continue
-			}
-			v := r[aIdx[i]]
-			if v.Null {
-				continue
-			}
-			f := numeric(v)
-			a.sums[i] += f
-			if a.nvals[i] == 0 || v.Compare(a.mins[i]) < 0 {
-				a.mins[i] = v
-			}
-			if a.nvals[i] == 0 || v.Compare(a.maxs[i]) > 0 {
-				a.maxs[i] = v
-			}
-			a.nvals[i]++
-		}
+		ga.groups[string(ga.kb)] = a
+		ga.order = append(ga.order, a)
 	}
+	a.count++
+	for i := range ga.aggs {
+		if ga.aIdx[i] < 0 {
+			continue
+		}
+		v := r[ga.aIdx[i]]
+		if v.Null {
+			continue
+		}
+		f := numeric(v)
+		a.sums[i] += f
+		if a.nvals[i] == 0 || v.Compare(a.mins[i]) < 0 {
+			a.mins[i] = v
+		}
+		if a.nvals[i] == 0 || v.Compare(a.maxs[i]) > 0 {
+			a.maxs[i] = v
+		}
+		a.nvals[i]++
+	}
+}
 
-	// Output schema: group-by columns, aggregate columns, hidden __count.
+// Finish materializes the grouped output: group-by columns (renamed to
+// their canonical qualified form), aggregate columns, and the hidden
+// __count column.
+func (ga *GroupAcc) Finish() (*storage.Schema, []storage.Row) {
 	var cols []storage.Column
-	for i, gi := range gIdx {
-		c := s.Columns[gi]
-		c.Name = QualifiedCol(groupBy[i])
+	for i, gi := range ga.gIdx {
+		c := ga.s.Columns[gi]
+		c.Name = QualifiedCol(ga.groupBy[i])
 		cols = append(cols, c)
 	}
-	for i, a := range aggs {
+	for i, a := range ga.aggs {
 		name := fmt.Sprintf("%s_%s", strings.ToLower(a.Func.String()), QualifiedCol(a.Col))
 		if a.Col.Col == "" {
 			name = "count_star"
 		}
 		kind := storage.KindFloat
-		if (a.Func == workload.AggMin || a.Func == workload.AggMax) && aIdx[i] >= 0 {
-			kind = s.Columns[aIdx[i]].Kind
+		if (a.Func == workload.AggMin || a.Func == workload.AggMax) && ga.aIdx[i] >= 0 {
+			kind = ga.s.Columns[ga.aIdx[i]].Kind
 		}
 		if a.Func == workload.AggCount {
 			kind = storage.KindInt
@@ -347,11 +453,11 @@ func groupRows(s *storage.Schema, rows []storage.Row, groupBy []workload.ColRef,
 	cols = append(cols, storage.Column{Name: "__count", Kind: storage.KindInt})
 	outSchema := storage.NewSchema(cols...)
 
-	out := make([]storage.Row, 0, len(order))
-	for _, a := range order {
+	out := make([]storage.Row, 0, len(ga.order))
+	for _, a := range ga.order {
 		row := make(storage.Row, 0, len(cols))
 		row = append(row, a.key...)
-		for i, ag := range aggs {
+		for i, ag := range ga.aggs {
 			switch ag.Func {
 			case workload.AggSum:
 				row = append(row, storage.FloatVal(a.sums[i]))
@@ -363,7 +469,7 @@ func groupRows(s *storage.Schema, rows []storage.Row, groupBy []workload.ColRef,
 				}
 			case workload.AggCount:
 				n := a.count
-				if aIdx[i] >= 0 {
+				if ga.aIdx[i] >= 0 {
 					n = a.nvals[i]
 				}
 				row = append(row, storage.IntVal(n))
@@ -376,7 +482,7 @@ func groupRows(s *storage.Schema, rows []storage.Row, groupBy []workload.ColRef,
 		row = append(row, storage.IntVal(a.count))
 		out = append(out, row)
 	}
-	return outSchema, out, nil
+	return outSchema, out
 }
 
 func orNull(v storage.Value, n int64) storage.Value {

@@ -1,0 +1,165 @@
+package storage
+
+// This file is the column-selective half of the codec contract: the decode
+// spec an access path pushes down into PageCodec.DecodeColumns, the batch it
+// gets back, and the I/O counters every segment-backed execution reports.
+// Predicates are expressed against column ordinals with bounds already
+// coerced to the column kind, so codecs can evaluate them without knowing
+// anything about query syntax or name resolution.
+
+// IOStats counts the physical work of a segment-backed execution.
+type IOStats struct {
+	// PageReads is the number of physical page accesses (an overflow run
+	// counts once per page; a page re-read by a later RID batch counts
+	// again).
+	PageReads int64
+	// PagesDecoded is the number of pages run through a codec (cache hits
+	// within one statement don't decode twice).
+	PagesDecoded int64
+	// TuplesDecoded is the number of rows materialized by those decodes.
+	TuplesDecoded int64
+	// ColumnsDecoded is the number of per-page column payloads materialized:
+	// a full decode of a page with C columns counts C, a selective decode
+	// counts only the columns actually evaluated or reconstructed.
+	ColumnsDecoded int64
+}
+
+// Add accumulates another stats bucket.
+func (io *IOStats) Add(o IOStats) {
+	io.PageReads += o.PageReads
+	io.PagesDecoded += o.PagesDecoded
+	io.TuplesDecoded += o.TuplesDecoded
+	io.ColumnsDecoded += o.ColumnsDecoded
+}
+
+// PredOp enumerates the comparison operators a pushed-down predicate can
+// carry. The set mirrors workload.CmpOp; the executor translates between
+// them when it compiles a predicate against a concrete schema.
+type PredOp uint8
+
+const (
+	PredEq PredOp = iota
+	PredNe
+	PredLt
+	PredLe
+	PredGt
+	PredGe
+	PredBetween
+)
+
+// ColPredicate is a comparison against one column, resolved to an ordinal
+// with bounds pre-coerced to the column kind. Lo is the operand for every
+// operator; Hi is used only by PredBetween.
+type ColPredicate struct {
+	Col    int
+	Op     PredOp
+	Lo, Hi Value
+}
+
+// Matches evaluates the predicate against a single value with the same
+// semantics as workload.Predicate.Matches: NULL never satisfies any
+// operator (SQL three-valued logic), and bounds are compared with
+// Value.Compare.
+func (p ColPredicate) Matches(v Value) bool {
+	if v.Null {
+		return false
+	}
+	switch p.Op {
+	case PredEq:
+		return v.Compare(p.Lo) == 0
+	case PredNe:
+		return v.Compare(p.Lo) != 0
+	case PredLt:
+		return v.Compare(p.Lo) < 0
+	case PredLe:
+		return v.Compare(p.Lo) <= 0
+	case PredGt:
+		return v.Compare(p.Lo) > 0
+	case PredGe:
+		return v.Compare(p.Lo) >= 0
+	case PredBetween:
+		return v.Compare(p.Lo) >= 0 && v.Compare(p.Hi) <= 0
+	}
+	return false
+}
+
+// DecodeSpec tells a codec which columns of a page to reconstruct and which
+// predicates to apply while doing so. A row is returned only if it passes
+// every predicate (and, when Slots is set, sits on one of the listed slots).
+type DecodeSpec struct {
+	// Needed lists the column ordinals to materialize, strictly ascending.
+	// Returned rows have exactly len(Needed) values, in this order.
+	Needed []int
+	// Preds are the pushed-down predicates; all must hold (AND semantics).
+	Preds []ColPredicate
+	// Slots optionally restricts the decode to the given page-local slot
+	// numbers (strictly ascending). Nil means every slot.
+	Slots []int
+}
+
+// DecodedPage is the batch a column-selective decode returns: the surviving
+// rows (projected onto spec.Needed), the page-local slot each row came from,
+// and the decode work performed.
+type DecodedPage struct {
+	Rows  []Row
+	Slots []int
+	// TuplesDecoded is the number of rows materialized (== len(Rows)).
+	TuplesDecoded int64
+	// ColumnsDecoded is the number of per-page column payloads the codec had
+	// to run through value decoding (predicate columns and needed columns
+	// count once each; columns decided from page metadata alone don't).
+	ColumnsDecoded int64
+}
+
+// AllOrdinals returns [0, 1, ..., len(s.Columns)-1], the spec.Needed of a
+// non-selective decode.
+func (s *Schema) AllOrdinals() []int {
+	out := make([]int, len(s.Columns))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// FallbackDecodeColumns implements DecodeColumns on top of a full page
+// decode, for codecs whose physical layout is row-major (NONE, ROW) and
+// cannot skip columns. The slot filter and predicates are applied after the
+// fact; the counters charge the full decode honestly (every row, every
+// column), which is exactly what makes PAGE's selective decode visible in
+// the I/O accounting.
+func FallbackDecodeColumns(s *Schema, full []Row, spec *DecodeSpec) *DecodedPage {
+	// A full decode materializes every row and touches every column payload
+	// once per page.
+	out := &DecodedPage{
+		TuplesDecoded:  int64(len(full)),
+		ColumnsDecoded: int64(len(s.Columns)),
+	}
+	si := 0
+	for slot, r := range full {
+		if spec.Slots != nil {
+			for si < len(spec.Slots) && spec.Slots[si] < slot {
+				si++
+			}
+			if si >= len(spec.Slots) || spec.Slots[si] != slot {
+				continue
+			}
+		}
+		ok := true
+		for _, p := range spec.Preds {
+			if !p.Matches(r[p.Col]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		pr := make(Row, len(spec.Needed))
+		for j, ci := range spec.Needed {
+			pr[j] = r[ci]
+		}
+		out.Rows = append(out.Rows, pr)
+		out.Slots = append(out.Slots, slot)
+	}
+	return out
+}

@@ -14,6 +14,12 @@ type PageCodec interface {
 	EncodeRows(s *Schema, rows []Row) ([]EncodedPage, error)
 	// DecodePage reconstructs the rows of one page payload.
 	DecodePage(s *Schema, payload []byte, nrows int) ([]Row, error)
+	// DecodeColumns reconstructs only the spec.Needed columns of the rows
+	// that satisfy spec's predicates and slot filter. Codecs without a
+	// column-selective layout fall back to a full decode internally (see
+	// FallbackDecodeColumns) so the interface stays uniform; the returned
+	// counters report the work actually done.
+	DecodeColumns(s *Schema, payload []byte, nrows int, spec *DecodeSpec) (*DecodedPage, error)
 }
 
 // EncodedPage is one materialized page: the real payload bytes plus the
@@ -47,6 +53,7 @@ type Segment struct {
 	Codec  PageCodec
 
 	pages        []EncodedPage
+	starts       []int64 // starts[i] is the row offset of page i's first row
 	rows         int64
 	payloadBytes int64
 	physPages    int64
@@ -62,7 +69,9 @@ func BuildSegment(s *Schema, rows []Row, c PageCodec) (*Segment, error) {
 		return nil, err
 	}
 	seg := &Segment{Schema: s, Codec: c, pages: pages}
+	seg.starts = make([]int64, len(pages)+1)
 	for i := range pages {
+		seg.starts[i+1] = seg.starts[i] + int64(pages[i].Rows)
 		seg.rows += int64(pages[i].Rows)
 		seg.payloadBytes += int64(pages[i].AccountedBytes)
 		seg.physPages += pages[i].PhysicalPages()
@@ -93,10 +102,39 @@ func (g *Segment) Page(i int) *EncodedPage { return &g.pages[i] }
 // PageRows returns the row count of page i without decoding it.
 func (g *Segment) PageRows(i int) int { return g.pages[i].Rows }
 
+// PageStartRow returns the row offset (RID within the segment) of page i's
+// first row. PageStartRow(NumPages()) is the total row count.
+func (g *Segment) PageStartRow(i int) int64 { return g.starts[i] }
+
+// PageForRow returns the page holding the given row offset, or -1 when the
+// offset is out of range.
+func (g *Segment) PageForRow(rid int64) int {
+	if rid < 0 || rid >= g.rows {
+		return -1
+	}
+	// Binary search the page whose [start, start+rows) range covers rid.
+	lo, hi := 0, len(g.pages)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.starts[mid+1] > rid {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
 // DecodePage decodes page i back into rows.
 func (g *Segment) DecodePage(i int) ([]Row, error) {
 	p := &g.pages[i]
 	return g.Codec.DecodePage(g.Schema, p.Payload, p.Rows)
+}
+
+// DecodeColumnsPage runs a column-selective decode of page i.
+func (g *Segment) DecodeColumnsPage(i int, spec *DecodeSpec) (*DecodedPage, error) {
+	p := &g.pages[i]
+	return g.Codec.DecodeColumns(g.Schema, p.Payload, p.Rows, spec)
 }
 
 // ScanAll decodes every page in order — the full-scan access path without
