@@ -36,6 +36,7 @@ package cadb
 import (
 	"io"
 
+	"cadb/internal/bufferpool"
 	"cadb/internal/catalog"
 	"cadb/internal/compress"
 	"cadb/internal/core"
@@ -282,7 +283,8 @@ type SegmentStore = exec.Store
 type ExecResult = exec.Result
 
 // ExecIOStats counts the physical work of a segment-backed execution: page
-// reads, pages and tuples decoded, and per-page column payloads decoded.
+// reads, pages and tuples decoded, per-page column payloads decoded, and —
+// under the disk-backed path — buffer-pool hits, misses and bytes read.
 type ExecIOStats = exec.IOStats
 
 // DecodeSpec tells a page codec which columns to reconstruct and which
@@ -304,6 +306,52 @@ func BuildSegmentIndex(db *Database, d *IndexDef) (*SegmentIndex, error) {
 func NewSegmentStore(db *Database, defs []*IndexDef) (*SegmentStore, error) {
 	return exec.NewStore(db, defs)
 }
+
+// ---------------------------------------------------------------------------
+// Disk-backed segments and the buffer pool
+
+// BufferPool is a byte-budgeted page cache with pin/unpin semantics and CLOCK
+// eviction. Disk-backed segment stores fetch every page through one; pinned
+// pages are never evicted and resident bytes never exceed the configured
+// capacity.
+type BufferPool = bufferpool.Pool
+
+// BufferPoolStats are a pool's lifetime counters (hits, misses, evictions,
+// bytes read from disk, peak resident bytes).
+type BufferPoolStats = bufferpool.Stats
+
+// NewBufferPool creates a pool holding at most capacityBytes of page
+// payloads.
+func NewBufferPool(capacityBytes int64) *BufferPool { return bufferpool.New(capacityBytes) }
+
+// SegmentFile is the on-disk form of a segment: a checksummed header and
+// page directory followed by the raw page payloads, readable page-by-page
+// via ReadAt.
+type SegmentFile = storage.SegmentFile
+
+// WriteSegmentFile writes a segment's pages to disk and returns an open
+// handle.
+func WriteSegmentFile(path string, seg *Segment) (*SegmentFile, error) {
+	return storage.WriteSegmentFile(path, seg)
+}
+
+// OpenSegmentFile opens an existing segment file, validating the header
+// checksum.
+func OpenSegmentFile(path string) (*SegmentFile, error) { return storage.OpenSegmentFile(path) }
+
+// PoolPoint is one cell of the pool-size × compression-method sweep.
+type PoolPoint = experiments.PoolPoint
+
+// PoolSweepConfig sizes a PoolSweep run.
+type PoolSweepConfig = experiments.PoolSweepConfig
+
+// DefaultPoolSweepConfig is the README-documented sweep configuration.
+func DefaultPoolSweepConfig() PoolSweepConfig { return experiments.DefaultPoolSweepConfig() }
+
+// PoolSweep measures buffer-pool hit rate and wall-clock across pool sizes
+// and compression methods over disk-backed segments (the ext-pool
+// experiment's engine).
+func PoolSweep(cfg PoolSweepConfig) ([]PoolPoint, error) { return experiments.PoolSweep(cfg) }
 
 // MeasuredSize is one structure×method comparison of the size model against
 // a materialized segment (the ext-measured experiment's unit).

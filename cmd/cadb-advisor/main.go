@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wlFile   = fs.String("workload", "", "optional SQL workload file (overrides the built-in workload)")
 		par      = fs.Int("parallelism", 0, "what-if costing workers (0 = one per CPU; results are identical at any setting)")
 		verbose  = fs.Bool("verbose", false, "print per-phase timing and the estimation plan")
+		poolMB   = fs.Float64("pool", 0, "buffer pool size in MB for the -verbose per-statement replay (0 = in-memory segments); spills segments to a temp dir and reports pool hit rate and bytes read")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -157,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if rec.EstimationPlan != nil {
 			fmt.Fprintf(stdout, "\nestimation plan:\n%s", rec.EstimationPlan.Describe())
 		}
-		printStatementIO(stdout, stderr, db, wl, rec)
+		printStatementIO(stdout, stderr, db, wl, rec, *poolMB)
 	}
 	return 0
 }
@@ -165,9 +166,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 // printStatementIO materializes the recommended design and re-runs the
 // workload's queries through the segment-backed streaming executor, printing
 // each statement's counted I/O (page reads plus the pages/tuples/columns the
-// pipeline actually decoded). Write statements are skipped: replaying them
-// would mutate the database the recommendation was tuned for.
-func printStatementIO(stdout, stderr io.Writer, db *cadb.Database, wl *cadb.Workload, rec *cadb.Recommendation) {
+// pipeline actually decoded). With poolMB > 0 the segments are spilled to a
+// temp dir and served through a buffer pool of that size, and each line adds
+// the statement's pool hit rate and bytes read from disk. Write statements
+// are skipped: replaying them would mutate the database the recommendation
+// was tuned for.
+func printStatementIO(stdout, stderr io.Writer, db *cadb.Database, wl *cadb.Workload, rec *cadb.Recommendation, poolMB float64) {
 	var defs []*cadb.IndexDef
 	for _, h := range rec.Config.Indexes() {
 		defs = append(defs, h.Def)
@@ -177,8 +181,23 @@ func printStatementIO(stdout, stderr io.Writer, db *cadb.Database, wl *cadb.Work
 		fmt.Fprintln(stderr, "cadb-advisor: per-statement I/O unavailable:", err)
 		return
 	}
-	fmt.Fprintf(stdout, "\nper-statement I/O under the recommended design (queries only):\n")
-	fmt.Fprintf(stdout, "  %-32s %8s %8s %8s %10s %8s\n", "statement", "rows", "reads", "pages", "tuples", "cols")
+	pooled := poolMB > 0
+	if pooled {
+		dir, err := os.MkdirTemp("", "cadb-advisor-pool-*")
+		if err != nil {
+			fmt.Fprintln(stderr, "cadb-advisor: per-statement I/O unavailable:", err)
+			return
+		}
+		defer os.RemoveAll(dir)
+		pool := cadb.NewBufferPool(int64(poolMB * (1 << 20)))
+		st.SetDiskBacked(dir, pool)
+		defer st.Close()
+		fmt.Fprintf(stdout, "\nper-statement I/O under the recommended design (queries only; disk-backed, %.1f MB pool):\n", poolMB)
+		fmt.Fprintf(stdout, "  %-32s %8s %8s %8s %10s %8s %8s %10s\n", "statement", "rows", "reads", "pages", "tuples", "cols", "hit%", "MB-read")
+	} else {
+		fmt.Fprintf(stdout, "\nper-statement I/O under the recommended design (queries only):\n")
+		fmt.Fprintf(stdout, "  %-32s %8s %8s %8s %10s %8s\n", "statement", "rows", "reads", "pages", "tuples", "cols")
+	}
 	for _, s := range wl.Statements {
 		if s.Query == nil {
 			continue
@@ -188,9 +207,20 @@ func printStatementIO(stdout, stderr io.Writer, db *cadb.Database, wl *cadb.Work
 			fmt.Fprintf(stderr, "cadb-advisor: %s: %v\n", s.Label, err)
 			continue
 		}
-		fmt.Fprintf(stdout, "  %-32s %8d %8d %8d %10d %8d\n",
-			s.Label, len(res.Rows), res.IO.PageReads, res.IO.PagesDecoded,
-			res.IO.TuplesDecoded, res.IO.ColumnsDecoded)
+		if pooled {
+			hitRate := 0.0
+			if total := res.IO.PoolHits + res.IO.PoolMisses; total > 0 {
+				hitRate = 100 * float64(res.IO.PoolHits) / float64(total)
+			}
+			fmt.Fprintf(stdout, "  %-32s %8d %8d %8d %10d %8d %7.1f%% %10.2f\n",
+				s.Label, len(res.Rows), res.IO.PageReads, res.IO.PagesDecoded,
+				res.IO.TuplesDecoded, res.IO.ColumnsDecoded,
+				hitRate, float64(res.IO.BytesRead)/(1<<20))
+		} else {
+			fmt.Fprintf(stdout, "  %-32s %8d %8d %8d %10d %8d\n",
+				s.Label, len(res.Rows), res.IO.PageReads, res.IO.PagesDecoded,
+				res.IO.TuplesDecoded, res.IO.ColumnsDecoded)
+		}
 	}
 }
 

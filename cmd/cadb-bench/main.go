@@ -8,9 +8,10 @@
 //
 //	cadb-bench        # writes BENCH_enumerate.json + BENCH_sizing.json +
 //	                  #        BENCH_update.json + BENCH_measured.json +
-//	                  #        BENCH_exec.json
-//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json -measured-out measured.json -exec-out exec.json
+//	                  #        BENCH_exec.json + BENCH_pool.json
+//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json -measured-out measured.json -exec-out exec.json -pool-out pool.json
 //	cadb-bench -n 5 -quiet
+//	cadb-bench -scale 125 -pool-rows 1000000   # million-row pool sweep
 package main
 
 import (
@@ -51,6 +52,11 @@ func main() {
 		updateOut   = flag.String("update-out", "BENCH_update.json", "update-mix benchmark output JSON path")
 		measuredOut = flag.String("measured-out", "BENCH_measured.json", "measured-vs-estimated benchmark output JSON path")
 		execOut     = flag.String("exec-out", "BENCH_exec.json", "streaming-execution benchmark output JSON path")
+		poolOut     = flag.String("pool-out", "BENCH_pool.json", "buffer-pool sweep output JSON path")
+		scale       = flag.Float64("scale", 1, "row-count multiplier applied to -rows (reaches 1e6 rows and beyond)")
+		skew        = flag.Float64("skew", 0, "value-skew Zipf exponent for the pool-sweep database")
+		poolRows    = flag.Int("pool-rows", 0, "fact rows for the pool sweep (0 = scaled -rows)")
+		poolQueries = flag.Int("pool-queries", 120, "queries per pool-sweep point")
 		iters       = flag.Int("n", 3, "iterations per benchmark")
 		quiet       = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
@@ -61,6 +67,10 @@ func main() {
 	if *rows < 1 {
 		fatal(fmt.Errorf("-rows must be >= 1, got %d", *rows))
 	}
+	if *scale <= 0 {
+		fatal(fmt.Errorf("-scale must be > 0, got %g", *scale))
+	}
+	*rows = int(float64(*rows) * *scale)
 
 	db := cadb.NewTPCH(cadb.TPCHConfig{LineitemRows: *rows, Seed: 9})
 	wl := cadb.SelectIntensive(cadb.TPCHWorkload())
@@ -427,6 +437,52 @@ func main() {
 		}
 	}
 	writeReport(execRep, *execOut, *quiet)
+
+	// Buffer-pool sweep -> BENCH_pool.json: disk-backed segments behind a
+	// pin/unpin pool, swept across pool size × compression method on the same
+	// absolute byte budgets. One row per point; ns_per_op is wall time per
+	// query of the steady-state (warmed) loop, and the extra metrics carry the
+	// headline — PAGE's smaller working set turns the same pool into a higher
+	// hit rate, less disk traffic and lower wall-clock than NONE.
+	poolRep := newReport()
+	pcfg := cadb.DefaultPoolSweepConfig()
+	pcfg.FactRows = *rows
+	if *poolRows > 0 {
+		pcfg.FactRows = *poolRows
+	}
+	poolRep.FactRows = pcfg.FactRows
+	pcfg.Skew = *skew
+	pcfg.Queries = *poolQueries
+	points, err := cadb.PoolSweep(pcfg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range points {
+		res := result{
+			Name:       fmt.Sprintf("PoolSweep/%s/frac=%.2f", p.Method, p.PoolFrac),
+			Iterations: p.Queries,
+			NsPerOp:    p.WallNS / int64(p.Queries),
+			Extra: map[string]float64{
+				"hit-rate-%":         100 * p.HitRate,
+				"pool-bytes":         float64(p.PoolBytes),
+				"working-set-bytes":  float64(p.WorkingSet),
+				"pool-misses":        float64(p.Misses),
+				"disk-bytes-read":    float64(p.BytesRead),
+				"evictions":          float64(p.Evictions),
+				"est-page-reads":     p.EstReads,
+				"counted-page-reads": float64(p.CountedReads),
+			},
+		}
+		if p.CountedReads > 0 {
+			res.Extra["est-over-counted"] = p.EstReads / float64(p.CountedReads)
+		}
+		poolRep.Results = append(poolRep.Results, res)
+		if !*quiet {
+			fmt.Printf("%-36s %12d ns/op  hit=%5.1f%%  misses=%-7d read=%.1fMB\n",
+				res.Name, res.NsPerOp, 100*p.HitRate, p.Misses, float64(p.BytesRead)/(1<<20))
+		}
+	}
+	writeReport(poolRep, *poolOut, *quiet)
 }
 
 func writeReport(rep *report, path string, quiet bool) {

@@ -21,10 +21,16 @@ func main() {
 	var (
 		dbName = flag.String("db", "tpch", "database: tpch | sales | tpcds")
 		rows   = flag.Int("rows", 10000, "fact-table row count")
-		zipf   = flag.Float64("zipf", 0, "value skew Z")
+		scale  = flag.Float64("scale", 1, "row-count multiplier (e.g. -scale 100 turns the 10000-row default into 1e6 rows)")
+		zipf   = flag.Float64("zipf", 0, "value skew Z (Zipf exponent over fact-table value choices)")
 		seed   = flag.Int64("seed", 42, "generator seed")
 	)
 	flag.Parse()
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "cadb-datagen: -scale must be > 0, got %g\n", *scale)
+		os.Exit(1)
+	}
+	*rows = int(float64(*rows) * *scale)
 
 	var db *cadb.Database
 	switch *dbName {

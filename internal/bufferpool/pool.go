@@ -1,0 +1,235 @@
+// Package bufferpool provides a fixed-capacity page buffer pool with
+// pin/unpin semantics and CLOCK eviction. It is the memory boundary of the
+// disk-backed segment path: every page payload a query touches is fetched
+// through a pool, so the bytes resident at any instant are bounded by the
+// configured capacity and the hit/miss counters turn the paper's
+// cache-residency argument — compression keeps more of the working set
+// resident — into a directly measured quantity.
+//
+// The pool is deterministic: the same sequence of Get/Unpin calls produces
+// the same hits, misses and evictions on every run (CLOCK state advances only
+// on those calls, never on a timer), so differential tests over pool-backed
+// execution stay byte-identical. All methods are safe for concurrent use;
+// under concurrency the counters remain exact even though interleaving is
+// scheduler-dependent.
+package bufferpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one page of one registered backing file.
+type Key struct {
+	File uint64
+	Page int
+}
+
+// Stats are the pool's cumulative counters.
+type Stats struct {
+	// Hits counts Get calls served from a resident frame.
+	Hits int64
+	// Misses counts Get calls that had to load the page.
+	Misses int64
+	// Evictions counts frames dropped to make room.
+	Evictions int64
+	// BytesRead is the total payload bytes loaded on misses.
+	BytesRead int64
+	// PeakBytes is the high-water mark of resident payload bytes; it never
+	// exceeds the configured capacity (admission fails instead).
+	PeakBytes int64
+}
+
+// frame is one resident page.
+type frame struct {
+	key  Key
+	data []byte
+	pins int
+	ref  bool // CLOCK reference bit: set on hit, cleared by the sweeping hand
+	dead bool // invalidated while pinned; freed on the last Unpin
+}
+
+// Pool is a fixed-capacity page cache. Get pins a page (loading it on a
+// miss), Unpin releases it; unpinned pages stay resident until the CLOCK
+// hand evicts them for space. Pinned pages are never evicted.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	frames   map[Key]*frame
+	ring     []*frame // CLOCK order (admission order, hand wraps)
+	hand     int
+	stats    Stats
+	nextFile atomic.Uint64
+}
+
+// New creates a pool holding at most capacityBytes of page payloads. The
+// capacity must admit the largest page that will be fetched through it (one
+// 8 KB page plus overflow runs); Get fails otherwise.
+func New(capacityBytes int64) *Pool {
+	if capacityBytes < 1 {
+		capacityBytes = 1
+	}
+	return &Pool{capacity: capacityBytes, frames: make(map[Key]*frame)}
+}
+
+// RegisterFile allocates a fresh file identity for keys. Identities are never
+// reused, so frames of an invalidated file can never be hit again even if a
+// replacement file is registered for the same on-disk path.
+func (p *Pool) RegisterFile() uint64 { return p.nextFile.Add(1) }
+
+// Capacity returns the configured byte capacity.
+func (p *Pool) Capacity() int64 { return p.capacity }
+
+// Bytes returns the currently resident payload bytes (including pinned
+// frames awaiting invalidation).
+func (p *Pool) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Get returns the page's payload, pinned: the caller must Unpin the same key
+// exactly once when done with the bytes (they may be evicted afterwards). On
+// a miss, load is called to produce the payload and the frame is admitted,
+// evicting unpinned frames CLOCK-wise as needed; if pinned frames leave no
+// room the Get fails rather than overshooting the capacity.
+func (p *Pool) Get(k Key, load func() ([]byte, error)) (data []byte, hit bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[k]; ok {
+		f.pins++
+		f.ref = true
+		p.stats.Hits++
+		return f.data, true, nil
+	}
+	p.stats.Misses++
+	// Load under the lock: keeps admission deterministic and guarantees a
+	// page is never loaded twice concurrently. Loads are ReadAt calls on
+	// warm files; the serialization is the price of exact counters.
+	data, err = load()
+	if err != nil {
+		return nil, false, err
+	}
+	p.stats.BytesRead += int64(len(data))
+	need := int64(len(data))
+	if need > p.capacity {
+		return nil, false, fmt.Errorf("bufferpool: page of %d bytes exceeds pool capacity %d", need, p.capacity)
+	}
+	for p.bytes+need > p.capacity {
+		if !p.evictOne() {
+			return nil, false, fmt.Errorf("bufferpool: cannot admit %d bytes: %d of %d capacity pinned", need, p.bytes, p.capacity)
+		}
+	}
+	f := &frame{key: k, data: data, pins: 1}
+	p.frames[k] = f
+	p.ring = append(p.ring, f)
+	p.bytes += need
+	if p.bytes > p.stats.PeakBytes {
+		p.stats.PeakBytes = p.bytes
+	}
+	return data, false, nil
+}
+
+// Unpin releases one pin on the page. Unpinning a key that is not resident
+// (already invalidated and freed) is a no-op.
+func (p *Pool) Unpin(k Key) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[k]
+	if !ok {
+		// The frame may be a dead one (invalidated while pinned): it is no
+		// longer reachable by key, find it in the ring.
+		for _, rf := range p.ring {
+			if rf.key == k && rf.dead && rf.pins > 0 {
+				f = rf
+				break
+			}
+		}
+		if f == nil {
+			return
+		}
+	}
+	if f.pins > 0 {
+		f.pins--
+	}
+	if f.dead && f.pins == 0 {
+		p.dropFrame(f)
+	}
+}
+
+// InvalidateFile drops every frame belonging to the file: resident unpinned
+// frames are freed immediately, pinned ones are marked dead (unreachable for
+// future Gets, freed on their last Unpin). Callers invalidate after a write
+// made the backing file stale, so a later Get must reload, never serve old
+// bytes.
+func (p *Pool) InvalidateFile(file uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range append([]*frame(nil), p.ring...) {
+		if f.key.File != file || f.dead {
+			continue
+		}
+		delete(p.frames, f.key)
+		f.dead = true
+		if f.pins == 0 {
+			p.dropFrame(f)
+		}
+	}
+}
+
+// evictOne runs the CLOCK hand until it finds an unpinned, unreferenced
+// frame to drop. Referenced frames get their bit cleared and a second
+// chance; pinned frames are skipped. Returns false when every frame is
+// pinned.
+func (p *Pool) evictOne() bool {
+	if len(p.ring) == 0 {
+		return false
+	}
+	// Two full sweeps suffice: the first clears reference bits, the second
+	// must find a victim unless everything is pinned.
+	for pass := 0; pass < 2*len(p.ring); pass++ {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		f := p.ring[p.hand]
+		if f.pins > 0 {
+			p.hand++
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			p.hand++
+			continue
+		}
+		delete(p.frames, f.key)
+		p.dropFrame(f)
+		p.stats.Evictions++
+		return true
+	}
+	return false
+}
+
+// dropFrame removes the frame from the ring and releases its bytes. The hand
+// is adjusted so it keeps pointing at the same successor.
+func (p *Pool) dropFrame(f *frame) {
+	for i, rf := range p.ring {
+		if rf == f {
+			p.ring = append(p.ring[:i], p.ring[i+1:]...)
+			if p.hand > i {
+				p.hand--
+			}
+			break
+		}
+	}
+	p.bytes -= int64(len(f.data))
+	f.data = nil
+}

@@ -1,0 +1,211 @@
+package bufferpool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// loadN returns a loader producing n bytes filled with the page number.
+func loadN(page, n int) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(page)
+		}
+		return b, nil
+	}
+}
+
+func mustGet(t *testing.T, p *Pool, k Key, n int) bool {
+	t.Helper()
+	_, hit, err := p.Get(k, loadN(k.Page, n))
+	if err != nil {
+		t.Fatalf("Get(%v): %v", k, err)
+	}
+	return hit
+}
+
+// TestPinnedNeverEvicted pins frames up to capacity and checks that a new
+// admission fails instead of evicting a pinned frame, and that unpinning
+// frees exactly the unpinned frame.
+func TestPinnedNeverEvicted(t *testing.T) {
+	const page = 100
+	p := New(2 * page)
+	f := p.RegisterFile()
+	a, b, c := Key{f, 0}, Key{f, 1}, Key{f, 2}
+	mustGet(t, p, a, page) // pinned
+	mustGet(t, p, b, page) // pinned
+	if _, _, err := p.Get(c, loadN(2, page)); err == nil {
+		t.Fatal("admission with every frame pinned should fail, not evict a pinned frame")
+	}
+	p.Unpin(a)
+	mustGet(t, p, c, page) // must evict a (the only unpinned frame), not b
+	p.Unpin(b)
+	p.Unpin(c)
+	if hit := mustGet(t, p, b, page); !hit {
+		t.Fatal("pinned frame b was evicted")
+	}
+	if hit := mustGet(t, p, a, page); hit {
+		t.Fatal("unpinned frame a should have been the eviction victim")
+	}
+	st := p.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("expected evictions, got %+v", st)
+	}
+	if st.PeakBytes > p.Capacity() {
+		t.Fatalf("peak %d exceeds capacity %d", st.PeakBytes, p.Capacity())
+	}
+}
+
+// TestEvictionDeterministic replays the same access trace twice and demands
+// identical counters — the property that keeps pool-backed differential
+// tests byte-identical run to run.
+func TestEvictionDeterministic(t *testing.T) {
+	trace := func() Stats {
+		p := New(4 * 64)
+		f := p.RegisterFile()
+		// A fixed pseudo-random-ish trace touching 12 pages through a
+		// 4-page pool, with some re-references to exercise the CLOCK bit.
+		seq := []int{0, 1, 2, 3, 0, 4, 5, 1, 6, 7, 8, 2, 9, 10, 0, 11, 4, 4, 3}
+		for _, pg := range seq {
+			k := Key{f, pg}
+			if _, _, err := p.Get(k, loadN(pg, 64)); err != nil {
+				t.Fatal(err)
+			}
+			p.Unpin(k)
+		}
+		return p.Stats()
+	}
+	a, b := trace(), trace()
+	if a != b {
+		t.Fatalf("same trace, different stats:\n%+v\n%+v", a, b)
+	}
+	if a.Hits == 0 || a.Evictions == 0 {
+		t.Fatalf("trace should produce both hits and evictions: %+v", a)
+	}
+}
+
+// TestCountersUnderConcurrentReaders hammers one pool from many goroutines
+// (run with -race) and checks the counters add up exactly.
+func TestCountersUnderConcurrentReaders(t *testing.T) {
+	const (
+		workers  = 8
+		gets     = 400
+		pageSize = 128
+		pages    = 32
+	)
+	p := New(pages * pageSize) // everything fits: misses are compulsory only
+	f := p.RegisterFile()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < gets; i++ {
+				pg := (i*7 + w) % pages
+				k := Key{f, pg}
+				data, _, err := p.Get(k, loadN(pg, pageSize))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(data) != pageSize || data[0] != byte(pg) {
+					t.Errorf("page %d: wrong payload", pg)
+					return
+				}
+				p.Unpin(k)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Hits+st.Misses != workers*gets {
+		t.Fatalf("hits %d + misses %d != %d gets", st.Hits, st.Misses, workers*gets)
+	}
+	if st.Misses != pages {
+		t.Fatalf("want exactly %d compulsory misses (pool holds everything), got %d", pages, st.Misses)
+	}
+	if st.BytesRead != st.Misses*pageSize {
+		t.Fatalf("bytes read %d != misses %d × %d", st.BytesRead, st.Misses, pageSize)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("nothing should be evicted, got %d", st.Evictions)
+	}
+}
+
+// TestInvalidateFileDropsFrames invalidates a file and checks its frames can
+// no longer be hit, including a frame that was pinned at invalidation time.
+func TestInvalidateFileDropsFrames(t *testing.T) {
+	p := New(1 << 20)
+	f1, f2 := p.RegisterFile(), p.RegisterFile()
+	k1, k2, kOther := Key{f1, 0}, Key{f1, 1}, Key{f2, 0}
+	mustGet(t, p, k1, 100)
+	p.Unpin(k1)
+	mustGet(t, p, k2, 100) // stays pinned across the invalidation
+	mustGet(t, p, kOther, 100)
+	p.Unpin(kOther)
+
+	p.InvalidateFile(f1)
+	if hit := mustGet(t, p, k1, 100); hit {
+		t.Fatal("invalidated frame served a hit")
+	}
+	p.Unpin(k1)
+	p.Unpin(k2) // releases the dead pinned frame
+	if hit := mustGet(t, p, k2, 100); hit {
+		t.Fatal("dead pinned frame served a hit after release")
+	}
+	p.Unpin(k2)
+	if hit := mustGet(t, p, kOther, 100); !hit {
+		t.Fatal("other file's frame should have survived the invalidation")
+	}
+	p.Unpin(kOther)
+}
+
+// TestOversizedPageRejected pins the error path for a payload larger than
+// the whole pool.
+func TestOversizedPageRejected(t *testing.T) {
+	p := New(64)
+	_, _, err := p.Get(Key{p.RegisterFile(), 0}, loadN(0, 65))
+	if err == nil {
+		t.Fatal("oversized payload should be rejected")
+	}
+}
+
+// TestBytesAccounting walks admissions and evictions and checks the resident
+// byte count tracks exactly.
+func TestBytesAccounting(t *testing.T) {
+	p := New(300)
+	f := p.RegisterFile()
+	for i := 0; i < 10; i++ {
+		k := Key{f, i}
+		mustGet(t, p, k, 100)
+		p.Unpin(k)
+		if got := p.Bytes(); got > p.Capacity() {
+			t.Fatalf("resident %d exceeds capacity %d", got, p.Capacity())
+		}
+	}
+	if got := p.Bytes(); got != 300 {
+		t.Fatalf("resident %d, want full pool 300", got)
+	}
+	p.InvalidateFile(f)
+	if got := p.Bytes(); got != 0 {
+		t.Fatalf("resident %d after invalidating everything, want 0", got)
+	}
+}
+
+func TestLoadErrorPropagates(t *testing.T) {
+	p := New(1 << 10)
+	k := Key{p.RegisterFile(), 0}
+	wantErr := fmt.Errorf("disk gone")
+	_, _, err := p.Get(k, func() ([]byte, error) { return nil, wantErr })
+	if err == nil {
+		t.Fatal("load error should propagate")
+	}
+	// The failed load must not leave a frame behind.
+	if hit := mustGet(t, p, k, 10); hit {
+		t.Fatal("failed load left a resident frame")
+	}
+	p.Unpin(k)
+}

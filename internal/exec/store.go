@@ -2,9 +2,11 @@ package exec
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
 
+	"cadb/internal/bufferpool"
 	"cadb/internal/catalog"
 	"cadb/internal/compress"
 	"cadb/internal/index"
@@ -32,6 +34,12 @@ type Store struct {
 	heaps map[string]*segHandle   // lowercased table -> heap segment
 	secs  map[string][]*segHandle // lowercased table -> ordered structures
 	eager bool
+
+	// Disk-backed mode (SetDiskBacked): segments spill their pages to files
+	// under diskDir and every page access goes through the pool.
+	diskDir  string
+	pool     *bufferpool.Pool
+	spillSeq int
 }
 
 // SetEagerDecode switches the store back to the pre-streaming access path:
@@ -39,6 +47,67 @@ type Store struct {
 // materialized rows. Kept as the differential baseline for the streaming
 // path's results and decode budgets.
 func (st *Store) SetEagerDecode(on bool) { st.eager = on }
+
+// SetDiskBacked switches the store to the disk-backed path: every segment
+// built from now on is spilled to a file under dir and its pages are served
+// through the pool (pinned on fetch, loaded from disk on a miss, evicted
+// under memory pressure). Call before the first statement so every segment
+// takes the same path.
+func (st *Store) SetDiskBacked(dir string, pool *bufferpool.Pool) {
+	st.diskDir, st.pool = dir, pool
+}
+
+// SetPool swaps the buffer pool: already-spilled segments keep their on-disk
+// files but start fetching through the new pool (their old frames are
+// invalidated), and future spills use it too. This is what lets a pool-size
+// sweep reuse one set of segment files.
+func (st *Store) SetPool(pool *bufferpool.Pool) error {
+	st.pool = pool
+	for _, h := range st.allHandles() {
+		if h.si != nil && h.si.Seg.Backed() && !h.stale {
+			if err := h.si.Seg.Repool(pool); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Pool returns the buffer pool of a disk-backed store (nil otherwise).
+func (st *Store) Pool() *bufferpool.Pool { return st.pool }
+
+// DiskBytes sums the on-disk payload bytes of every currently built segment —
+// the store's total working set under the disk-backed path.
+func (st *Store) DiskBytes() int64 {
+	var n int64
+	for _, h := range st.allHandles() {
+		if h.si != nil && !h.stale {
+			n += h.si.Seg.DiskBytes()
+		}
+	}
+	return n
+}
+
+// Close releases every disk-backed segment: pool frames are invalidated and
+// the spill files removed. The store is unusable afterwards.
+func (st *Store) Close() {
+	for _, h := range st.allHandles() {
+		if h.si != nil {
+			h.si.Seg.CloseBacking()
+		}
+	}
+}
+
+func (st *Store) allHandles() []*segHandle {
+	out := make([]*segHandle, 0, len(st.heaps)+len(st.secs))
+	for _, h := range st.heaps {
+		out = append(out, h)
+	}
+	for _, hs := range st.secs {
+		out = append(out, hs...)
+	}
+	return out
+}
 
 // segHandle lazily builds (and rebuilds after writes) one segment.
 type segHandle struct {
@@ -130,9 +199,21 @@ func containsFoldStr(list []string, s string) bool {
 // after invalidation.
 func (st *Store) segment(h *segHandle) (*index.SegmentIndex, error) {
 	if h.si == nil || h.stale {
+		if h.si != nil {
+			// Rebuilding over a stale disk-backed segment: drop its frames and
+			// file before the replacement spills.
+			h.si.Seg.CloseBacking()
+		}
 		si, err := index.BuildSegmentIndex(st.db, h.def)
 		if err != nil {
 			return nil, err
+		}
+		if st.pool != nil && st.diskDir != "" {
+			path := filepath.Join(st.diskDir, fmt.Sprintf("seg%06d.cadb", st.spillSeq))
+			st.spillSeq++
+			if err := si.Seg.Spill(path, st.pool); err != nil {
+				return nil, err
+			}
 		}
 		h.si, h.stale = si, false
 	}
@@ -140,14 +221,23 @@ func (st *Store) segment(h *segHandle) (*index.SegmentIndex, error) {
 }
 
 // Invalidate marks every segment over the table stale; the next access
-// rebuilds from the catalog rows. Writes call this automatically.
+// rebuilds from the catalog rows. Writes call this automatically. Disk-backed
+// segments are closed immediately — their pool frames drop and their spill
+// files are removed, so a cursor still holding the old segment errors instead
+// of reading pre-write pages back out of the pool.
 func (st *Store) Invalidate(table string) {
 	key := strings.ToLower(table)
 	if h := st.heaps[key]; h != nil {
 		h.stale = true
+		if h.si != nil {
+			h.si.Seg.CloseBacking()
+		}
 	}
 	for _, h := range st.secs[key] {
 		h.stale = true
+		if h.si != nil {
+			h.si.Seg.CloseBacking()
+		}
 	}
 }
 
@@ -173,7 +263,12 @@ func (rs *runState) readPage(seg *storage.Segment, i int) ([]storage.Row, error)
 	if rows, ok := rs.cache[k]; ok {
 		return rows, nil
 	}
-	rows, err := seg.DecodePage(i)
+	payload, release, err := seg.FetchPage(i, &rs.io)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := seg.Codec.DecodePage(seg.Schema, payload, seg.PageRows(i))
+	release()
 	if err != nil {
 		return nil, err
 	}

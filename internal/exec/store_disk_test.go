@@ -1,0 +1,213 @@
+package exec
+
+import (
+	"testing"
+
+	"cadb/internal/bufferpool"
+	"cadb/internal/compress"
+	"cadb/internal/datagen"
+	"cadb/internal/index"
+	"cadb/internal/storage"
+	"cadb/internal/workload"
+	"cadb/internal/workloads"
+)
+
+// TestDiskStoreMatchesOracleTPCH extends the differential sweep through the
+// disk-backed path: the full TPC-H update-capable workload, every statement
+// byte-identical to the plain-row oracle, at a pool large enough to hold the
+// working set and at one small enough to churn constantly.
+func TestDiskStoreMatchesOracleTPCH(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not short")
+	}
+	cfg := datagen.TPCHConfig{LineitemRows: 4000, Seed: 11}
+	for _, poolBytes := range []int64{64 << 10, 64 << 20} {
+		for _, defs := range [][]*index.Def{nil, tpchDesign()} {
+			oracleDB := datagen.NewTPCH(cfg)
+			storeDB := datagen.NewTPCH(cfg)
+			st, err := NewStore(storeDB, defs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := bufferpool.New(poolBytes)
+			st.SetDiskBacked(t.TempDir(), pool)
+			runDifferential(t, oracleDB, st, workloads.MustTPCHWithUpdates())
+			if pool.Stats().PeakBytes > poolBytes {
+				t.Fatalf("pool peak %d exceeds capacity %d", pool.Stats().PeakBytes, poolBytes)
+			}
+			if pool.Stats().Misses == 0 {
+				t.Fatal("disk-backed sweep never missed — pages are not going through the pool")
+			}
+			st.Close()
+		}
+	}
+}
+
+// TestDiskStoreOneMissPerPage pins the exact-count regression: a full table
+// scan with the pool at least as large as the segment incurs exactly one miss
+// per page, and a repeat of the same scan hits on every page.
+func TestDiskStoreOneMissPerPage(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 3000, Seed: 5})
+	st, err := NewStore(db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufferpool.New(64 << 20) // far larger than the working set
+	st.SetDiskBacked(t.TempDir(), pool)
+	defer st.Close()
+
+	// Non-sargable shape: always a full heap scan.
+	query := q(t, "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode")
+	cold, err := st.RunQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heap := st.heaps["lineitem"].si.Seg
+	if !heap.Backed() {
+		t.Fatal("heap segment is not disk-backed")
+	}
+	if cold.IO.PoolMisses != int64(heap.NumPages()) || cold.IO.PoolHits != 0 {
+		t.Fatalf("cold scan: %d misses %d hits, want exactly %d/0",
+			cold.IO.PoolMisses, cold.IO.PoolHits, heap.NumPages())
+	}
+	if cold.IO.BytesRead != heap.DiskBytes() {
+		t.Fatalf("cold scan read %d bytes, segment holds %d", cold.IO.BytesRead, heap.DiskBytes())
+	}
+	warm, err := st.RunQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.IO.PoolHits != int64(heap.NumPages()) || warm.IO.PoolMisses != 0 || warm.IO.BytesRead != 0 {
+		t.Fatalf("warm scan: %d hits %d misses %d bytes, want %d/0/0",
+			warm.IO.PoolHits, warm.IO.PoolMisses, warm.IO.BytesRead, heap.NumPages())
+	}
+	assertResultsIdentical(t, "warm-vs-cold", warm, cold)
+}
+
+// TestDiskStoreStaleFrameGuard pins the invalidation satellite: after a
+// write, the old segment's pool frames are dropped and a reader still holding
+// that segment errors instead of seeing pre-write pages, while fresh queries
+// rebuild and match the oracle.
+func TestDiskStoreStaleFrameGuard(t *testing.T) {
+	cfg := datagen.TPCHConfig{LineitemRows: 2000, Seed: 13}
+	oracleDB := datagen.NewTPCH(cfg)
+	storeDB := datagen.NewTPCH(cfg)
+	st, err := NewStore(storeDB, tpchDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufferpool.New(64 << 20)
+	st.SetDiskBacked(t.TempDir(), pool)
+	defer st.Close()
+
+	query := q(t, "SELECT COUNT(*) FROM lineitem WHERE l_quantity <= 10")
+	if _, err := st.RunQuery(query); err != nil {
+		t.Fatal(err)
+	}
+	oldSeg := st.heaps["lineitem"].si.Seg
+	resident := pool.Bytes()
+	if resident == 0 {
+		t.Fatal("nothing resident after a scan")
+	}
+
+	del := &workload.Delete{Table: "lineitem", Preds: []workload.Predicate{
+		{Col: "l_quantity", Op: workload.OpLe, Lo: storage.IntVal(10)},
+	}}
+	wantN, err := RunDelete(oracleDB, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotN, _, err := st.RunDelete(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN || gotN == 0 {
+		t.Fatalf("deleted %d, oracle %d", gotN, wantN)
+	}
+
+	// The old segment must refuse page fetches — a stale cursor cannot read
+	// pre-write pages back out of the pool.
+	if _, _, err := oldSeg.FetchPage(0, nil); err == nil {
+		t.Fatal("stale segment served a page after invalidation")
+	}
+	after, err := st.RunQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAfter, err := Run(oracleDB, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "after-delete", after, wantAfter)
+}
+
+// TestDiskStorePoolSwap pins SetPool: after swapping to a fresh pool the
+// spill files are reused (results unchanged), the new pool fills, and the old
+// pool is left empty.
+func TestDiskStorePoolSwap(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 2000, Seed: 3})
+	st, err := NewStore(db, tpchDesign())
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolA := bufferpool.New(64 << 20)
+	st.SetDiskBacked(t.TempDir(), poolA)
+	defer st.Close()
+
+	query := q(t, "SELECT l_orderkey FROM lineitem WHERE l_shipdate BETWEEN 9000 AND 9060")
+	first, err := st.RunQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolB := bufferpool.New(64 << 20)
+	if err := st.SetPool(poolB); err != nil {
+		t.Fatal(err)
+	}
+	if poolA.Bytes() != 0 {
+		t.Fatalf("old pool still holds %d bytes after the swap", poolA.Bytes())
+	}
+	second, err := st.RunQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "across-pools", second, first)
+	if second.IO.PoolMisses == 0 {
+		t.Fatal("fresh pool should start cold")
+	}
+	if poolB.Bytes() == 0 {
+		t.Fatal("new pool stayed empty")
+	}
+}
+
+// TestDiskStorePeakBounded runs a churny workload through a pool much smaller
+// than the working set and checks resident bytes never exceeded the cap.
+func TestDiskStorePeakBounded(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 3000, Seed: 9})
+	st, err := NewStore(db, []*index.Def{
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Clustered: true, Method: compress.None},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capBytes = 48 << 10 // a handful of pages
+	pool := bufferpool.New(capBytes)
+	st.SetDiskBacked(t.TempDir(), pool)
+	defer st.Close()
+
+	for _, sql := range []string{
+		"SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode",
+		"SELECT l_orderkey FROM lineitem WHERE l_shipdate BETWEEN 8200 AND 8600",
+		"SELECT SUM(l_extendedprice) FROM lineitem WHERE l_quantity <= 20 GROUP BY l_returnflag",
+	} {
+		if _, err := st.RunQuery(q(t, sql)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := pool.Stats()
+	if stats.PeakBytes > capBytes {
+		t.Fatalf("peak %d exceeds configured capacity %d", stats.PeakBytes, capBytes)
+	}
+	if stats.Evictions == 0 {
+		t.Fatalf("working set exceeds the pool; expected evictions, got %+v", stats)
+	}
+}

@@ -28,13 +28,14 @@ var Registry = map[string]Runner{
 	"ext-methods":  ExtMethods,
 	"ext-updates":  ExtUpdates,
 	"ext-measured": ExtMeasured,
+	"ext-pool":     ExtPool,
 }
 
 // Order is the canonical presentation order.
 var Order = []string{
 	"motivating", "table1", "fig9", "table2", "fig10", "table3",
 	"table4", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"ext-methods", "ext-updates", "ext-measured",
+	"ext-methods", "ext-updates", "ext-measured", "ext-pool",
 }
 
 // IDs returns the registered experiment IDs, sorted.

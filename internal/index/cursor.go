@@ -106,7 +106,12 @@ func (c *Cursor) NextBatch() (*Batch, error) {
 			s.Slots = w.slots
 			spec = &s
 		}
-		dp, err := c.seg.DecodeColumnsPage(w.page, spec)
+		payload, release, err := c.seg.FetchPage(w.page, c.io)
+		if err != nil {
+			return nil, err
+		}
+		dp, err := c.seg.Codec.DecodeColumns(c.seg.Schema, payload, c.seg.PageRows(w.page), spec)
+		release()
 		if err != nil {
 			return nil, err
 		}

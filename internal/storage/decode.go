@@ -22,6 +22,14 @@ type IOStats struct {
 	// a full decode of a page with C columns counts C, a selective decode
 	// counts only the columns actually evaluated or reconstructed.
 	ColumnsDecoded int64
+	// PoolHits counts page fetches served from the buffer pool without disk
+	// I/O. Zero for in-memory (unspilled) segments.
+	PoolHits int64
+	// PoolMisses counts page fetches that had to load from disk.
+	PoolMisses int64
+	// BytesRead is the payload bytes loaded from disk on pool misses — the
+	// statement's actual I/O volume under the disk-backed path.
+	BytesRead int64
 }
 
 // Add accumulates another stats bucket.
@@ -30,6 +38,9 @@ func (io *IOStats) Add(o IOStats) {
 	io.PagesDecoded += o.PagesDecoded
 	io.TuplesDecoded += o.TuplesDecoded
 	io.ColumnsDecoded += o.ColumnsDecoded
+	io.PoolHits += o.PoolHits
+	io.PoolMisses += o.PoolMisses
+	io.BytesRead += o.BytesRead
 }
 
 // PredOp enumerates the comparison operators a pushed-down predicate can

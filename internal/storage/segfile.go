@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// SegmentFile is the on-disk form of a Segment: a header carrying the codec
+// method, page count and row count, a per-page directory (payload offset,
+// length, row count, accounted bytes, CRC32), a header checksum, and then
+// the raw page payloads. Pages are read back individually via ReadAt, so a
+// buffer pool can fault in exactly the pages a query touches.
+//
+// Layout (all integers big-endian):
+//
+//	[0:8)    magic "CADBSEG1"
+//	[8:12)   format version (1)
+//	[12:16)  codec name length L
+//	[16:16+L codec name
+//	+0:4     page count N
+//	+4:12    row count
+//	then N directory entries of 24 bytes each:
+//	         offset u64 | length u32 | rows u32 | accounted u32 | crc32 u32
+//	+4       CRC32 (IEEE) of everything before it
+//	then the page payloads at their directory offsets.
+type SegmentFile struct {
+	f         *os.File
+	path      string
+	codecName string
+	rows      int64
+	entries   []segPageEntry
+}
+
+type segPageEntry struct {
+	offset    uint64
+	length    uint32
+	rows      uint32
+	accounted uint32
+	crc       uint32
+}
+
+var segMagic = [8]byte{'C', 'A', 'D', 'B', 'S', 'E', 'G', '1'}
+
+const segFileVersion = 1
+
+// WriteSegmentFile writes the segment's pages to path (truncating any
+// previous file) and returns an open handle for reads. The segment must
+// still hold its payloads (i.e. not already be spilled).
+func WriteSegmentFile(path string, seg *Segment) (*SegmentFile, error) {
+	name := seg.Codec.Name()
+	if len(name) > 255 {
+		return nil, fmt.Errorf("storage: codec name %q too long", name)
+	}
+	headerLen := 16 + len(name) + 4 + 8 + 24*len(seg.pages) + 4
+	header := make([]byte, 0, headerLen)
+	header = append(header, segMagic[:]...)
+	header = binary.BigEndian.AppendUint32(header, segFileVersion)
+	header = binary.BigEndian.AppendUint32(header, uint32(len(name)))
+	header = append(header, name...)
+	header = binary.BigEndian.AppendUint32(header, uint32(len(seg.pages)))
+	header = binary.BigEndian.AppendUint64(header, uint64(seg.rows))
+
+	entries := make([]segPageEntry, len(seg.pages))
+	at := uint64(headerLen)
+	for i := range seg.pages {
+		p := &seg.pages[i]
+		if p.Payload == nil && p.Rows > 0 {
+			return nil, fmt.Errorf("storage: page %d has no payload (segment already spilled?)", i)
+		}
+		entries[i] = segPageEntry{
+			offset:    at,
+			length:    uint32(len(p.Payload)),
+			rows:      uint32(p.Rows),
+			accounted: uint32(p.AccountedBytes),
+			crc:       crc32.ChecksumIEEE(p.Payload),
+		}
+		at += uint64(len(p.Payload))
+		header = binary.BigEndian.AppendUint64(header, entries[i].offset)
+		header = binary.BigEndian.AppendUint32(header, entries[i].length)
+		header = binary.BigEndian.AppendUint32(header, entries[i].rows)
+		header = binary.BigEndian.AppendUint32(header, entries[i].accounted)
+		header = binary.BigEndian.AppendUint32(header, entries[i].crc)
+	}
+	header = binary.BigEndian.AppendUint32(header, crc32.ChecksumIEEE(header))
+	if len(header) != headerLen {
+		return nil, fmt.Errorf("storage: header length %d, computed %d", len(header), headerLen)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(header); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for i := range seg.pages {
+		if _, err := f.Write(seg.pages[i].Payload); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &SegmentFile{f: f, path: path, codecName: name, rows: seg.rows, entries: entries}, nil
+}
+
+// OpenSegmentFile opens an existing segment file, validating the header
+// checksum.
+func OpenSegmentFile(path string) (*SegmentFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := readSegHeader(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sf, nil
+}
+
+func readSegHeader(f *os.File, path string) (*SegmentFile, error) {
+	fixed := make([]byte, 16)
+	if _, err := f.ReadAt(fixed, 0); err != nil {
+		return nil, fmt.Errorf("storage: %s: short header: %w", path, err)
+	}
+	if [8]byte(fixed[:8]) != segMagic {
+		return nil, fmt.Errorf("storage: %s: bad magic", path)
+	}
+	if v := binary.BigEndian.Uint32(fixed[8:12]); v != segFileVersion {
+		return nil, fmt.Errorf("storage: %s: unsupported version %d", path, v)
+	}
+	nameLen := int(binary.BigEndian.Uint32(fixed[12:16]))
+	if nameLen > 255 {
+		return nil, fmt.Errorf("storage: %s: codec name length %d", path, nameLen)
+	}
+	rest := make([]byte, nameLen+4+8)
+	if _, err := f.ReadAt(rest, 16); err != nil {
+		return nil, fmt.Errorf("storage: %s: short header: %w", path, err)
+	}
+	name := string(rest[:nameLen])
+	n := int(binary.BigEndian.Uint32(rest[nameLen : nameLen+4]))
+	rows := int64(binary.BigEndian.Uint64(rest[nameLen+4:]))
+	dirAt := int64(16 + nameLen + 4 + 8)
+	dir := make([]byte, 24*n+4)
+	if _, err := f.ReadAt(dir, dirAt); err != nil {
+		return nil, fmt.Errorf("storage: %s: short directory: %w", path, err)
+	}
+	// Verify the header CRC over [0, dirAt+24n).
+	full := make([]byte, dirAt+int64(24*n))
+	copy(full, fixed)
+	copy(full[16:], rest)
+	copy(full[dirAt:], dir[:24*n])
+	wantCRC := binary.BigEndian.Uint32(dir[24*n:])
+	if got := crc32.ChecksumIEEE(full); got != wantCRC {
+		return nil, fmt.Errorf("storage: %s: header checksum mismatch", path)
+	}
+	entries := make([]segPageEntry, n)
+	for i := 0; i < n; i++ {
+		e := dir[24*i:]
+		entries[i] = segPageEntry{
+			offset:    binary.BigEndian.Uint64(e[0:8]),
+			length:    binary.BigEndian.Uint32(e[8:12]),
+			rows:      binary.BigEndian.Uint32(e[12:16]),
+			accounted: binary.BigEndian.Uint32(e[16:20]),
+			crc:       binary.BigEndian.Uint32(e[20:24]),
+		}
+	}
+	return &SegmentFile{f: f, path: path, codecName: name, rows: rows, entries: entries}, nil
+}
+
+// NumPages returns the page count.
+func (sf *SegmentFile) NumPages() int { return len(sf.entries) }
+
+// Rows returns the total row count.
+func (sf *SegmentFile) Rows() int64 { return sf.rows }
+
+// CodecName returns the codec method name recorded in the header.
+func (sf *SegmentFile) CodecName() string { return sf.codecName }
+
+// Path returns the file path.
+func (sf *SegmentFile) Path() string { return sf.path }
+
+// PageRows returns the row count of page i without reading it.
+func (sf *SegmentFile) PageRows(i int) int { return int(sf.entries[i].rows) }
+
+// PageAccountedBytes returns the accounted payload size of page i.
+func (sf *SegmentFile) PageAccountedBytes(i int) int { return int(sf.entries[i].accounted) }
+
+// PayloadBytes returns the total on-disk payload bytes across all pages —
+// the working-set size a buffer pool is dimensioned against.
+func (sf *SegmentFile) PayloadBytes() int64 {
+	var n int64
+	for i := range sf.entries {
+		n += int64(sf.entries[i].length)
+	}
+	return n
+}
+
+// ReadPage reads page i's payload via ReadAt and verifies its checksum.
+func (sf *SegmentFile) ReadPage(i int) ([]byte, error) {
+	if i < 0 || i >= len(sf.entries) {
+		return nil, fmt.Errorf("storage: %s: page %d of %d", sf.path, i, len(sf.entries))
+	}
+	e := sf.entries[i]
+	buf := make([]byte, e.length)
+	if e.length > 0 {
+		if _, err := sf.f.ReadAt(buf, int64(e.offset)); err != nil {
+			return nil, fmt.Errorf("storage: %s: page %d: %w", sf.path, i, err)
+		}
+	}
+	if got := crc32.ChecksumIEEE(buf); got != e.crc {
+		return nil, fmt.Errorf("storage: %s: page %d: checksum mismatch", sf.path, i)
+	}
+	return buf, nil
+}
+
+// Close closes the underlying file.
+func (sf *SegmentFile) Close() error { return sf.f.Close() }
+
+// Remove closes and deletes the file.
+func (sf *SegmentFile) Remove() error {
+	err := sf.f.Close()
+	if rmErr := os.Remove(sf.path); err == nil {
+		err = rmErr
+	}
+	return err
+}

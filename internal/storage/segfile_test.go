@@ -1,0 +1,227 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cadb/internal/bufferpool"
+)
+
+// plainCodec is the minimal row-major test codec (mirrors the NONE layout
+// closely enough for round-trips without importing internal/compress, which
+// would cycle).
+type plainCodec struct{}
+
+func (plainCodec) Name() string { return "TEST" }
+
+func (plainCodec) EncodeRows(s *Schema, rows []Row) ([]EncodedPage, error) {
+	groups, _ := PackRows(s, rows)
+	out := make([]EncodedPage, 0, len(groups))
+	for _, g := range groups {
+		var payload []byte
+		for _, r := range rows[g.Start:g.End] {
+			payload = EncodeRow(s, r, payload)
+		}
+		out = append(out, EncodedPage{
+			Payload:        payload,
+			Rows:           g.End - g.Start,
+			AccountedBytes: len(payload) + SlotSize*(g.End-g.Start),
+		})
+	}
+	return out, nil
+}
+
+func (plainCodec) DecodePage(s *Schema, payload []byte, nrows int) ([]Row, error) {
+	rows := make([]Row, 0, nrows)
+	for at := 0; len(rows) < nrows; {
+		r, n, err := DecodeRow(s, payload[at:])
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+		at += n
+	}
+	return rows, nil
+}
+
+func (c plainCodec) DecodeColumns(s *Schema, payload []byte, nrows int, spec *DecodeSpec) (*DecodedPage, error) {
+	full, err := c.DecodePage(s, payload, nrows)
+	if err != nil {
+		return nil, err
+	}
+	return FallbackDecodeColumns(s, full, spec), nil
+}
+
+func testSegment(t *testing.T, nrows int) (*Schema, []Row, *Segment) {
+	t.Helper()
+	s := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "name", Kind: KindString, FixedWidth: 40},
+		Column{Name: "val", Kind: KindFloat},
+	)
+	rows := make([]Row, nrows)
+	for i := range rows {
+		rows[i] = Row{IntVal(int64(i)), StringVal("row-padding-padding-padding"), FloatVal(float64(i) / 3)}
+	}
+	seg, err := BuildSegment(s, rows, plainCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rows, seg
+}
+
+// TestSegmentFileRoundTrip spills a segment, re-opens the file cold, and
+// checks header metadata and every page payload round-trip exactly.
+func TestSegmentFileRoundTrip(t *testing.T) {
+	_, rows, seg := testSegment(t, 2000)
+	path := filepath.Join(t.TempDir(), "seg.cadb")
+	sf, err := WriteSegmentFile(path, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	re, err := OpenSegmentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != seg.NumPages() || re.Rows() != seg.Rows() || re.CodecName() != "TEST" {
+		t.Fatalf("header mismatch: %d pages %d rows codec %q", re.NumPages(), re.Rows(), re.CodecName())
+	}
+	if re.PayloadBytes() != seg.DiskBytes() {
+		t.Fatalf("payload bytes %d, segment disk bytes %d", re.PayloadBytes(), seg.DiskBytes())
+	}
+	var decoded int
+	for i := 0; i < re.NumPages(); i++ {
+		payload, err := re.ReadPage(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := seg.Codec.DecodePage(seg.Schema, payload, re.PageRows(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range got {
+			if r[0].Int != rows[decoded][0].Int {
+				t.Fatalf("row %d: got id %d", decoded, r[0].Int)
+			}
+			decoded++
+		}
+	}
+	if decoded != len(rows) {
+		t.Fatalf("decoded %d of %d rows", decoded, len(rows))
+	}
+}
+
+// TestSegmentFileDetectsCorruption flips one payload byte on disk and checks
+// the page read fails its checksum (and a header flip fails open).
+func TestSegmentFileDetectsCorruption(t *testing.T) {
+	_, _, seg := testSegment(t, 500)
+	path := filepath.Join(t.TempDir(), "seg.cadb")
+	sf, err := WriteSegmentFile(path, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the last payload byte.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenSegmentFile(path)
+	if err != nil {
+		t.Fatal(err) // header is intact
+	}
+	if _, err := re.ReadPage(re.NumPages() - 1); err == nil {
+		t.Fatal("corrupted page passed its checksum")
+	}
+	re.Close()
+
+	// Corrupt the header (codec name byte).
+	corrupt = append([]byte(nil), raw...)
+	corrupt[17] ^= 0xFF
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegmentFile(path); err == nil {
+		t.Fatal("corrupted header passed its checksum")
+	}
+}
+
+// TestSpillAndFetch spills a segment through a pool and checks decode
+// results are unchanged, payloads are released from memory, pool stats are
+// counted per fetch, and CloseBacking turns later fetches into errors.
+func TestSpillAndFetch(t *testing.T) {
+	_, rows, seg := testSegment(t, 1500)
+	want, err := seg.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := bufferpool.New(1 << 20)
+	if err := seg.Spill(filepath.Join(t.TempDir(), "seg.cadb"), pool); err != nil {
+		t.Fatal(err)
+	}
+	if !seg.Backed() {
+		t.Fatal("segment not backed after spill")
+	}
+	for i := 0; i < seg.NumPages(); i++ {
+		if seg.Page(i).Payload != nil {
+			t.Fatalf("page %d still holds its payload after spill", i)
+		}
+	}
+	var io IOStats
+	var got []Row
+	for i := 0; i < seg.NumPages(); i++ {
+		payload, release, err := seg.FetchPage(i, &io)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := seg.Codec.DecodePage(seg.Schema, payload, seg.PageRows(i))
+		release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, rs...)
+	}
+	if len(got) != len(want) || len(got) != len(rows) {
+		t.Fatalf("scan through pool returned %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i][0].Int != want[i][0].Int {
+			t.Fatalf("row %d differs after spill", i)
+		}
+	}
+	if io.PoolMisses != int64(seg.NumPages()) || io.PoolHits != 0 {
+		t.Fatalf("cold scan: %d misses %d hits, want %d/0", io.PoolMisses, io.PoolHits, seg.NumPages())
+	}
+	if io.BytesRead != seg.DiskBytes() {
+		t.Fatalf("cold scan read %d bytes, want %d", io.BytesRead, seg.DiskBytes())
+	}
+	// Second scan: everything fits, so all hits.
+	io = IOStats{}
+	for i := 0; i < seg.NumPages(); i++ {
+		_, release, err := seg.FetchPage(i, &io)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}
+	if io.PoolHits != int64(seg.NumPages()) || io.PoolMisses != 0 {
+		t.Fatalf("warm scan: %d hits %d misses", io.PoolHits, io.PoolMisses)
+	}
+
+	seg.CloseBacking()
+	if _, _, err := seg.FetchPage(0, nil); err == nil {
+		t.Fatal("fetch from a closed backing should fail (stale-page guard)")
+	}
+	if pool.Bytes() != 0 {
+		t.Fatalf("pool still holds %d bytes after CloseBacking", pool.Bytes())
+	}
+}

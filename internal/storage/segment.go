@@ -1,6 +1,10 @@
 package storage
 
-import "fmt"
+import (
+	"fmt"
+
+	"cadb/internal/bufferpool"
+)
 
 // PageCodec turns rows into physical page payloads and back. Implementations
 // live in internal/compress (one per materializable compression method); the
@@ -57,6 +61,19 @@ type Segment struct {
 	rows         int64
 	payloadBytes int64
 	physPages    int64
+	diskBytes    int64 // raw payload bytes (what a SegmentFile stores)
+
+	// backing, when set, serves page payloads from disk through a buffer
+	// pool instead of memory (see Spill).
+	backing *segBacking
+}
+
+// segBacking is the disk-backed payload source of a spilled segment.
+type segBacking struct {
+	file   *SegmentFile
+	pool   *bufferpool.Pool
+	fileID uint64
+	closed bool
 }
 
 // BuildSegment encodes the rows into a segment using the codec.
@@ -75,6 +92,7 @@ func BuildSegment(s *Schema, rows []Row, c PageCodec) (*Segment, error) {
 		seg.rows += int64(pages[i].Rows)
 		seg.payloadBytes += int64(pages[i].AccountedBytes)
 		seg.physPages += pages[i].PhysicalPages()
+		seg.diskBytes += int64(len(pages[i].Payload))
 	}
 	if seg.rows != int64(len(rows)) {
 		return nil, fmt.Errorf("storage: codec %s encoded %d of %d rows", c.Name(), seg.rows, len(rows))
@@ -125,16 +143,112 @@ func (g *Segment) PageForRow(rid int64) int {
 	return lo
 }
 
+// DiskBytes returns the raw payload bytes of the segment — the size of its
+// SegmentFile body, and the working-set size a buffer pool holds when every
+// page is resident.
+func (g *Segment) DiskBytes() int64 { return g.diskBytes }
+
+// Spill writes the segment's pages to a file at path and switches payload
+// fetches to go through the pool: in-memory payloads are released, and every
+// later page access pins the page in the pool (loading it from disk on a
+// miss). Page metadata (row counts, accounted bytes, low keys held by the
+// index level) stays in memory.
+func (g *Segment) Spill(path string, pool *bufferpool.Pool) error {
+	if pool == nil {
+		return fmt.Errorf("storage: Spill needs a pool")
+	}
+	if g.backing != nil {
+		return fmt.Errorf("storage: segment already spilled to %s", g.backing.file.Path())
+	}
+	sf, err := WriteSegmentFile(path, g)
+	if err != nil {
+		return err
+	}
+	g.backing = &segBacking{file: sf, pool: pool, fileID: pool.RegisterFile()}
+	for i := range g.pages {
+		g.pages[i].Payload = nil
+	}
+	return nil
+}
+
+// Repool switches a spilled segment to a different buffer pool (frames in
+// the old pool are invalidated). The on-disk file is reused, so sweeping
+// pool sizes over one segment doesn't re-encode or re-write anything.
+func (g *Segment) Repool(pool *bufferpool.Pool) error {
+	if g.backing == nil {
+		return fmt.Errorf("storage: Repool on an in-memory segment")
+	}
+	if g.backing.closed {
+		return fmt.Errorf("storage: Repool on a closed segment backing")
+	}
+	g.backing.pool.InvalidateFile(g.backing.fileID)
+	g.backing.pool = pool
+	g.backing.fileID = pool.RegisterFile()
+	return nil
+}
+
+// Backed reports whether the segment serves payloads from disk.
+func (g *Segment) Backed() bool { return g.backing != nil }
+
+// CloseBacking invalidates a spilled segment: its pool frames are dropped,
+// the on-disk file is removed, and every later FetchPage fails. Writes call
+// this when the segment's rows went stale — the guard that a cursor holding
+// the old segment can never read pre-write pages back out of the pool.
+func (g *Segment) CloseBacking() {
+	if g.backing == nil || g.backing.closed {
+		return
+	}
+	g.backing.closed = true
+	g.backing.pool.InvalidateFile(g.backing.fileID)
+	g.backing.file.Remove()
+}
+
+// FetchPage returns page i's payload and a release func the caller must
+// invoke when done decoding. In-memory segments return the resident payload
+// (release is a no-op and io is untouched); spilled segments pin the page in
+// the pool, counting the hit or miss (and miss bytes) into io.
+func (g *Segment) FetchPage(i int, io *IOStats) ([]byte, func(), error) {
+	b := g.backing
+	if b == nil {
+		return g.pages[i].Payload, func() {}, nil
+	}
+	if b.closed {
+		return nil, nil, fmt.Errorf("storage: stale segment: backing file was invalidated by a write")
+	}
+	k := bufferpool.Key{File: b.fileID, Page: i}
+	data, hit, err := b.pool.Get(k, func() ([]byte, error) { return b.file.ReadPage(i) })
+	if err != nil {
+		return nil, nil, err
+	}
+	if io != nil {
+		if hit {
+			io.PoolHits++
+		} else {
+			io.PoolMisses++
+			io.BytesRead += int64(len(data))
+		}
+	}
+	return data, func() { b.pool.Unpin(k) }, nil
+}
+
 // DecodePage decodes page i back into rows.
 func (g *Segment) DecodePage(i int) ([]Row, error) {
-	p := &g.pages[i]
-	return g.Codec.DecodePage(g.Schema, p.Payload, p.Rows)
+	payload, release, err := g.FetchPage(i, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return g.Codec.DecodePage(g.Schema, payload, g.pages[i].Rows)
 }
 
 // DecodeColumnsPage runs a column-selective decode of page i.
 func (g *Segment) DecodeColumnsPage(i int, spec *DecodeSpec) (*DecodedPage, error) {
-	p := &g.pages[i]
-	return g.Codec.DecodeColumns(g.Schema, p.Payload, p.Rows, spec)
+	payload, release, err := g.FetchPage(i, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return g.Codec.DecodeColumns(g.Schema, payload, g.pages[i].Rows, spec)
 }
 
 // ScanAll decodes every page in order — the full-scan access path without
