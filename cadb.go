@@ -34,6 +34,7 @@
 package cadb
 
 import (
+	"fmt"
 	"io"
 
 	"cadb/internal/bufferpool"
@@ -148,6 +149,23 @@ func InsertIntensive(wl *Workload) *Workload { return workloads.InsertIntensive(
 
 // UpdateIntensive scales the UPDATE/DELETE weights up by 10x.
 func UpdateIntensive(wl *Workload) *Workload { return workloads.UpdateIntensive(wl) }
+
+// ChunkedSource streams a deterministic synthetic fact table in fixed-size
+// blocks whose randomness is re-derived per (seed, block), so any block can
+// be generated independently — the out-of-core generation path that reaches
+// 10⁷ rows without materializing a database.
+type ChunkedSource = datagen.ChunkedSource
+
+// ChunkedBlockRows is the fixed block size of a ChunkedSource.
+const ChunkedBlockRows = datagen.ChunkedBlockRows
+
+// NewChunkedSource returns the out-of-core fact generator for a dataset name
+// ("tpch" or "sales"). The rows match the in-memory generators' schema and
+// distributions (not row-for-row — dimension-derived values are hashed from
+// keys instead of looked up).
+func NewChunkedSource(name string, rows int, zipf float64, seed int64) (*ChunkedSource, error) {
+	return datagen.ChunkedByName(name, rows, zipf, seed)
+}
 
 // ParseWorkload parses a SQL workload script (semicolon-separated statements
 // with optional "-- label: X weight: N" directives).
@@ -339,6 +357,40 @@ func WriteSegmentFile(path string, seg *Segment) (*SegmentFile, error) {
 // checksum.
 func OpenSegmentFile(path string) (*SegmentFile, error) { return storage.OpenSegmentFile(path) }
 
+// SegmentWriter builds a disk-backed segment from a stream of row batches
+// without materializing all rows or pages in memory — byte-identical to a
+// whole-slice build, holding only the tentative tail page between batches.
+type SegmentWriter = storage.SegmentWriter
+
+// NewChunkedSegmentWriter starts an out-of-core segment build at path for a
+// chunked source's schema under the given compression method (which must
+// have a materializing codec). Stream src's blocks through Append and call
+// Finish with a buffer pool to obtain the disk-backed Segment.
+func NewChunkedSegmentWriter(path string, src *ChunkedSource, m CompressionMethod) (*SegmentWriter, error) {
+	codec := compress.Codec(m)
+	if codec == nil {
+		return nil, fmt.Errorf("cadb: method %s has no materializing codec", m)
+	}
+	return storage.NewSegmentWriter(path, src.Schema(), codec)
+}
+
+// WrapSegmentScanOnly wraps an already-built segment (e.g. a SegmentWriter's
+// output) as a scan-only SegmentIndex: no per-page low keys, but full-scan
+// and parallel-scan cursors work unchanged.
+func WrapSegmentScanOnly(seg *Segment, d *IndexDef) *SegmentIndex {
+	return index.WrapSegment(seg, d)
+}
+
+// PoolProfile makes what-if costing buffer-pool-aware: page-I/O cost terms
+// are discounted by each structure's expected hit rate (measured per-file
+// rates win over the fits-in-capacity heuristic). Install via
+// CostModel.SetPoolProfile or Options.PoolProfile.
+type PoolProfile = optimizer.PoolProfile
+
+// NewPoolProfile returns a profile for a pool of the given capacity with the
+// default resident hit rate.
+func NewPoolProfile(capacityBytes int64) *PoolProfile { return optimizer.NewPoolProfile(capacityBytes) }
+
 // PoolPoint is one cell of the pool-size × compression-method sweep.
 type PoolPoint = experiments.PoolPoint
 
@@ -350,8 +402,26 @@ func DefaultPoolSweepConfig() PoolSweepConfig { return experiments.DefaultPoolSw
 
 // PoolSweep measures buffer-pool hit rate and wall-clock across pool sizes
 // and compression methods over disk-backed segments (the ext-pool
-// experiment's engine).
+// experiment's engine). Above experiments.ChunkedPoolRows fact rows it
+// switches to the out-of-core chunked build path automatically.
 func PoolSweep(cfg PoolSweepConfig) ([]PoolPoint, error) { return experiments.PoolSweep(cfg) }
+
+// ScanPoint is one cell of the cold-scan bandwidth sweep (method × rows ×
+// scan mode).
+type ScanPoint = experiments.ScanPoint
+
+// ScanSweepConfig sizes a ScanSweep.
+type ScanSweepConfig = experiments.ScanSweepConfig
+
+// DefaultScanSweepConfig is the README-documented scan-sweep configuration.
+func DefaultScanSweepConfig() ScanSweepConfig { return experiments.DefaultScanSweepConfig() }
+
+// ScanSweep measures cold full-scan bandwidth over disk-backed segments
+// built out-of-core: raw sequential ReadAt vs serial cursor vs async
+// readahead vs partitioned parallel scan, each through a fresh buffer pool,
+// with the decoding modes verified checksum-identical (the ext-scan
+// experiment's engine).
+func ScanSweep(cfg ScanSweepConfig) ([]ScanPoint, error) { return experiments.ScanSweep(cfg) }
 
 // MeasuredSize is one structure×method comparison of the size model against
 // a materialized segment (the ext-measured experiment's unit).

@@ -96,8 +96,8 @@ func TestFacadeSizeEstimation(t *testing.T) {
 
 func TestFacadeExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 18 {
-		t.Fatalf("experiments=%d want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("experiments=%d want 19", len(ids))
 	}
 	var buf bytes.Buffer
 	sc := QuickExperimentScale()

@@ -8,10 +8,12 @@
 //
 //	cadb-bench        # writes BENCH_enumerate.json + BENCH_sizing.json +
 //	                  #        BENCH_update.json + BENCH_measured.json +
-//	                  #        BENCH_exec.json + BENCH_pool.json
-//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json -measured-out measured.json -exec-out exec.json -pool-out pool.json
+//	                  #        BENCH_exec.json + BENCH_pool.json + BENCH_scan.json
+//	cadb-bench -rows 20000 -out perf.json -sizing-out sizing.json -update-out update.json -measured-out measured.json -exec-out exec.json -pool-out pool.json -scan-out scan.json
 //	cadb-bench -n 5 -quiet
-//	cadb-bench -scale 125 -pool-rows 1000000   # million-row pool sweep
+//	cadb-bench -scale 125 -pool-rows 1000000          # million-row pool sweep
+//	cadb-bench -scan-rows 1000000,10000000            # cold-scan bandwidth at 1e6 + 1e7
+//	cadb-bench -pool-rows 10000000 -pool-queries 10   # out-of-core chunked pool sweep
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"cadb"
@@ -53,6 +57,8 @@ func main() {
 		measuredOut = flag.String("measured-out", "BENCH_measured.json", "measured-vs-estimated benchmark output JSON path")
 		execOut     = flag.String("exec-out", "BENCH_exec.json", "streaming-execution benchmark output JSON path")
 		poolOut     = flag.String("pool-out", "BENCH_pool.json", "buffer-pool sweep output JSON path")
+		scanOut     = flag.String("scan-out", "BENCH_scan.json", "cold-scan bandwidth sweep output JSON path")
+		scanRows    = flag.String("scan-rows", "", "comma-separated fact row counts for the scan sweep (empty = scaled -rows; reaches 10000000)")
 		scale       = flag.Float64("scale", 1, "row-count multiplier applied to -rows (reaches 1e6 rows and beyond)")
 		skew        = flag.Float64("skew", 0, "value-skew Zipf exponent for the pool-sweep database")
 		poolRows    = flag.Int("pool-rows", 0, "fact rows for the pool sweep (0 = scaled -rows)")
@@ -483,6 +489,67 @@ func main() {
 		}
 	}
 	writeReport(poolRep, *poolOut, *quiet)
+
+	// Cold-scan bandwidth sweep -> BENCH_scan.json: disk-backed segments built
+	// out-of-core from the chunked generator, full-scanned four ways — raw
+	// sequential ReadAt (the bandwidth ceiling), serial cursor, serial cursor
+	// with async readahead, and a partitioned parallel scan — each through a
+	// fresh pool. One row per point; the speedup-vs-serial extra metric is the
+	// headline (readahead hides load latency, partitioning adds decode
+	// parallelism on top).
+	scanCfg := cadb.DefaultScanSweepConfig()
+	scanCfg.Rows = []int{*rows}
+	if *scanRows != "" {
+		scanCfg.Rows = scanCfg.Rows[:0]
+		for _, f := range strings.Split(*scanRows, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fatal(fmt.Errorf("bad -scan-rows entry %q", f))
+			}
+			scanCfg.Rows = append(scanCfg.Rows, n)
+		}
+	}
+	scanPoints, err := cadb.ScanSweep(scanCfg)
+	if err != nil {
+		fatal(err)
+	}
+	scanRep := newReport()
+	serialNS := map[string]int64{}
+	for _, p := range scanPoints {
+		if p.Mode == "serial" {
+			serialNS[fmt.Sprintf("%s/%d", p.Method, p.Rows)] = p.WallNS
+		}
+	}
+	for _, p := range scanPoints {
+		res := result{
+			Name:       fmt.Sprintf("ScanSweep/%s/rows=%d/%s", p.Method, p.Rows, p.Mode),
+			Iterations: 1,
+			NsPerOp:    p.WallNS,
+			Extra: map[string]float64{
+				"mbps":       p.MBps,
+				"disk-bytes": float64(p.DiskBytes),
+				"pages":      float64(p.Pages),
+			},
+		}
+		if p.Mode != "raw-read" {
+			res.Extra["tuples"] = float64(p.Tuples)
+			res.Extra["pool-misses"] = float64(p.PoolMisses)
+			res.Extra["pool-prefetched"] = float64(p.PoolPrefetched)
+			res.Extra["prefetch-wasted"] = float64(p.PrefetchWasted)
+			if s := serialNS[fmt.Sprintf("%s/%d", p.Method, p.Rows)]; s > 0 && p.WallNS > 0 {
+				res.Extra["speedup-vs-serial"] = float64(s) / float64(p.WallNS)
+			}
+		}
+		scanRep.Results = append(scanRep.Results, res)
+		if !*quiet {
+			fmt.Printf("%-44s %12d ns/op  %7.0f MB/s", res.Name, res.NsPerOp, p.MBps)
+			if v, ok := res.Extra["speedup-vs-serial"]; ok {
+				fmt.Printf("  %.2fx vs serial", v)
+			}
+			fmt.Println()
+		}
+	}
+	writeReport(scanRep, *scanOut, *quiet)
 }
 
 func writeReport(rep *report, path string, quiet bool) {

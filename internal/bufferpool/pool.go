@@ -6,12 +6,20 @@
 // cache-residency argument — compression keeps more of the working set
 // resident — into a directly measured quantity.
 //
-// The pool is deterministic: the same sequence of Get/Unpin calls produces
-// the same hits, misses and evictions on every run (CLOCK state advances only
-// on those calls, never on a timer), so differential tests over pool-backed
-// execution stay byte-identical. All methods are safe for concurrent use;
-// under concurrency the counters remain exact even though interleaving is
-// scheduler-dependent.
+// Loads happen outside the pool mutex: a Get that misses installs a loading
+// placeholder, releases the lock, reads the page, and admits it afterwards.
+// Concurrent Gets for the same page wait on the one in-flight load
+// (singleflight), so a page is never read from disk twice concurrently and
+// pool traffic for other pages proceeds during the read. Counters stay exact:
+// every Get is classified exactly once (the load initiator counts the miss,
+// waiters count hits), so Hits+Misses == Gets at any observation point.
+//
+// The pool is deterministic under single-threaded use: the same sequence of
+// Get/Unpin calls produces the same hits, misses and evictions on every run
+// (CLOCK state advances only on those calls, never on a timer), so
+// differential tests over pool-backed execution stay byte-identical. All
+// methods are safe for concurrent use; under concurrency the counters remain
+// exact even though interleaving is scheduler-dependent.
 package bufferpool
 
 import (
@@ -28,26 +36,67 @@ type Key struct {
 
 // Stats are the pool's cumulative counters.
 type Stats struct {
-	// Hits counts Get calls served from a resident frame.
+	// Gets counts Get calls (successful or not). Always Hits + Misses.
+	Gets int64
+	// Hits counts Get calls served from a resident frame or joined onto an
+	// in-flight load.
 	Hits int64
-	// Misses counts Get calls that had to load the page.
+	// Misses counts Get calls that had to initiate a load.
 	Misses int64
 	// Evictions counts frames dropped to make room.
 	Evictions int64
-	// BytesRead is the total payload bytes loaded on misses.
+	// BytesRead is the total payload bytes loaded from disk (misses and
+	// prefetches).
 	BytesRead int64
 	// PeakBytes is the high-water mark of resident payload bytes; it never
 	// exceeds the configured capacity (admission fails instead).
 	PeakBytes int64
+	// Prefetched counts speculative loads initiated by Prefetch (resident or
+	// in-flight pages are not re-fetched and not counted).
+	Prefetched int64
+	// PrefetchWasted counts prefetched pages that left the pool (evicted,
+	// invalidated, or never admitted) without ever serving a Get.
+	PrefetchWasted int64
 }
 
-// frame is one resident page.
+// FileStats are the per-file hit/miss counters — the measured-hit-rate input
+// the pool-aware cost model consumes (hits and misses attribute to the file
+// of the requested key; prefetch loads are not Gets and count in neither).
+type FileStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any Get.
+func (fs FileStats) HitRate() float64 {
+	if t := fs.Hits + fs.Misses; t > 0 {
+		return float64(fs.Hits) / float64(t)
+	}
+	return 0
+}
+
+// frame is one resident or loading page.
 type frame struct {
 	key  Key
 	data []byte
 	pins int
 	ref  bool // CLOCK reference bit: set on hit, cleared by the sweeping hand
-	dead bool // invalidated while pinned; freed on the last Unpin
+	dead bool // invalidated while pinned or loading; freed on the last Unpin
+
+	// Loading state: a frame with loading=true is a placeholder — it is in
+	// the frame table (so concurrent Gets find it) but not in the ring (it
+	// holds no bytes yet). loadDone is closed when the load settles; waiters
+	// then read loadErr/data. waiters counts the Gets that joined; the loader
+	// admits the frame already carrying their pins so the frame cannot be
+	// evicted between admission and wake-up.
+	loading  bool
+	loadDone chan struct{}
+	loadErr  error
+	waiters  int
+
+	// prefetched marks a speculatively loaded frame that has not served a
+	// Get yet; cleared on first hit, counted wasted if it leaves still set.
+	prefetched bool
 }
 
 // Pool is a fixed-capacity page cache. Get pins a page (loading it on a
@@ -61,6 +110,7 @@ type Pool struct {
 	ring     []*frame // CLOCK order (admission order, hand wraps)
 	hand     int
 	stats    Stats
+	perFile  map[uint64]*FileStats
 	nextFile atomic.Uint64
 }
 
@@ -71,7 +121,11 @@ func New(capacityBytes int64) *Pool {
 	if capacityBytes < 1 {
 		capacityBytes = 1
 	}
-	return &Pool{capacity: capacityBytes, frames: make(map[Key]*frame)}
+	return &Pool{
+		capacity: capacityBytes,
+		frames:   make(map[Key]*frame),
+		perFile:  make(map[uint64]*FileStats),
+	}
 }
 
 // RegisterFile allocates a fresh file identity for keys. Identities are never
@@ -90,53 +144,168 @@ func (p *Pool) Bytes() int64 {
 	return p.bytes
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. The snapshot is internally
+// consistent: Gets == Hits + Misses holds at every observation point, even
+// while loads are in flight on other goroutines.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stats
 }
 
-// Get returns the page's payload, pinned: the caller must Unpin the same key
-// exactly once when done with the bytes (they may be evicted afterwards). On
-// a miss, load is called to produce the payload and the frame is admitted,
-// evicting unpinned frames CLOCK-wise as needed; if pinned frames leave no
-// room the Get fails rather than overshooting the capacity.
-func (p *Pool) Get(k Key, load func() ([]byte, error)) (data []byte, hit bool, err error) {
+// FileStatsFor returns the cumulative hit/miss counters of one registered
+// file. Counters survive InvalidateFile (they describe traffic, not
+// residency).
+func (p *Pool) FileStatsFor(file uint64) FileStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if f, ok := p.frames[k]; ok {
-		f.pins++
-		f.ref = true
+	if fs := p.perFile[file]; fs != nil {
+		return *fs
+	}
+	return FileStats{}
+}
+
+// countGet classifies one Get under the lock. hit=false is the load
+// initiator.
+func (p *Pool) countGet(k Key, hit bool) {
+	p.stats.Gets++
+	fs := p.perFile[k.File]
+	if fs == nil {
+		fs = &FileStats{}
+		p.perFile[k.File] = fs
+	}
+	if hit {
 		p.stats.Hits++
+		fs.Hits++
+	} else {
+		p.stats.Misses++
+		fs.Misses++
+	}
+}
+
+// Get returns the page's payload, pinned: the caller must Unpin the same key
+// exactly once when done with the bytes (they may be evicted afterwards). On
+// a miss, load is called (outside the pool lock) to produce the payload and
+// the frame is admitted, evicting unpinned frames CLOCK-wise as needed; if
+// pinned frames leave no room the Get fails rather than overshooting the
+// capacity. Concurrent Gets for the same page share one load.
+func (p *Pool) Get(k Key, load func() ([]byte, error)) (data []byte, hit bool, err error) {
+	p.mu.Lock()
+	if f, ok := p.frames[k]; ok {
+		if !f.loading {
+			f.pins++
+			f.ref = true
+			f.prefetched = false
+			p.countGet(k, true)
+			p.mu.Unlock()
+			return f.data, true, nil
+		}
+		// Join the in-flight load: the loader admits the frame carrying this
+		// waiter's pin, so the bytes cannot be evicted before we wake.
+		f.waiters++
+		f.prefetched = false
+		p.countGet(k, true)
+		done := f.loadDone
+		p.mu.Unlock()
+		<-done
+		if f.loadErr != nil {
+			return nil, true, f.loadErr
+		}
 		return f.data, true, nil
 	}
-	p.stats.Misses++
-	// Load under the lock: keeps admission deterministic and guarantees a
-	// page is never loaded twice concurrently. Loads are ReadAt calls on
-	// warm files; the serialization is the price of exact counters.
+	// Miss: install a loading placeholder and read outside the lock.
+	f := &frame{key: k, loading: true, loadDone: make(chan struct{})}
+	p.frames[k] = f
+	p.countGet(k, false)
+	p.mu.Unlock()
+
 	data, err = load()
+
+	p.mu.Lock()
+	err = p.settleLoad(f, data, err, 1)
+	p.mu.Unlock()
 	if err != nil {
 		return nil, false, err
 	}
-	p.stats.BytesRead += int64(len(data))
-	need := int64(len(data))
-	if need > p.capacity {
-		return nil, false, fmt.Errorf("bufferpool: page of %d bytes exceeds pool capacity %d", need, p.capacity)
+	return f.data, false, nil
+}
+
+// Prefetch speculatively loads the page into the pool, unpinned, so a later
+// sequential Get hits instead of stalling on disk. Resident or in-flight
+// pages are left alone (no counter movement). The load happens outside the
+// lock; a Get arriving meanwhile joins it as a waiter exactly as with a
+// missed Get. Prefetch failures are silent (the page simply stays cold) —
+// the error return reports them for accounting only. Returns the bytes
+// loaded (0 when the page was already resident or loading).
+func (p *Pool) Prefetch(k Key, load func() ([]byte, error)) (loaded int64, err error) {
+	p.mu.Lock()
+	if _, ok := p.frames[k]; ok {
+		p.mu.Unlock()
+		return 0, nil
 	}
-	for p.bytes+need > p.capacity {
-		if !p.evictOne() {
-			return nil, false, fmt.Errorf("bufferpool: cannot admit %d bytes: %d of %d capacity pinned", need, p.bytes, p.capacity)
+	f := &frame{key: k, loading: true, loadDone: make(chan struct{}), prefetched: true}
+	p.frames[k] = f
+	p.stats.Prefetched++
+	p.mu.Unlock()
+
+	data, err := load()
+
+	p.mu.Lock()
+	err = p.settleLoad(f, data, err, 0)
+	if err != nil && f.prefetched {
+		// Never admitted: loaded (or attempted) for nothing.
+		p.stats.PrefetchWasted++
+	}
+	p.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// settleLoad resolves a loading placeholder under the lock: on success the
+// frame is admitted with ownPins + waiter pins (ownPins 0 for prefetch —
+// such frames start unpinned and evictable); on failure, or when the frame
+// was invalidated mid-load, the placeholder is removed and the error is
+// published to every waiter. Always closes loadDone.
+func (p *Pool) settleLoad(f *frame, data []byte, err error, ownPins int) error {
+	defer close(f.loadDone)
+	if err == nil && f.dead {
+		err = fmt.Errorf("bufferpool: page %v invalidated during load", f.key)
+	}
+	if err == nil {
+		need := int64(len(data))
+		if need > p.capacity {
+			err = fmt.Errorf("bufferpool: page of %d bytes exceeds pool capacity %d", need, p.capacity)
+		} else {
+			for p.bytes+need > p.capacity {
+				if !p.evictOne() {
+					err = fmt.Errorf("bufferpool: cannot admit %d bytes: %d of %d capacity pinned", need, p.bytes, p.capacity)
+					break
+				}
+			}
+		}
+		if err == nil {
+			p.stats.BytesRead += need
+			f.loading = false
+			f.data = data
+			f.pins = ownPins + f.waiters
+			f.ref = true
+			p.ring = append(p.ring, f)
+			p.bytes += need
+			if p.bytes > p.stats.PeakBytes {
+				p.stats.PeakBytes = p.bytes
+			}
+			return nil
 		}
 	}
-	f := &frame{key: k, data: data, pins: 1}
-	p.frames[k] = f
-	p.ring = append(p.ring, f)
-	p.bytes += need
-	if p.bytes > p.stats.PeakBytes {
-		p.stats.PeakBytes = p.bytes
+	f.loadErr = err
+	// Drop the placeholder so the next Get retries the load — unless
+	// invalidation already removed it (or a newer frame took the key).
+	if cur, ok := p.frames[f.key]; ok && cur == f {
+		delete(p.frames, f.key)
 	}
-	return data, false, nil
+	return err
 }
 
 // Unpin releases one pin on the page. Unpinning a key that is not resident
@@ -145,9 +314,10 @@ func (p *Pool) Unpin(k Key) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	f, ok := p.frames[k]
-	if !ok {
+	if !ok || f.loading {
 		// The frame may be a dead one (invalidated while pinned): it is no
 		// longer reachable by key, find it in the ring.
+		f = nil
 		for _, rf := range p.ring {
 			if rf.key == k && rf.dead && rf.pins > 0 {
 				f = rf
@@ -168,18 +338,35 @@ func (p *Pool) Unpin(k Key) {
 
 // InvalidateFile drops every frame belonging to the file: resident unpinned
 // frames are freed immediately, pinned ones are marked dead (unreachable for
-// future Gets, freed on their last Unpin). Callers invalidate after a write
-// made the backing file stale, so a later Get must reload, never serve old
-// bytes.
+// future Gets, freed on their last Unpin), and in-flight loads are poisoned —
+// their loader discards the bytes instead of admitting them. Callers
+// invalidate after a write made the backing file stale, so a later Get must
+// reload, never serve old bytes.
 func (p *Pool) InvalidateFile(file uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Loading placeholders are only in the frame table, not the ring.
+	for k, f := range p.frames {
+		if k.File != file || !f.loading || f.dead {
+			continue
+		}
+		f.dead = true
+		delete(p.frames, k)
+		if f.prefetched {
+			p.stats.PrefetchWasted++
+			f.prefetched = false
+		}
+	}
 	for _, f := range append([]*frame(nil), p.ring...) {
 		if f.key.File != file || f.dead {
 			continue
 		}
 		delete(p.frames, f.key)
 		f.dead = true
+		if f.prefetched {
+			p.stats.PrefetchWasted++
+			f.prefetched = false
+		}
 		if f.pins == 0 {
 			p.dropFrame(f)
 		}
@@ -229,6 +416,10 @@ func (p *Pool) dropFrame(f *frame) {
 			}
 			break
 		}
+	}
+	if f.prefetched {
+		p.stats.PrefetchWasted++
+		f.prefetched = false
 	}
 	p.bytes -= int64(len(f.data))
 	f.data = nil

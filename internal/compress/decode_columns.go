@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"math"
 	"strings"
 
 	"cadb/internal/storage"
@@ -11,9 +12,13 @@ import (
 
 // This file implements the column-selective half of the codec contract.
 // NONE and ROW are row-major formats: a value cannot be located without
-// walking every column of every preceding row, so they decode fully and
-// filter after the fact (FallbackDecodeColumns). PAGE is column-major with
-// per-page metadata, which enables three shortcuts, in increasing cost:
+// walking every column of every preceding row, so a selective decode still
+// scans every column's bytes of every row — TuplesDecoded and ColumnsDecoded
+// charge the full page, exactly like a full decode — but values outside
+// spec.Needed and the predicate columns are skipped over instead of
+// materialized, which avoids the per-row allocations a full decode pays.
+// PAGE is column-major with per-page metadata, which enables three shortcuts,
+// in increasing cost:
 //
 //  1. null bitmaps and the common-prefix header can decide a predicate for
 //     the whole page without touching the values region;
@@ -23,20 +28,200 @@ import (
 //  3. only the spec.Needed columns of the surviving rows are materialized,
 //     and dictionary entries decode at most once per page.
 
-func (noneCodec) DecodeColumns(s *storage.Schema, payload []byte, nrows int, spec *storage.DecodeSpec) (*storage.DecodedPage, error) {
-	full, err := noneCodec{}.DecodePage(s, payload, nrows)
-	if err != nil {
-		return nil, err
+// decodeMask marks the columns a selective row-major decode must materialize:
+// the projected columns plus every predicate column.
+func decodeMask(s *storage.Schema, spec *storage.DecodeSpec) []bool {
+	use := make([]bool, len(s.Columns))
+	for _, i := range spec.Needed {
+		use[i] = true
 	}
-	return storage.FallbackDecodeColumns(s, full, spec), nil
+	for _, p := range spec.Preds {
+		use[p.Col] = true
+	}
+	return use
+}
+
+// rowMajorEmit holds the shared commit path of the NONE and ROW streaming
+// decoders: slot filtering, predicate evaluation against the materialized
+// columns, and slab-backed projection onto spec.Needed.
+type rowMajorEmit struct {
+	spec *storage.DecodeSpec
+	out  *storage.DecodedPage
+	slab []storage.Value
+	used int
+	si   int // cursor into spec.Slots
+}
+
+func newRowMajorEmit(s *storage.Schema, spec *storage.DecodeSpec, nrows int, out *storage.DecodedPage) *rowMajorEmit {
+	return &rowMajorEmit{
+		spec: spec,
+		out:  out,
+		slab: make([]storage.Value, nrows*len(spec.Needed)),
+	}
+}
+
+// wanted reports whether the slot passes spec.Slots. Must be called with
+// strictly increasing slot numbers.
+func (e *rowMajorEmit) wanted(slot int) bool {
+	if e.spec.Slots == nil {
+		return true
+	}
+	for e.si < len(e.spec.Slots) && e.spec.Slots[e.si] < slot {
+		e.si++
+	}
+	return e.si < len(e.spec.Slots) && e.spec.Slots[e.si] == slot
+}
+
+// emit applies the predicates to the materialized columns of tmp and, when
+// they pass, appends the projection of tmp onto spec.Needed.
+func (e *rowMajorEmit) emit(slot int, tmp storage.Row) {
+	for _, p := range e.spec.Preds {
+		if !p.Matches(tmp[p.Col]) {
+			return
+		}
+	}
+	n := len(e.spec.Needed)
+	row := e.slab[e.used : e.used+n : e.used+n]
+	for j, ci := range e.spec.Needed {
+		row[j] = tmp[ci]
+	}
+	e.used += n
+	e.out.Rows = append(e.out.Rows, row)
+	e.out.Slots = append(e.out.Slots, slot)
+}
+
+func (noneCodec) DecodeColumns(s *storage.Schema, payload []byte, nrows int, spec *storage.DecodeSpec) (*storage.DecodedPage, error) {
+	// A row-major decode walks every row and every column's bytes; the
+	// counters charge the full page exactly like FallbackDecodeColumns.
+	out := &storage.DecodedPage{
+		TuplesDecoded:  int64(nrows),
+		ColumnsDecoded: int64(len(s.Columns)),
+	}
+	bitmapLen := (len(s.Columns) + 7) / 8
+	use := decodeMask(s, spec)
+	tmp := make(storage.Row, len(s.Columns))
+	e := newRowMajorEmit(s, spec, nrows, out)
+	for slot := 0; slot < nrows; slot++ {
+		if len(payload) < bitmapLen {
+			return nil, fmt.Errorf("compress: short NONE page")
+		}
+		bitmap := payload[:bitmapLen]
+		pos := bitmapLen
+		wanted := e.wanted(slot)
+		for i := range s.Columns {
+			c := &s.Columns[i]
+			null := bitmap[i/8]&(1<<(uint(i)%8)) != 0
+			decode := wanted && use[i]
+			switch c.Kind {
+			case storage.KindInt, storage.KindFloat:
+				if len(payload) < pos+8 {
+					return nil, fmt.Errorf("compress: short NONE row at col %d", i)
+				}
+				if decode && !null {
+					u := binary.BigEndian.Uint64(payload[pos : pos+8])
+					if c.Kind == storage.KindInt {
+						tmp[i] = storage.Value{Kind: storage.KindInt, Int: int64(u)}
+					} else {
+						tmp[i] = storage.Value{Kind: storage.KindFloat, Float: math.Float64frombits(u)}
+					}
+				}
+				pos += 8
+			case storage.KindDate:
+				if len(payload) < pos+4 {
+					return nil, fmt.Errorf("compress: short NONE row at col %d", i)
+				}
+				if decode && !null {
+					u := binary.BigEndian.Uint32(payload[pos : pos+4])
+					tmp[i] = storage.Value{Kind: storage.KindDate, Int: int64(int32(u))}
+				}
+				pos += 4
+			case storage.KindString:
+				if c.FixedWidth > 0 {
+					if len(payload) < pos+c.FixedWidth {
+						return nil, fmt.Errorf("compress: short NONE row at col %d", i)
+					}
+					if decode && !null {
+						raw := payload[pos : pos+c.FixedWidth]
+						end := len(raw)
+						for end > 0 && raw[end-1] == ' ' {
+							end--
+						}
+						tmp[i] = storage.Value{Kind: storage.KindString, Str: string(raw[:end])}
+					}
+					pos += c.FixedWidth
+				} else {
+					if len(payload) < pos+2 {
+						return nil, fmt.Errorf("compress: short NONE row at col %d", i)
+					}
+					n := int(binary.BigEndian.Uint16(payload[pos : pos+2]))
+					pos += 2
+					if len(payload) < pos+n {
+						return nil, fmt.Errorf("compress: short NONE row at col %d", i)
+					}
+					if decode && !null {
+						tmp[i] = storage.Value{Kind: storage.KindString, Str: string(payload[pos : pos+n])}
+					}
+					pos += n
+				}
+			}
+			if decode && null {
+				tmp[i] = storage.NullValue(c.Kind)
+			}
+		}
+		payload = payload[pos:]
+		if wanted {
+			e.emit(slot, tmp)
+		}
+	}
+	return out, nil
 }
 
 func (rowCodec) DecodeColumns(s *storage.Schema, payload []byte, nrows int, spec *storage.DecodeSpec) (*storage.DecodedPage, error) {
-	full, err := rowCodec{}.DecodePage(s, payload, nrows)
-	if err != nil {
-		return nil, err
+	out := &storage.DecodedPage{
+		TuplesDecoded:  int64(nrows),
+		ColumnsDecoded: int64(len(s.Columns)),
 	}
-	return storage.FallbackDecodeColumns(s, full, spec), nil
+	bitmapLen := (len(s.Columns) + 7) / 8
+	use := decodeMask(s, spec)
+	tmp := make(storage.Row, len(s.Columns))
+	e := newRowMajorEmit(s, spec, nrows, out)
+	for slot := 0; slot < nrows; slot++ {
+		if len(payload) < bitmapLen {
+			return nil, fmt.Errorf("compress: short ROW page")
+		}
+		bitmap := payload[:bitmapLen]
+		payload = payload[bitmapLen:]
+		wanted := e.wanted(slot)
+		for i := range s.Columns {
+			c := &s.Columns[i]
+			if bitmap[i/8]&(1<<(uint(i)%8)) != 0 {
+				if wanted && use[i] {
+					tmp[i] = storage.NullValue(c.Kind)
+				}
+				continue
+			}
+			n, adv, err := readLenPrefix(payload)
+			if err != nil {
+				return nil, err
+			}
+			payload = payload[adv:]
+			if len(payload) < n {
+				return nil, fmt.Errorf("compress: short ROW value")
+			}
+			if wanted && use[i] {
+				v, err := decodeValueBytes(*c, payload[:n])
+				if err != nil {
+					return nil, err
+				}
+				tmp[i] = v
+			}
+			payload = payload[n:]
+		}
+		if wanted {
+			e.emit(slot, tmp)
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------

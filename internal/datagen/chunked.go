@@ -1,0 +1,214 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cadb/internal/storage"
+)
+
+// Out-of-core generation.
+//
+// NewTPCH/NewSales materialize every row in memory, which caps the scan
+// experiments around 10⁶ rows. The chunked sources here generate the fact
+// table in fixed-size blocks whose randomness is re-derived per block from
+// (seed, block index), so block k is the same rows no matter how many blocks
+// were consumed before it, in what order, or by how many concurrent readers.
+// A SegmentWriter can therefore stream 10⁷ rows to disk while holding only
+// one block plus one tentative page in memory.
+//
+// The chunked sources are self-contained: dimension-dependent values (a line
+// item's order date) are derived from hashes of the dimension key instead of
+// a materialized dimension table, so the rows are NOT row-for-row identical
+// to the in-memory generators — they are the same schema, distributions and
+// clustering shape at scales the in-memory path cannot reach.
+
+// ChunkedBlockRows is the fixed internal block size. It is part of the
+// determinism contract — changing it changes which (seed, block) pair
+// generates a given row — so it is a constant, not a knob.
+const ChunkedBlockRows = 32768
+
+// ChunkedSource streams a deterministic synthetic fact table in blocks of
+// ChunkedBlockRows rows (the last block is short). Block is pure; NextBlock
+// is the sequential convenience over it.
+type ChunkedSource struct {
+	schema *storage.Schema
+	rows   int
+	gen    func(block int, dst []storage.Row)
+	next   int
+}
+
+// Schema returns the table schema.
+func (c *ChunkedSource) Schema() *storage.Schema { return c.schema }
+
+// Rows returns the total row count.
+func (c *ChunkedSource) Rows() int { return c.rows }
+
+// NumBlocks returns how many blocks the source yields.
+func (c *ChunkedSource) NumBlocks() int {
+	return (c.rows + ChunkedBlockRows - 1) / ChunkedBlockRows
+}
+
+// Block generates block i (freshly allocated). Deterministic in (source
+// config, i) alone.
+func (c *ChunkedSource) Block(i int) []storage.Row {
+	if i < 0 || i >= c.NumBlocks() {
+		return nil
+	}
+	n := ChunkedBlockRows
+	if rem := c.rows - i*ChunkedBlockRows; rem < n {
+		n = rem
+	}
+	dst := make([]storage.Row, n)
+	c.gen(i, dst)
+	return dst
+}
+
+// NextBlock returns the next sequential block, nil when exhausted.
+func (c *ChunkedSource) NextBlock() []storage.Row {
+	b := c.Block(c.next)
+	if b != nil {
+		c.next++
+	}
+	return b
+}
+
+// Reset rewinds NextBlock to the first block.
+func (c *ChunkedSource) Reset() { c.next = 0 }
+
+// mix64 is the SplitMix64 finalizer — the per-block and per-key seed
+// derivation. Distinct inputs give uncorrelated streams.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// blockRNG returns the deterministic generator for one block of one stream.
+func blockRNG(seed int64, stream, block int) *rand.Rand {
+	s := mix64(mix64(uint64(seed)+uint64(stream)<<32) + uint64(block))
+	return rand.New(rand.NewSource(int64(s)))
+}
+
+// keyHash derives a stable pseudo-random value for a dimension key — the
+// replacement for looking the key up in a materialized dimension table.
+func keyHash(seed int64, stream int, key int64) uint64 {
+	return mix64(mix64(uint64(seed)+uint64(stream)<<32) ^ uint64(key))
+}
+
+// ChunkedTPCHLineitem returns an out-of-core LINEITEM source: same schema and
+// value distributions as NewTPCH's lineitem (clustered ship dates, zipf part/
+// supplier keys, low-cardinality flags), scaled by cfg.LineitemRows.
+func ChunkedTPCHLineitem(cfg TPCHConfig) *ChunkedSource {
+	if cfg.LineitemRows <= 0 {
+		cfg.LineitemRows = DefaultTPCH.LineitemRows
+	}
+	n := cfg.LineitemRows
+	nOrders := maxInt(n/4, 10)
+	nPart := maxInt(n/30, 10)
+	nSupp := maxInt(n/600, 5)
+	span := int64(dateHi - dateLo)
+	gen := func(block int, dst []storage.Row) {
+		rng := blockRNG(cfg.Seed, 1, block)
+		pz := NewZipf(rng, nPart, cfg.Zipf)
+		sz := NewZipf(rng, nSupp, cfg.Zipf)
+		mz := NewZipf(rng, len(shipModes), cfg.Zipf)
+		base := block * ChunkedBlockRows
+		for j := range dst {
+			i := base + j
+			ok := int64(i) * int64(nOrders) / int64(n)
+			// The in-memory generator draws o_orderdate uniformly per order;
+			// hash the order key to the same range. Order keys are correlated
+			// with position, so ship dates do NOT cluster by page — matching
+			// the heap property the in-memory lineitem has.
+			odate := dateLo + int64(keyHash(cfg.Seed, 2, ok)%uint64(span))
+			ship := odate + int64(rng.Intn(120)+1)
+			rf := "N"
+			if ship < dateLo+(dateHi-dateLo)/2 && rng.Intn(2) == 0 {
+				rf = []string{"A", "R"}[rng.Intn(2)]
+			}
+			ls := "O"
+			if ship < dateLo+(dateHi-dateLo)*2/3 {
+				ls = "F"
+			}
+			dst[j] = storage.Row{
+				storage.IntVal(ok),
+				storage.IntVal(int64(pz.Next())),
+				storage.IntVal(int64(sz.Next())),
+				storage.IntVal(int64(i%7 + 1)),
+				storage.IntVal(int64(rng.Intn(50) + 1)),
+				storage.FloatVal(float64(rng.Intn(9000000))/100 + 900),
+				storage.FloatVal(float64(rng.Intn(11)) / 100),
+				storage.FloatVal(float64(rng.Intn(9)) / 100),
+				storage.StringVal(rf),
+				storage.StringVal(ls),
+				storage.DateVal(ship),
+				storage.DateVal(odate + int64(rng.Intn(90)+1)),
+				storage.DateVal(ship + int64(rng.Intn(30)+1)),
+				storage.StringVal(shipInstructs[rng.Intn(len(shipInstructs))]),
+				storage.StringVal(shipModes[mz.Next()]),
+				storage.StringVal(comment(rng, 4)),
+			}
+		}
+	}
+	return &ChunkedSource{schema: lineitemSchema(), rows: n, gen: gen}
+}
+
+// ChunkedSalesFact returns an out-of-core SALES fact source mirroring
+// NewSales's fact table: order dates arrive in insertion order (clustering
+// date pages), zipf customer/product keys, NULL-able promo codes.
+func ChunkedSalesFact(cfg SalesConfig) *ChunkedSource {
+	if cfg.FactRows <= 0 {
+		cfg.FactRows = DefaultSales.FactRows
+	}
+	n := cfg.FactRows
+	nCust := maxInt(n/25, 20)
+	nProd := maxInt(n/50, 20)
+	nStore := maxInt(n/500, 8)
+	const lo, hi = 12000, 13500
+	gen := func(block int, dst []storage.Row) {
+		rng := blockRNG(cfg.Seed, 3, block)
+		cz := NewZipf(rng, nCust, cfg.Zipf)
+		pz := NewZipf(rng, nProd, cfg.Zipf)
+		stz := NewZipf(rng, len(usStates), cfg.Zipf)
+		base := block * ChunkedBlockRows
+		for j := range dst {
+			i := base + j
+			od := int64(lo) + int64(i)*int64(hi-lo)/int64(n) + int64(rng.Intn(15))
+			promo := storage.NullValue(storage.KindString)
+			if p := promoCodes[rng.Intn(len(promoCodes))]; p != "NONE" {
+				promo = storage.StringVal(p)
+			}
+			dst[j] = storage.Row{
+				storage.IntVal(int64(i)),
+				storage.DateVal(od),
+				storage.DateVal(od + int64(rng.Intn(20)+1)),
+				storage.IntVal(int64(cz.Next())),
+				storage.IntVal(int64(pz.Next())),
+				storage.IntVal(int64(rng.Intn(nStore))),
+				storage.StringVal(usStates[stz.Next()]),
+				storage.StringVal(channels[rng.Intn(len(channels))]),
+				storage.IntVal(int64(rng.Intn(9) + 1)),
+				storage.FloatVal(float64(rng.Intn(100000)) / 100),
+				storage.FloatVal(float64(rng.Intn(6)) * 0.05),
+				storage.FloatVal(float64(rng.Intn(4)) * 0.02),
+				promo,
+				storage.StringVal(comment(rng, 3)),
+			}
+		}
+	}
+	return &ChunkedSource{schema: salesFactSchema(), rows: n, gen: gen}
+}
+
+// ChunkedByName returns the chunked fact source for a dataset name ("tpch" or
+// "sales"), the dispatch used by the CLIs.
+func ChunkedByName(name string, rows int, zipf float64, seed int64) (*ChunkedSource, error) {
+	switch name {
+	case "tpch":
+		return ChunkedTPCHLineitem(TPCHConfig{LineitemRows: rows, Zipf: zipf, Seed: seed}), nil
+	case "sales":
+		return ChunkedSalesFact(SalesConfig{FactRows: rows, Zipf: zipf, Seed: seed}), nil
+	}
+	return nil, fmt.Errorf("datagen: no chunked source for dataset %q", name)
+}

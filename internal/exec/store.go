@@ -40,6 +40,62 @@ type Store struct {
 	diskDir  string
 	pool     *bufferpool.Pool
 	spillSeq int
+
+	// Cold-scan accelerators, both off by default so exact-counter tests and
+	// single-stream baselines see unchanged behavior. prefetchWindow/Workers
+	// enable async readahead on sequential cursors; scanParts partitions full
+	// scans across goroutines (clamped so concurrent pins can't exhaust the
+	// pool).
+	prefetchWindow  int
+	prefetchWorkers int
+	scanParts       int
+}
+
+// SetPrefetch enables async readahead on sequential page access (scans,
+// range seeks, RID lookups, and the eager path's range reads): cursors keep
+// a window of upcoming pages loading on workers goroutines while the current
+// page decodes. window <= 0 disables; workers <= 0 picks the default worker
+// count. Prefetch is speculative — it changes PoolHits/PoolMisses splits and
+// adds PoolPrefetched accounting but never changes results.
+func (st *Store) SetPrefetch(window, workers int) {
+	if window <= 0 {
+		st.prefetchWindow, st.prefetchWorkers = 0, 0
+		return
+	}
+	if workers <= 0 {
+		workers = storage.DefaultPrefetchWorkers
+	}
+	st.prefetchWindow, st.prefetchWorkers = window, workers
+}
+
+// SetScanParallelism partitions full heap scans across up to k goroutines
+// over disjoint page ranges (k <= 1 disables). Batches still arrive in
+// global page order, so results stay byte-identical to serial scans. The
+// effective k is clamped per scan so that concurrent pins can never exceed
+// the pool's capacity.
+func (st *Store) SetScanParallelism(k int) {
+	if k < 1 {
+		k = 1
+	}
+	st.scanParts = k
+}
+
+// effectiveScanParts clamps the configured scan parallelism for one segment:
+// each partition pins at most one page at a time, but pinned pages plus
+// readahead must leave the pool admissible, so allow one partition per
+// 4 pages of capacity (overflow runs can exceed one page payload).
+func (st *Store) effectiveScanParts(seg *storage.Segment) int {
+	k := st.scanParts
+	if k <= 1 || !seg.Backed() || st.pool == nil {
+		return 1
+	}
+	if max := int(st.pool.Capacity() / (4 * storage.PageSize)); k > max {
+		k = max
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
 }
 
 // SetEagerDecode switches the store back to the pre-streaming access path:
@@ -75,6 +131,33 @@ func (st *Store) SetPool(pool *bufferpool.Pool) error {
 
 // Pool returns the buffer pool of a disk-backed store (nil otherwise).
 func (st *Store) Pool() *bufferpool.Pool { return st.pool }
+
+// MeasuredHitRates reports the pool's observed hit rate for every built
+// disk-backed segment, keyed by the structure's stable id ("heap:<table>" for
+// heaps, the index def ID for structures). Segments never fetched through the
+// pool are omitted. This is the feedback signal for pool-aware costing: a
+// structure whose hot set stays resident serves most fetches from memory, and
+// the cost model can discount its page reads accordingly.
+func (st *Store) MeasuredHitRates() map[string]float64 {
+	if st.pool == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, h := range st.allHandles() {
+		if h.si == nil || h.stale {
+			continue
+		}
+		id, ok := h.si.Seg.BackingFileID()
+		if !ok {
+			continue
+		}
+		fs := st.pool.FileStatsFor(id)
+		if fs.Hits+fs.Misses > 0 {
+			out[h.id] = fs.HitRate()
+		}
+	}
+	return out
+}
 
 // DiskBytes sums the on-disk payload bytes of every currently built segment —
 // the store's total working set under the disk-backed path.
@@ -248,6 +331,9 @@ type runState struct {
 	io    IOStats
 	cache map[pageKey][]storage.Row
 	paths []string
+
+	// Readahead knobs copied from the store at statement start (0 = off).
+	pfWindow, pfWorkers int
 }
 
 type pageKey struct {
@@ -280,8 +366,14 @@ func (rs *runState) readPage(seg *storage.Segment, i int) ([]storage.Row, error)
 }
 
 func (rs *runState) readRange(seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+	// Sequential range read: the eager path's scan shape, so it readaheads
+	// under the same knob as the streaming cursors (nil prefetcher when off
+	// or in-memory).
+	pf := storage.StartPrefetch(seg, lo, hi, rs.pfWindow, rs.pfWorkers)
+	defer pf.Close(&rs.io)
 	out := make([]storage.Row, 0, 64)
 	for i := lo; i < hi; i++ {
+		pf.Advance(i - lo)
 		rows, err := rs.readPage(seg, i)
 		if err != nil {
 			return nil, err
@@ -291,8 +383,12 @@ func (rs *runState) readRange(seg *storage.Segment, lo, hi int) ([]storage.Row, 
 	return out, nil
 }
 
-func newRunState() *runState {
-	return &runState{cache: make(map[pageKey][]storage.Row)}
+func (st *Store) newRunState() *runState {
+	return &runState{
+		cache:     make(map[pageKey][]storage.Row),
+		pfWindow:  st.prefetchWindow,
+		pfWorkers: st.prefetchWorkers,
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -578,7 +674,7 @@ func (st *Store) RunQuery(q *workload.Query) (*Result, error) {
 	if len(q.Tables) == 0 {
 		return nil, fmt.Errorf("exec: query has no tables")
 	}
-	rs := newRunState()
+	rs := st.newRunState()
 	var res *Result
 	var err error
 	if len(q.GroupBy) > 0 || len(q.Aggs) > 0 {
@@ -707,7 +803,7 @@ func (st *Store) runProjection(rs *runState, q *workload.Query) (*Result, error)
 // catalog rows are rewritten in place, and every segment over the table is
 // invalidated. The returned count is identical to the plain RunUpdate's.
 func (st *Store) RunUpdate(u *workload.Update) (int64, IOStats, error) {
-	rs := newRunState()
+	rs := st.newRunState()
 	t := st.db.Table(u.Table)
 	if t == nil {
 		return 0, rs.io, fmt.Errorf("exec: unknown table %q", u.Table)
@@ -731,7 +827,7 @@ func (st *Store) RunUpdate(u *workload.Update) (int64, IOStats, error) {
 // RunDelete applies a predicated DELETE through the page store; see
 // RunUpdate.
 func (st *Store) RunDelete(d *workload.Delete) (int64, IOStats, error) {
-	rs := newRunState()
+	rs := st.newRunState()
 	t := st.db.Table(d.Table)
 	if t == nil {
 		return 0, rs.io, fmt.Errorf("exec: unknown table %q", d.Table)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"testing"
+	"time"
 
 	"cadb/internal/bufferpool"
 	"cadb/internal/compress"
@@ -15,30 +16,46 @@ import (
 // TestDiskStoreMatchesOracleTPCH extends the differential sweep through the
 // disk-backed path: the full TPC-H update-capable workload, every statement
 // byte-identical to the plain-row oracle, at a pool large enough to hold the
-// working set and at one small enough to churn constantly.
+// working set and at one small enough to churn constantly — and across the
+// cold-scan accelerator knobs, because readahead and partitioned scans must
+// never change what a statement returns, including after writes invalidate
+// and rebuild segments mid-sweep.
 func TestDiskStoreMatchesOracleTPCH(t *testing.T) {
 	if testing.Short() {
 		t.Skip("differential sweep is not short")
 	}
 	cfg := datagen.TPCHConfig{LineitemRows: 4000, Seed: 11}
+	knobs := []struct {
+		name            string
+		window, workers int
+		parts           int
+	}{
+		{"serial", 0, 0, 1},
+		{"prefetch", 8, 2, 1},
+		{"prefetch+parallel", 8, 2, 4},
+	}
 	for _, poolBytes := range []int64{64 << 10, 64 << 20} {
 		for _, defs := range [][]*index.Def{nil, tpchDesign()} {
-			oracleDB := datagen.NewTPCH(cfg)
-			storeDB := datagen.NewTPCH(cfg)
-			st, err := NewStore(storeDB, defs)
-			if err != nil {
-				t.Fatal(err)
+			for _, k := range knobs {
+				oracleDB := datagen.NewTPCH(cfg)
+				storeDB := datagen.NewTPCH(cfg)
+				st, err := NewStore(storeDB, defs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pool := bufferpool.New(poolBytes)
+				st.SetDiskBacked(t.TempDir(), pool)
+				st.SetPrefetch(k.window, k.workers)
+				st.SetScanParallelism(k.parts)
+				runDifferential(t, oracleDB, st, workloads.MustTPCHWithUpdates())
+				if pool.Stats().PeakBytes > poolBytes {
+					t.Fatalf("%s: pool peak %d exceeds capacity %d", k.name, pool.Stats().PeakBytes, poolBytes)
+				}
+				if pool.Stats().Misses == 0 {
+					t.Fatalf("%s: disk-backed sweep never missed — pages are not going through the pool", k.name)
+				}
+				st.Close()
 			}
-			pool := bufferpool.New(poolBytes)
-			st.SetDiskBacked(t.TempDir(), pool)
-			runDifferential(t, oracleDB, st, workloads.MustTPCHWithUpdates())
-			if pool.Stats().PeakBytes > poolBytes {
-				t.Fatalf("pool peak %d exceeds capacity %d", pool.Stats().PeakBytes, poolBytes)
-			}
-			if pool.Stats().Misses == 0 {
-				t.Fatal("disk-backed sweep never missed — pages are not going through the pool")
-			}
-			st.Close()
 		}
 	}
 }
@@ -87,7 +104,9 @@ func TestDiskStoreOneMissPerPage(t *testing.T) {
 // TestDiskStoreStaleFrameGuard pins the invalidation satellite: after a
 // write, the old segment's pool frames are dropped and a reader still holding
 // that segment errors instead of seeing pre-write pages, while fresh queries
-// rebuild and match the oracle.
+// rebuild and match the oracle. Prefetch and scan parallelism are on: the
+// guard must hold when frames entered the pool speculatively and the write
+// lands while readahead workers exist.
 func TestDiskStoreStaleFrameGuard(t *testing.T) {
 	cfg := datagen.TPCHConfig{LineitemRows: 2000, Seed: 13}
 	oracleDB := datagen.NewTPCH(cfg)
@@ -98,6 +117,8 @@ func TestDiskStoreStaleFrameGuard(t *testing.T) {
 	}
 	pool := bufferpool.New(64 << 20)
 	st.SetDiskBacked(t.TempDir(), pool)
+	st.SetPrefetch(8, 2)
+	st.SetScanParallelism(2)
 	defer st.Close()
 
 	query := q(t, "SELECT COUNT(*) FROM lineitem WHERE l_quantity <= 10")
@@ -139,6 +160,142 @@ func TestDiskStoreStaleFrameGuard(t *testing.T) {
 		t.Fatal(err)
 	}
 	assertResultsIdentical(t, "after-delete", after, wantAfter)
+}
+
+// TestDiskStorePrefetchRacesWrites interleaves scans (with readahead workers
+// and scan partitions in flight) against UPDATE/DELETE invalidation at
+// randomized offsets. A racing reader must either finish with exactly the
+// pre-write rows — the spill file is immutable until invalidation removes it —
+// or fail; it must never surface stale or torn bytes, and after the write the
+// old segment must refuse every fetch. Run under -race this also proves the
+// prefetcher/invalidation shutdown protocol is data-race free.
+func TestDiskStorePrefetchRacesWrites(t *testing.T) {
+	cfg := datagen.TPCHConfig{LineitemRows: 3000, Seed: 21}
+	oracleDB := datagen.NewTPCH(cfg)
+	storeDB := datagen.NewTPCH(cfg)
+	st, err := NewStore(storeDB, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller than the segment so prefetch admission and eviction churn while
+	// the race runs.
+	pool := bufferpool.New(256 << 10)
+	st.SetDiskBacked(t.TempDir(), pool)
+	st.SetPrefetch(8, 2)
+	st.SetScanParallelism(4)
+	defer st.Close()
+
+	query := q(t, "SELECT l_shipmode, COUNT(*) FROM lineitem GROUP BY l_shipmode")
+	spec := &storage.DecodeSpec{Needed: []int{0}}
+	for iter := 0; iter < 10; iter++ {
+		// Build (or rebuild) the segment and keep a handle a racing reader
+		// would hold across the write.
+		if _, err := st.RunQuery(query); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		si := st.heaps["lineitem"].si
+
+		// Reference: what a scan of the pre-write segment must return.
+		var refIO storage.IOStats
+		var want []int64
+		for c := si.ScanCursor(spec, &refIO); ; {
+			b, err := c.NextBatch()
+			if err != nil {
+				t.Fatalf("iter %d reference: %v", iter, err)
+			}
+			if b == nil {
+				break
+			}
+			for _, r := range b.Rows {
+				want = append(want, r[0].Int)
+			}
+		}
+
+		type raceResult struct {
+			rows []int64
+			err  error
+		}
+		done := make(chan raceResult, 1)
+		go func() {
+			var io storage.IOStats
+			src := si.ParallelScanCursor(4, spec, &io, 8, 2)
+			var rows []int64
+			for {
+				b, err := src.NextBatch()
+				if err != nil {
+					done <- raceResult{err: err}
+					return
+				}
+				if b == nil {
+					done <- raceResult{rows: rows}
+					return
+				}
+				for _, r := range b.Rows {
+					rows = append(rows, r[0].Int)
+				}
+			}
+		}()
+
+		// Vary how deep into the scan the write lands.
+		time.Sleep(time.Duration(iter*37%211) * time.Microsecond)
+		var gotN, wantN int64
+		if iter%2 == 0 {
+			upd := &workload.Update{
+				Table: "lineitem",
+				Set:   []workload.Assignment{{Col: "l_tax", Value: storage.IntVal(int64(iter))}},
+				Preds: []workload.Predicate{{Col: "l_quantity", Op: workload.OpLe, Lo: storage.IntVal(30)}},
+			}
+			wantN, err = RunUpdate(oracleDB, upd)
+			if err == nil {
+				gotN, _, err = st.RunUpdate(upd)
+			}
+		} else {
+			del := &workload.Delete{Table: "lineitem", Preds: []workload.Predicate{
+				{Col: "l_orderkey", Op: workload.OpLe, Lo: storage.IntVal(int64(20 * iter))},
+			}}
+			wantN, err = RunDelete(oracleDB, del)
+			if err == nil {
+				gotN, _, err = st.RunDelete(del)
+			}
+		}
+		if err != nil {
+			t.Fatalf("iter %d write: %v", iter, err)
+		}
+		if gotN != wantN {
+			t.Fatalf("iter %d: wrote %d rows, oracle wrote %d", iter, gotN, wantN)
+		}
+		if gotN == 0 {
+			t.Fatalf("iter %d: write matched no rows — invalidation never exercised", iter)
+		}
+
+		r := <-done
+		if r.err == nil {
+			if len(r.rows) != len(want) {
+				t.Fatalf("iter %d: racing scan returned %d rows, pre-write segment holds %d",
+					iter, len(r.rows), len(want))
+			}
+			for i := range r.rows {
+				if r.rows[i] != want[i] {
+					t.Fatalf("iter %d: racing scan row %d is %d, want %d", iter, i, r.rows[i], want[i])
+				}
+			}
+		}
+		// The write invalidated the old segment: no fetch may succeed again.
+		if _, _, err := si.Seg.FetchPage(0, nil); err == nil {
+			t.Fatalf("iter %d: stale segment served a page after invalidation", iter)
+		}
+	}
+	// The store and oracle applied identical writes throughout; the rebuilt
+	// segments must still agree.
+	got, err := st.RunQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, err := Run(oracleDB, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "after-race-sweep", got, wantRes)
 }
 
 // TestDiskStorePoolSwap pins SetPool: after swapping to a fresh pool the

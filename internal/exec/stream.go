@@ -25,6 +25,10 @@ import (
 type rowStream struct {
 	schema *storage.Schema
 	next   func() ([]storage.Row, error)
+	// close releases the stream's cursor resources (readahead workers, scan
+	// partitions) when the consumer stops early; nil when there are none.
+	// Cursors self-close at exhaustion and on their own errors.
+	close func()
 }
 
 func singleBatch(schema *storage.Schema, rows []storage.Row) *rowStream {
@@ -38,7 +42,8 @@ func singleBatch(schema *storage.Schema, rows []storage.Row) *rowStream {
 	}}
 }
 
-// forEach drains the stream through fn.
+// forEach drains the stream through fn, releasing cursor resources if fn
+// aborts the drain.
 func (s *rowStream) forEach(fn func(storage.Row) error) error {
 	for {
 		batch, err := s.next()
@@ -50,6 +55,9 @@ func (s *rowStream) forEach(fn func(storage.Row) error) error {
 		}
 		for _, r := range batch {
 			if err := fn(r); err != nil {
+				if s.close != nil {
+					s.close()
+				}
 				return err
 			}
 		}
@@ -155,14 +163,19 @@ func (st *Store) accessStream(rs *runState, table string, preds []workload.Predi
 
 // heapScanStream streams the heap in page order — insertion order by
 // construction — decoding only the needed columns and pre-filtering rows in
-// the codec.
+// the codec. Full scans are where the store's cold-scan accelerators apply:
+// readahead keeps a window of pages loading ahead of the decode, and scan
+// parallelism partitions the page range across goroutines; the partitioned
+// cursor still merges batches in global page order, so consumers observe the
+// serial scan's exact stream.
 func (st *Store) heapScanStream(rs *runState, table string, heap *index.SegmentIndex, preds []workload.Predicate, needed []string) *rowStream {
 	hs := heap.Schema()
 	ords := ordinalsFor(hs, needed)
 	spec := &storage.DecodeSpec{Needed: ords, Preds: compilePushdown(hs, preds)}
-	cur := heap.ScanCursor(spec, &rs.io)
+	parts := st.effectiveScanParts(heap.Seg)
+	cur := heap.ParallelScanCursor(parts, spec, &rs.io, rs.pfWindow, rs.pfWorkers)
 	rs.paths = append(rs.paths, fmt.Sprintf("seg-scan %s (%d pages)", table, heap.Seg.NumPages()))
-	return &rowStream{schema: projectSchema(hs, ords), next: func() ([]storage.Row, error) {
+	return &rowStream{schema: projectSchema(hs, ords), close: cur.Close, next: func() ([]storage.Row, error) {
 		b, err := cur.NextBatch()
 		if err != nil || b == nil {
 			return nil, err
@@ -184,6 +197,7 @@ func (st *Store) coveringStream(rs *runState, table string, best *candidate, pre
 	ords := ordinalsFor(ss, needed, ridIdx)
 	spec := &storage.DecodeSpec{Needed: ords, Preds: compilePushdown(ss, preds)}
 	cur := best.si.PageRangeCursor(best.lo, best.hi, spec, &rs.io)
+	cur.EnablePrefetch(rs.pfWindow, rs.pfWorkers)
 	rs.paths = append(rs.paths, fmt.Sprintf("seg-%s-seek %s via %s (%d of %d pages)",
 		best.h.kind, table, best.h.id, best.hi-best.lo, best.si.Seg.NumPages()))
 
@@ -214,7 +228,7 @@ func (st *Store) coveringStream(rs *runState, table string, best *candidate, pre
 	if !ordered {
 		// Canonicalizing consumers don't care about row order: stream page
 		// batches straight through, skipping order restoration entirely.
-		return &rowStream{schema: outSchema, next: func() ([]storage.Row, error) {
+		return &rowStream{schema: outSchema, close: cur.Close, next: func() ([]storage.Row, error) {
 			b, err := cur.NextBatch()
 			if err != nil || b == nil {
 				return nil, err
@@ -264,6 +278,7 @@ func (st *Store) lookupStream(rs *runState, table string, heap *index.SegmentInd
 	}
 	spec := &storage.DecodeSpec{Needed: []int{ridIdx}, Preds: compilePushdown(ss, preds)}
 	cur := best.si.PageRangeCursor(best.lo, best.hi, spec, &rs.io)
+	cur.EnablePrefetch(rs.pfWindow, rs.pfWorkers)
 	var rids []int64
 	for {
 		b, err := cur.NextBatch()
@@ -285,9 +300,10 @@ func (st *Store) lookupStream(rs *runState, table string, heap *index.SegmentInd
 	ords := ordinalsFor(hs, needed)
 	hspec := &storage.DecodeSpec{Needed: ords, Preds: compilePushdown(hs, preds)}
 	hcur := heap.RIDCursor(rids, hspec, &rs.io)
+	hcur.EnablePrefetch(rs.pfWindow, rs.pfWorkers)
 	rs.paths = append(rs.paths, fmt.Sprintf("seg-index-seek+lookup %s via %s (%d of %d pages, %d lookups)",
 		table, best.h.id, best.hi-best.lo, best.si.Seg.NumPages(), len(rids)))
-	return &rowStream{schema: projectSchema(hs, ords), next: func() ([]storage.Row, error) {
+	return &rowStream{schema: projectSchema(hs, ords), close: hcur.Close, next: func() ([]storage.Row, error) {
 		b, err := hcur.NextBatch()
 		if err != nil || b == nil {
 			return nil, err

@@ -29,13 +29,14 @@ var Registry = map[string]Runner{
 	"ext-updates":  ExtUpdates,
 	"ext-measured": ExtMeasured,
 	"ext-pool":     ExtPool,
+	"ext-scan":     ExtScan,
 }
 
 // Order is the canonical presentation order.
 var Order = []string{
 	"motivating", "table1", "fig9", "table2", "fig10", "table3",
 	"table4", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-	"ext-methods", "ext-updates", "ext-measured", "ext-pool",
+	"ext-methods", "ext-updates", "ext-measured", "ext-pool", "ext-scan",
 }
 
 // IDs returns the registered experiment IDs, sorted.

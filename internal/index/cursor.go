@@ -32,11 +32,22 @@ type pageWork struct {
 // stats sink as it happens, so a partially consumed cursor reports only the
 // work actually done.
 type Cursor struct {
-	seg  *storage.Segment
-	spec *storage.DecodeSpec
-	work []pageWork
-	at   int
-	io   *storage.IOStats
+	seg    *storage.Segment
+	spec   *storage.DecodeSpec
+	work   []pageWork
+	at     int
+	io     *storage.IOStats
+	pf     *storage.Prefetcher
+	pfBase int // work index the prefetch plan starts at
+}
+
+// BatchSource is the streaming contract access paths consume: NextBatch
+// until nil, Close when done (Close is idempotent and required even on early
+// abandonment so readahead workers drain). Cursor and ParallelCursor both
+// satisfy it.
+type BatchSource interface {
+	NextBatch() (*Batch, error)
+	Close()
 }
 
 // ScanCursor streams every page in order — the full-scan access path.
@@ -93,10 +104,36 @@ func (si *SegmentIndex) RIDCursor(rids []int64, spec *storage.DecodeSpec, io *st
 // NumPages returns how many pages the cursor will visit in total.
 func (c *Cursor) NumPages() int { return len(c.work) }
 
+// EnablePrefetch starts async readahead over the cursor's page visit order
+// (a no-op for in-memory segments or before any pages remain). The cursor
+// advances the readahead frontier as it consumes pages and flushes the
+// prefetch accounting into its stats sink on Close/exhaustion.
+func (c *Cursor) EnablePrefetch(window, workers int) {
+	if c.pf != nil || c.at >= len(c.work) {
+		return
+	}
+	plan := make([]int, 0, len(c.work)-c.at)
+	for _, w := range c.work[c.at:] {
+		plan = append(plan, w.page)
+	}
+	c.pf = storage.StartPrefetchPlan(c.seg, plan, window, workers)
+	c.pfBase = c.at
+}
+
+// Close releases the cursor's readahead (idempotent; automatic at
+// exhaustion). Callers abandoning a cursor early must call it.
+func (c *Cursor) Close() {
+	if c.pf != nil {
+		c.pf.Close(c.io)
+		c.pf = nil
+	}
+}
+
 // NextBatch returns the next non-empty batch, or nil when the cursor is
 // exhausted.
 func (c *Cursor) NextBatch() (*Batch, error) {
 	for c.at < len(c.work) {
+		c.pf.Advance(c.at - c.pfBase)
 		w := c.work[c.at]
 		c.at++
 		c.io.PageReads += c.seg.Page(w.page).PhysicalPages()
@@ -108,11 +145,13 @@ func (c *Cursor) NextBatch() (*Batch, error) {
 		}
 		payload, release, err := c.seg.FetchPage(w.page, c.io)
 		if err != nil {
+			c.Close()
 			return nil, err
 		}
 		dp, err := c.seg.Codec.DecodeColumns(c.seg.Schema, payload, c.seg.PageRows(w.page), spec)
 		release()
 		if err != nil {
+			c.Close()
 			return nil, err
 		}
 		c.io.PagesDecoded++
@@ -128,5 +167,6 @@ func (c *Cursor) NextBatch() (*Batch, error) {
 		}
 		return &Batch{Page: w.page, Rows: dp.Rows, Slots: dp.Slots, RIDs: rids}, nil
 	}
+	c.Close()
 	return nil, nil
 }

@@ -1,0 +1,138 @@
+package index
+
+import (
+	"sync"
+
+	"cadb/internal/storage"
+)
+
+// ParallelCursor partitions a full scan across K goroutines over disjoint
+// contiguous page ranges. Each partition runs its own PageRangeCursor (with
+// its own IOStats sink and optional readahead) and feeds a bounded channel;
+// the merger yields partition 0's batches first, then partition 1's, and so
+// on. Because partitions are contiguous ascending ranges, the merged batch
+// order is exactly the serial ScanCursor's ascending page order — consumers
+// see byte-identical streams, just produced by concurrent disk reads and
+// decodes.
+//
+// Per-partition IOStats are summed into the shared sink when the cursor
+// finishes (exhaustion, error, or Close), never concurrently, so the sink
+// needs no locking and totals match the serial scan exactly.
+type ParallelCursor struct {
+	parts  []*scanPart
+	cur    int
+	io     *storage.IOStats
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+type scanPart struct {
+	ch chan partMsg
+	io storage.IOStats
+}
+
+type partMsg struct {
+	batch *Batch
+	err   error
+}
+
+// partBatchDepth bounds how many decoded batches each partition may have in
+// flight ahead of the merger — enough to keep workers busy, small enough
+// that a K-way scan holds O(K) pages of decoded rows.
+const partBatchDepth = 2
+
+// ParallelScanCursor streams every page like ScanCursor but partitioned
+// across parts goroutines. window/workers > 0 additionally enable per-
+// partition readahead. parts is clamped to the page count; parts <= 1 falls
+// back to the serial cursor (with readahead if requested).
+func (si *SegmentIndex) ParallelScanCursor(parts int, spec *storage.DecodeSpec, io *storage.IOStats, window, workers int) BatchSource {
+	n := si.Seg.NumPages()
+	if parts > n {
+		parts = n
+	}
+	if parts <= 1 {
+		c := si.ScanCursor(spec, io)
+		if window > 0 && workers > 0 {
+			c.EnablePrefetch(window, workers)
+		}
+		return c
+	}
+	pc := &ParallelCursor{io: io, stop: make(chan struct{})}
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + (n-lo)/(parts-i)
+		p := &scanPart{ch: make(chan partMsg, partBatchDepth)}
+		c := si.PageRangeCursor(lo, hi, spec, &p.io)
+		if window > 0 && workers > 0 {
+			c.EnablePrefetch(window, workers)
+		}
+		pc.parts = append(pc.parts, p)
+		pc.wg.Add(1)
+		go pc.run(p, c)
+		lo = hi
+	}
+	return pc
+}
+
+// run drains one partition's cursor into its channel. The cursor closes its
+// own readahead on exhaustion or error; an early stop closes it explicitly.
+func (pc *ParallelCursor) run(p *scanPart, c *Cursor) {
+	defer pc.wg.Done()
+	defer close(p.ch)
+	for {
+		b, err := c.NextBatch()
+		if err != nil {
+			select {
+			case p.ch <- partMsg{err: err}:
+			case <-pc.stop:
+			}
+			return
+		}
+		if b == nil {
+			return
+		}
+		select {
+		case p.ch <- partMsg{batch: b}:
+		case <-pc.stop:
+			c.Close()
+			return
+		}
+	}
+}
+
+// NextBatch returns the next batch in global page order, or nil when every
+// partition is drained. The first partition error aborts the whole scan.
+func (pc *ParallelCursor) NextBatch() (*Batch, error) {
+	for pc.cur < len(pc.parts) {
+		msg, ok := <-pc.parts[pc.cur].ch
+		if !ok {
+			pc.cur++
+			continue
+		}
+		if msg.err != nil {
+			pc.Close()
+			return nil, msg.err
+		}
+		return msg.batch, nil
+	}
+	pc.Close()
+	return nil, nil
+}
+
+// Close stops the partitions, waits for their goroutines, and merges the
+// per-partition IOStats into the shared sink. Idempotent; called
+// automatically at exhaustion and on error.
+func (pc *ParallelCursor) Close() {
+	if pc.closed {
+		return
+	}
+	pc.closed = true
+	close(pc.stop)
+	pc.wg.Wait()
+	if pc.io != nil {
+		for _, p := range pc.parts {
+			pc.io.Add(p.io)
+		}
+	}
+}

@@ -44,6 +44,11 @@ type CostModel struct {
 	// Beta is the per-tuple per-column decompression CPU cost on reads.
 	Beta map[compress.Method]float64
 
+	// pool, when set, makes costing pool-aware: page-I/O terms are
+	// discounted by each structure's expected buffer-pool hit rate. Nil
+	// reproduces the base (cold-store) model exactly. See poolprofile.go.
+	pool *PoolProfile
+
 	// cache memoizes per-(statement, relevant-index-signature) costs; see
 	// costcache.go. Lazily initialized, safe for concurrent use.
 	cache costCache
@@ -250,9 +255,14 @@ func (cm *CostModel) baseScan(t *catalog.Table, preds []workload.Predicate, cols
 		}
 	}
 	pages := float64(t.HeapPages())
-	cost := cm.SeqPageIO*pages + cm.CPUTuple*rows
-	return AccessPath{Table: t.Name, Kind: "heap-scan", Rows: outRows, Cost: cost, EstPageReads: pages}
+	disc := cm.poolDiscount(heapID(t.Name), t.HeapBytes())
+	cost := cm.SeqPageIO*pages*disc + cm.CPUTuple*rows
+	return AccessPath{Table: t.Name, Kind: "heap-scan", Rows: outRows, Cost: cost, EstPageReads: pages * disc}
 }
+
+// heapID is the heap's structure id in pool-profile rate maps, matching the
+// executor's handle naming.
+func heapID(table string) string { return "heap:" + strings.ToLower(table) }
 
 // indexPath costs using the given index for the table, returning ok=false
 // when the index is unusable (partial filter not implied, or non-covering
@@ -319,25 +329,28 @@ func (cm *CostModel) indexPath(t *catalog.Table, h *HypoIndex, preds []workload.
 	usedCols := countUsedCols(idxCols, needed)
 	beta := cm.Beta[methodOf(h)]
 	residualSel := CombinedSelectivity(t, remaining)
+	disc := cm.poolDiscount(h.Def.ID(), h.Bytes)
 
 	if matchedAny {
 		matched := idxRows * seekSel
 		height := cm.treeHeight(pages)
-		cost := cm.RandPageIO*height + cm.SeqPageIO*math.Ceil(seekSel*pages)
+		cost := (cm.RandPageIO*height + cm.SeqPageIO*math.Ceil(seekSel*pages)) * disc
 		cost += cm.CPUTuple*matched + beta*matched*float64(usedCols)
 		kind := "index-seek"
 		if clustered {
 			kind = "clustered-seek"
 		}
 		ap := AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost,
-			EstPageReads: height + math.Ceil(seekSel*pages)}
+			EstPageReads: (height + math.Ceil(seekSel*pages)) * disc}
 		if !covering {
 			// RID lookups for rows surviving all predicates resolvable on
 			// the index; remaining predicates are applied after the lookup.
+			// The lookups land on the heap, so they take the heap's discount.
 			lookups := idxRows * seekSel * residualFraction(t, remaining, idxCols)
+			heapDisc := cm.poolDiscount(heapID(t.Name), t.HeapBytes())
 			ap.Lookups = lookups
-			ap.Cost += cm.RandPageIO*lookups + cm.CPUTuple*lookups
-			ap.EstPageReads += lookups
+			ap.Cost += cm.RandPageIO*lookups*heapDisc + cm.CPUTuple*lookups
+			ap.EstPageReads += lookups * heapDisc
 		}
 		return ap, true
 	}
@@ -352,9 +365,9 @@ func (cm *CostModel) indexPath(t *catalog.Table, h *HypoIndex, preds []workload.
 	if h.Def.IsMV() {
 		kind = "mv-scan"
 	}
-	cost := cm.SeqPageIO*pages + cm.CPUTuple*idxRows + beta*idxRows*float64(usedCols)
+	cost := cm.SeqPageIO*pages*disc + cm.CPUTuple*idxRows + beta*idxRows*float64(usedCols)
 	_ = residualSel
-	return AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost, EstPageReads: pages}, true
+	return AccessPath{Table: t.Name, Index: h, Kind: kind, Cost: cost, EstPageReads: pages * disc}, true
 }
 
 // residualFraction estimates the fraction of prefix-matched rows that
@@ -536,15 +549,16 @@ func (cm *CostModel) mvAccess(h *HypoIndex, residual []workload.Predicate, q *wo
 		}
 	}
 	var cost, reads float64
+	disc := cm.poolDiscount(h.Def.ID(), h.Bytes)
 	kind := "mv-scan"
 	if seek {
 		kind = "mv-seek"
-		cost = cm.RandPageIO*cm.treeHeight(pages) + cm.SeqPageIO*math.Ceil(sel*pages)
+		cost = (cm.RandPageIO*cm.treeHeight(pages) + cm.SeqPageIO*math.Ceil(sel*pages)) * disc
 		cost += cm.CPUTuple*sel*rows + beta*sel*rows*float64(usedCols)
-		reads = cm.treeHeight(pages) + math.Ceil(sel*pages)
+		reads = (cm.treeHeight(pages) + math.Ceil(sel*pages)) * disc
 	} else {
-		cost = cm.SeqPageIO*pages + cm.CPUTuple*rows + beta*rows*float64(usedCols)
-		reads = pages
+		cost = cm.SeqPageIO*pages*disc + cm.CPUTuple*rows + beta*rows*float64(usedCols)
+		reads = pages * disc
 	}
 	return AccessPath{Table: h.Def.Table, Index: h, Kind: kind, Rows: sel * rows, Cost: cost, EstPageReads: reads}
 }

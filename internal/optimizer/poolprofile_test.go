@@ -1,0 +1,169 @@
+package optimizer
+
+import (
+	"testing"
+
+	"cadb/internal/compress"
+	"cadb/internal/datagen"
+	"cadb/internal/index"
+	"cadb/internal/sqlparse"
+	"cadb/internal/workload"
+)
+
+func TestPoolProfileRateFor(t *testing.T) {
+	var nilP *PoolProfile
+	if got := nilP.RateFor("heap:x", 100); got != 0 {
+		t.Fatalf("nil profile rate = %g, want 0", got)
+	}
+	p := &PoolProfile{
+		CapacityBytes:   1000,
+		ResidentHitRate: 0.8,
+		Rates:           map[string]float64{"measured": 0.5, "over": 1.5, "under": -1},
+	}
+	if got := p.RateFor("fits", 1000); got != 0.8 {
+		t.Fatalf("fitting structure rate = %g, want 0.8", got)
+	}
+	if got := p.RateFor("spills", 1001); got != 0 {
+		t.Fatalf("spilling structure rate = %g, want 0", got)
+	}
+	if got := p.RateFor("measured", 1); got != 0.5 {
+		t.Fatalf("measured rate = %g, want 0.5 (measured wins over fit)", got)
+	}
+	if got := p.RateFor("over", 1); got != 0.999 {
+		t.Fatalf("over-unity rate clamps to %g, want 0.999", got)
+	}
+	if got := p.RateFor("under", 1); got != 0 {
+		t.Fatalf("negative rate clamps to %g, want 0", got)
+	}
+	if got := NewPoolProfile(1000).RateFor("fits", 10); got != DefaultResidentHitRate {
+		t.Fatalf("default resident rate = %g, want %g", got, DefaultResidentHitRate)
+	}
+}
+
+// poolTestStmt is a full-width projection with no sargable predicate: every
+// access path is a scan, so costs isolate the page-I/O discount.
+func poolTestStmt(t *testing.T) *workload.Statement {
+	t.Helper()
+	stmt, err := sqlparse.ParseStatement("SELECT l_orderkey, l_partkey, l_quantity, l_extendedprice FROM lineitem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+// TestPoolAwareCostingDiscountsResident pins the discount arithmetic: with a
+// profile whose pool holds the heap, the heap scan's page reads and I/O cost
+// shrink by exactly (1 - rate), CPU terms are untouched, and clearing the
+// profile restores the cold-store numbers bit-for-bit.
+func TestPoolAwareCostingDiscountsResident(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 2000, Seed: 3})
+	cm := NewCostModel(db)
+	stmt := poolTestStmt(t)
+	cfg := NewConfiguration()
+
+	cold := cm.Plan(stmt, cfg)
+	coldReads := cold.EstimatedPageReads()
+	if coldReads <= 0 {
+		t.Fatal("cold plan reads nothing")
+	}
+
+	cm.SetPoolProfile(&PoolProfile{CapacityBytes: 1 << 40, ResidentHitRate: 0.9})
+	warm := cm.Plan(stmt, cfg)
+	wantReads := coldReads * 0.1
+	if diff := warm.EstimatedPageReads() - wantReads; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("pool-aware reads = %g, want %g (cold %g x 0.1)", warm.EstimatedPageReads(), wantReads, coldReads)
+	}
+	if warm.Total >= cold.Total {
+		t.Fatalf("pool-aware cost %g not below cold %g", warm.Total, cold.Total)
+	}
+	// Only I/O was discounted: the cost delta is exactly the discounted pages.
+	pages := float64(db.MustTable("lineitem").HeapPages())
+	wantDelta := cm.SeqPageIO * pages * 0.9
+	if diff := (cold.Total - warm.Total) - wantDelta; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("cost delta %g, want pure-I/O delta %g", cold.Total-warm.Total, wantDelta)
+	}
+
+	cm.SetPoolProfile(nil)
+	again := cm.Plan(stmt, cfg)
+	if again.Total != cold.Total || again.EstimatedPageReads() != coldReads {
+		t.Fatalf("clearing the profile did not restore cold costs: %g/%g vs %g/%g",
+			again.Total, again.EstimatedPageReads(), cold.Total, coldReads)
+	}
+}
+
+// TestPoolAwareCostingShiftsChoice pins the recommendation-shift mechanism:
+// two covering variants of the same index where the uncompressed one is
+// cheaper under cold costing (fewer CPU cycles, modest page advantage), but
+// only the PAGE-compressed one fits the pool — with a profile installed the
+// compressed variant wins, which is exactly the residency effect the pool
+// sweep measures.
+func TestPoolAwareCostingShiftsChoice(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 2000, Seed: 3})
+	cm := NewCostModel(db)
+	stmt := poolTestStmt(t)
+
+	def := func(m compress.Method) *index.Def {
+		return &index.Def{
+			Table:       "lineitem",
+			KeyCols:     []string{"l_orderkey"},
+			IncludeCols: []string{"l_partkey", "l_quantity", "l_extendedprice"},
+			Method:      m,
+		}
+	}
+	rows := db.MustTable("lineitem").RowCount()
+	// Sizes chosen so the PAGE variant's page advantage is smaller than its
+	// decompression CPU under cold costing (NONE wins), but only PAGE fits
+	// the 160KB pool below.
+	plain := &HypoIndex{Def: def(compress.None), Rows: rows, Bytes: 200 << 10, UncompressedBytes: 200 << 10}
+	packed := &HypoIndex{Def: def(compress.Page), Rows: rows, Bytes: 150 << 10, UncompressedBytes: 200 << 10}
+	cfgPlain := NewConfiguration(plain)
+	cfgPacked := NewConfiguration(packed)
+
+	coldPlain := cm.Cost(stmt, cfgPlain)
+	coldPacked := cm.Cost(stmt, cfgPacked)
+	if coldPlain >= coldPacked {
+		t.Fatalf("cold model already prefers PAGE (%g vs %g) — shift scenario needs retuning",
+			coldPacked, coldPlain)
+	}
+
+	// Pool holds the compressed variant but not the uncompressed one.
+	cm.SetPoolProfile(&PoolProfile{CapacityBytes: 160 << 10, ResidentHitRate: 0.9})
+	warmPlain := cm.Cost(stmt, cfgPlain)
+	warmPacked := cm.Cost(stmt, cfgPacked)
+	if warmPacked >= warmPlain {
+		t.Fatalf("pool-aware model still prefers the spilling variant: PAGE %g vs NONE %g", warmPacked, warmPlain)
+	}
+	if warmPlain != coldPlain {
+		t.Fatalf("spilling variant's cost changed (%g vs %g) though it gets no discount", warmPlain, coldPlain)
+	}
+}
+
+// TestPoolProfileDeterministic runs the same costing twice under the same
+// profile and demands identical numbers — the profile must not introduce any
+// order or state dependence.
+func TestPoolProfileDeterministic(t *testing.T) {
+	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 2000, Seed: 3})
+	stmt := poolTestStmt(t)
+	profile := &PoolProfile{CapacityBytes: 1 << 20, ResidentHitRate: 0.85,
+		Rates: map[string]float64{"heap:lineitem": 0.4}}
+	run := func() (float64, float64) {
+		cm := NewCostModel(db)
+		cm.SetPoolProfile(profile)
+		p := cm.Plan(stmt, NewConfiguration())
+		return p.Total, p.EstimatedPageReads()
+	}
+	c1, r1 := run()
+	c2, r2 := run()
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("pool-aware costing not deterministic: %g/%g vs %g/%g", c1, r1, c2, r2)
+	}
+	// The measured heap rate (0.4) must override the fit heuristic (0.85).
+	cm := NewCostModel(db)
+	cm.SetPoolProfile(profile)
+	reads := cm.Plan(stmt, NewConfiguration()).EstimatedPageReads()
+	pages := float64(db.MustTable("lineitem").HeapPages())
+	want := pages * 0.6
+	if diff := reads - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("measured-rate reads = %g, want %g", reads, want)
+	}
+}

@@ -27,9 +27,14 @@ type IOStats struct {
 	PoolHits int64
 	// PoolMisses counts page fetches that had to load from disk.
 	PoolMisses int64
-	// BytesRead is the payload bytes loaded from disk on pool misses — the
-	// statement's actual I/O volume under the disk-backed path.
+	// BytesRead is the payload bytes loaded from disk on pool misses and
+	// prefetches — the statement's actual I/O volume under the disk-backed
+	// path.
 	BytesRead int64
+	// PoolPrefetched counts pages speculatively loaded by readahead on this
+	// statement's behalf (each later fetch of such a page is a PoolHit, not a
+	// PoolMiss; prefetched bytes are in BytesRead).
+	PoolPrefetched int64
 }
 
 // Add accumulates another stats bucket.
@@ -41,6 +46,7 @@ func (io *IOStats) Add(o IOStats) {
 	io.PoolHits += o.PoolHits
 	io.PoolMisses += o.PoolMisses
 	io.BytesRead += o.BytesRead
+	io.PoolPrefetched += o.PoolPrefetched
 }
 
 // PredOp enumerates the comparison operators a pushed-down predicate can

@@ -1,0 +1,12 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package storage
+
+import "os"
+
+// DropOSCache is a no-op on platforms without posix_fadvise: cold-read
+// benchmarks run warm there, and correctness never depends on eviction.
+func DropOSCache(path string) error { return nil }
+
+// adviseRandom is a no-op on platforms without posix_fadvise.
+func adviseRandom(f *os.File) {}

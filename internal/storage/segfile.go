@@ -106,6 +106,7 @@ func WriteSegmentFile(path string, seg *Segment) (*SegmentFile, error) {
 		f.Close()
 		return nil, err
 	}
+	adviseRandom(f)
 	return &SegmentFile{f: f, path: path, codecName: name, rows: seg.rows, entries: entries}, nil
 }
 
@@ -121,6 +122,7 @@ func OpenSegmentFile(path string) (*SegmentFile, error) {
 		f.Close()
 		return nil, err
 	}
+	adviseRandom(f)
 	return sf, nil
 }
 
@@ -218,6 +220,39 @@ func (sf *SegmentFile) ReadPage(i int) ([]byte, error) {
 		return nil, fmt.Errorf("storage: %s: page %d: checksum mismatch", sf.path, i)
 	}
 	return buf, nil
+}
+
+// ReadPageSpan reads pages [lo, hi) in one ReadAt over their contiguous file
+// range and returns the per-page payloads, each checksum-verified and copied
+// out of the span buffer (so a buffer pool admitting individual pages never
+// retains the whole span). Page payloads are laid out back to back by the
+// writers, which is what makes the single large read possible — coalescing is
+// the point: one span read runs at sequential-disk bandwidth where hi-lo
+// individual page reads would each pay a seek-sized latency.
+func (sf *SegmentFile) ReadPageSpan(lo, hi int) ([][]byte, error) {
+	if lo < 0 || hi > len(sf.entries) || lo >= hi {
+		return nil, fmt.Errorf("storage: %s: page span [%d,%d) of %d", sf.path, lo, hi, len(sf.entries))
+	}
+	first, last := sf.entries[lo], sf.entries[hi-1]
+	start := first.offset
+	end := last.offset + uint64(last.length)
+	buf := make([]byte, end-start)
+	if len(buf) > 0 {
+		if _, err := sf.f.ReadAt(buf, int64(start)); err != nil {
+			return nil, fmt.Errorf("storage: %s: pages [%d,%d): %w", sf.path, lo, hi, err)
+		}
+	}
+	out := make([][]byte, hi-lo)
+	for i := lo; i < hi; i++ {
+		e := sf.entries[i]
+		rel := e.offset - start
+		page := buf[rel : rel+uint64(e.length)]
+		if got := crc32.ChecksumIEEE(page); got != e.crc {
+			return nil, fmt.Errorf("storage: %s: page %d: checksum mismatch", sf.path, i)
+		}
+		out[i-lo] = append([]byte(nil), page...)
+	}
+	return out, nil
 }
 
 // Close closes the underlying file.

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"cadb/internal/bufferpool"
 )
@@ -68,12 +69,17 @@ type Segment struct {
 	backing *segBacking
 }
 
-// segBacking is the disk-backed payload source of a spilled segment.
+// segBacking is the disk-backed payload source of a spilled segment. closed
+// is atomic because cursor goroutines (scans, prefetch workers) check it
+// while a writer may be closing the backing: the flag flips before the pool
+// frames are invalidated and the file removed, so any load that slips past
+// the check is poisoned by InvalidateFile or fails on the closed fd — stale
+// bytes can never be admitted.
 type segBacking struct {
 	file   *SegmentFile
 	pool   *bufferpool.Pool
 	fileID uint64
-	closed bool
+	closed atomic.Bool
 }
 
 // BuildSegment encodes the rows into a segment using the codec.
@@ -178,7 +184,7 @@ func (g *Segment) Repool(pool *bufferpool.Pool) error {
 	if g.backing == nil {
 		return fmt.Errorf("storage: Repool on an in-memory segment")
 	}
-	if g.backing.closed {
+	if g.backing.closed.Load() {
 		return fmt.Errorf("storage: Repool on a closed segment backing")
 	}
 	g.backing.pool.InvalidateFile(g.backing.fileID)
@@ -195,12 +201,26 @@ func (g *Segment) Backed() bool { return g.backing != nil }
 // this when the segment's rows went stale — the guard that a cursor holding
 // the old segment can never read pre-write pages back out of the pool.
 func (g *Segment) CloseBacking() {
-	if g.backing == nil || g.backing.closed {
+	if g.backing == nil || g.backing.closed.Swap(true) {
 		return
 	}
-	g.backing.closed = true
+	// Order matters: closed is already set, so no new fetch or prefetch
+	// starts; InvalidateFile poisons loads already in flight; Remove closes
+	// the fd so any straggling ReadAt errors instead of reading.
 	g.backing.pool.InvalidateFile(g.backing.fileID)
 	g.backing.file.Remove()
+}
+
+// BackingFileID returns the pool file identity of a spilled segment and true,
+// or 0 and false for in-memory or closed segments. The pool's per-file
+// counters for this identity are the measured-hit-rate input the pool-aware
+// cost model consumes.
+func (g *Segment) BackingFileID() (uint64, bool) {
+	b := g.backing
+	if b == nil || b.closed.Load() {
+		return 0, false
+	}
+	return b.fileID, true
 }
 
 // FetchPage returns page i's payload and a release func the caller must
@@ -212,11 +232,11 @@ func (g *Segment) FetchPage(i int, io *IOStats) ([]byte, func(), error) {
 	if b == nil {
 		return g.pages[i].Payload, func() {}, nil
 	}
-	if b.closed {
+	if b.closed.Load() {
 		return nil, nil, fmt.Errorf("storage: stale segment: backing file was invalidated by a write")
 	}
 	k := bufferpool.Key{File: b.fileID, Page: i}
-	data, hit, err := b.pool.Get(k, func() ([]byte, error) { return b.file.ReadPage(i) })
+	data, hit, err := b.pool.Get(k, b.loadPage(i))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -229,6 +249,73 @@ func (g *Segment) FetchPage(i int, io *IOStats) ([]byte, func(), error) {
 		}
 	}
 	return data, func() { b.pool.Unpin(k) }, nil
+}
+
+// loadPage builds the pool load closure for page i. The closed re-check
+// after the read narrows the stale-bytes window: a read that completed just
+// before CloseBacking still fails here instead of being admitted.
+func (b *segBacking) loadPage(i int) func() ([]byte, error) {
+	return func() ([]byte, error) {
+		data, err := b.file.ReadPage(i)
+		if err == nil && b.closed.Load() {
+			return nil, fmt.Errorf("storage: stale segment: backing file was invalidated by a write")
+		}
+		return data, err
+	}
+}
+
+// PrefetchPage speculatively loads page i into the pool (unpinned) so an
+// upcoming sequential FetchPage hits instead of stalling. Returns the bytes
+// loaded: 0 when the segment is in-memory, closed, or the page is already
+// resident or in flight. Errors are returned for accounting but a failed
+// prefetch is harmless — the page simply stays cold.
+func (g *Segment) PrefetchPage(i int) (int64, error) {
+	b := g.backing
+	if b == nil || b.closed.Load() {
+		return 0, nil
+	}
+	return b.pool.Prefetch(bufferpool.Key{File: b.fileID, Page: i}, b.loadPage(i))
+}
+
+// PrefetchSpan speculatively loads pages [lo, hi) into the pool (unpinned)
+// with at most one coalesced span read: the first page that is actually
+// missing triggers a single ReadAt covering the whole span, and every other
+// missing page is admitted from that buffer. Resident or in-flight pages are
+// skipped. Returns the pages and payload bytes actually admitted; like
+// PrefetchPage, errors are for accounting only — the pages simply stay cold.
+func (g *Segment) PrefetchSpan(lo, hi int) (pages int, bytes int64, err error) {
+	b := g.backing
+	if b == nil || b.closed.Load() {
+		return 0, 0, nil
+	}
+	var span [][]byte
+	var spanErr error
+	readSpan := func() {
+		span, spanErr = b.file.ReadPageSpan(lo, hi)
+		if spanErr == nil && b.closed.Load() {
+			span, spanErr = nil, fmt.Errorf("storage: stale segment: backing file was invalidated by a write")
+		}
+	}
+	for i := lo; i < hi; i++ {
+		i := i
+		n, perr := b.pool.Prefetch(bufferpool.Key{File: b.fileID, Page: i}, func() ([]byte, error) {
+			if span == nil && spanErr == nil {
+				readSpan()
+			}
+			if spanErr != nil {
+				return nil, spanErr
+			}
+			return span[i-lo], nil
+		})
+		if perr != nil && err == nil {
+			err = perr
+		}
+		if n > 0 {
+			pages++
+			bytes += n
+		}
+	}
+	return pages, bytes, err
 }
 
 // DecodePage decodes page i back into rows.
