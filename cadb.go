@@ -100,8 +100,23 @@ const (
 )
 
 // HasCodec reports whether the method has a materializing page codec (and so
-// can back a physical segment); GlobalDict and RLE are estimation-only.
+// can back a physical segment). Every recommendable method does — GDICT and
+// RLE materialize through the column-major codec, NONE/ROW/PAGE through the
+// row-major ones.
 func HasCodec(m CompressionMethod) bool { return compress.HasCodec(m) }
+
+// PageCodec encodes rows into page payloads and back.
+type PageCodec = storage.PageCodec
+
+// DesignCodec returns the page codec for a per-column design: def as the
+// default method with overrides for individual columns (as in
+// IndexDef.ColMethods). Uniform NONE/ROW/PAGE designs collapse to the
+// stateless row-major codecs; everything else is served by the column-major
+// codec, whose per-segment state (the global dictionaries) rides in the
+// CADBSEG2 file format.
+func DesignCodec(def CompressionMethod, overrides map[string]CompressionMethod) PageCodec {
+	return compress.DesignCodec(def, overrides)
+}
 
 // ---------------------------------------------------------------------------
 // Data and workload generation
@@ -438,6 +453,23 @@ type MeasuredScenario = experiments.MeasuredScenario
 // size model against the physical segment.
 func MeasuredSizes(db *Database, structures []*IndexDef, methods []CompressionMethod) ([]MeasuredSize, error) {
 	return experiments.MeasuredSizes(db, structures, methods)
+}
+
+// MeasuredDesignSizes materializes each definition exactly as given —
+// per-column ColMethods overrides included — and diffs the design-aware size
+// model against the physical segment.
+func MeasuredDesignSizes(db *Database, defs []*IndexDef) ([]MeasuredSize, error) {
+	return experiments.MeasuredDesignSizes(db, defs)
+}
+
+// DesignCost is one row of the mixed-vs-uniform design comparison.
+type DesignCost = experiments.DesignCost
+
+// MixedVsUniform compares the select-intensive TPC-H workload's what-if cost
+// under every uniform method of one clustered structure against a per-column
+// design, all physically materialized.
+func MixedVsUniform(sc ExperimentScale) ([]DesignCost, error) {
+	return experiments.MixedVsUniform(sc)
 }
 
 // MeasuredScenarios builds the TPC-H/Sales/update-mix execution scenarios at

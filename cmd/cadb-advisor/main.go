@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"cadb"
@@ -140,13 +142,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *verbose {
 		t := rec.Timing
-		fmt.Fprintf(stdout, "\ntiming: total=%v candgen=%v estimate=%v (samples=%v plan-solve=%v plan-exec=%v table-est=%v partial-est=%v mv-est=%v) enum=%v\n",
+		fmt.Fprintf(stdout, "\ntiming: total=%v candgen=%v estimate=%v (samples=%v plan-solve=%v plan-exec=%v table-est=%v partial-est=%v mv-est=%v) enum=%v (refine=%v, %d per-column changes)\n",
 			t.Total.Round(time.Millisecond), t.CandidateGen.Round(time.Millisecond),
 			t.EstimateAll.Round(time.Millisecond),
 			t.SampleBuild.Round(time.Millisecond), t.PlanSolve.Round(time.Millisecond),
 			t.PlanExecute.Round(time.Millisecond), t.TableEstimate.Round(time.Millisecond),
 			t.PartialEstim.Round(time.Millisecond), t.MVEstimate.Round(time.Millisecond),
-			t.Enumerate.Round(time.Millisecond))
+			t.Enumerate.Round(time.Millisecond), t.Refine.Round(time.Millisecond), t.Refinements)
 		fmt.Fprintf(stdout, "size oracle: %d SampleCF calls; late admissions %d deduced / %d sampled; %d estimation errors tolerated\n",
 			t.SampleCFCalls, t.AdmittedDeduced, t.AdmittedSampled, t.EstimationErrors)
 		if planned := t.DeltaStatements + t.ReusedStatements; planned > 0 {
@@ -158,9 +160,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if rec.EstimationPlan != nil {
 			fmt.Fprintf(stdout, "\nestimation plan:\n%s", rec.EstimationPlan.Describe())
 		}
+		printColumnDesigns(stdout, db, rec)
 		printStatementIO(stdout, stderr, db, wl, rec, *poolMB)
 	}
 	return 0
+}
+
+// printColumnDesigns prints each recommended structure's per-column
+// compression methods: every table column for a clustered index, the leaf
+// (key + include) columns otherwise. Structures whose refinement sweep kept a
+// uniform method show the same method on every column; mixed designs are
+// flagged so the overridden columns stand out.
+func printColumnDesigns(stdout io.Writer, db *cadb.Database, rec *cadb.Recommendation) {
+	fmt.Fprintf(stdout, "\nper-column compression designs:\n")
+	members := rec.Config.Indexes()
+	sort.Slice(members, func(i, j int) bool { return members[i].Def.ID() < members[j].Def.ID() })
+	for _, h := range members {
+		d := h.Def
+		var cols []string
+		if d.Clustered && d.MV == nil {
+			if t := db.Table(d.Table); t != nil {
+				cols = t.Schema.Names()
+			}
+		}
+		if cols == nil {
+			cols = d.Columns()
+		}
+		parts := make([]string, 0, len(cols))
+		for _, c := range cols {
+			if strings.EqualFold(c, "__rid") {
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%s=%s", c, d.MethodFor(c)))
+		}
+		marker := ""
+		if d.IsMixed() {
+			marker = " [mixed]"
+		}
+		fmt.Fprintf(stdout, "  %s%s: %s\n", d.StructureID(), marker, strings.Join(parts, " "))
+	}
 }
 
 // printStatementIO materializes the recommended design and re-runs the

@@ -327,30 +327,54 @@ func main() {
 		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_quantity", "l_extendedprice"}},
 		{Table: "orders", KeyCols: []string{"o_orderdate"}, IncludeCols: []string{"o_totalprice"}},
 	}
-	for _, m := range []cadb.CompressionMethod{cadb.NoCompression, cadb.RowCompression, cadb.PageCompression} {
+	segWorst := func(sizes []cadb.MeasuredSize, err error) map[string]float64 {
+		if err != nil {
+			fatal(err)
+		}
+		var worst float64
+		var bytes int64
+		for _, s := range sizes {
+			if e := s.ByteErr(); e > worst || -e > worst {
+				worst = e
+				if worst < 0 {
+					worst = -worst
+				}
+			}
+			bytes += s.MaterializedBytes
+		}
+		return map[string]float64{
+			"size-err-worst-%":   100 * worst,
+			"materialized-bytes": float64(bytes),
+		}
+	}
+	// Every recommendable method, so the size-model error is measured for the
+	// advisor's whole design vocabulary.
+	for _, m := range []cadb.CompressionMethod{cadb.NoCompression, cadb.RowCompression,
+		cadb.PageCompression, cadb.GlobalDictCompression, cadb.RLECompression} {
 		m := m
 		run(fmt.Sprintf("SegmentBuild/%s", m), *iters, len(segStructures), func() map[string]float64 {
-			sizes, err := cadb.MeasuredSizes(db, segStructures, []cadb.CompressionMethod{m})
-			if err != nil {
-				fatal(err)
-			}
-			var worst float64
-			var bytes int64
-			for _, s := range sizes {
-				if e := s.ByteErr(); e > worst || -e > worst {
-					worst = e
-					if worst < 0 {
-						worst = -worst
-					}
-				}
-				bytes += s.MaterializedBytes
-			}
-			return map[string]float64{
-				"size-err-worst-%":   100 * worst,
-				"materialized-bytes": float64(bytes),
-			}
+			return segWorst(cadb.MeasuredSizes(db, segStructures, []cadb.CompressionMethod{m}))
 		})
 	}
+	// A mixed per-column design: GDICT on the low-cardinality strings, RLE on
+	// the clustered key run, ROW elsewhere.
+	mixedDefs := []*cadb.IndexDef{
+		{Table: "lineitem", KeyCols: []string{"l_orderkey", "l_linenumber"}, Clustered: true, Method: cadb.RowCompression,
+			ColMethods: map[string]cadb.CompressionMethod{
+				"l_orderkey":   cadb.RLECompression,
+				"l_shipmode":   cadb.GlobalDictCompression,
+				"l_returnflag": cadb.GlobalDictCompression,
+				"l_linestatus": cadb.GlobalDictCompression,
+			}},
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, IncludeCols: []string{"l_quantity", "l_extendedprice"}, Method: cadb.RowCompression,
+			ColMethods: map[string]cadb.CompressionMethod{
+				"l_shipdate": cadb.RLECompression,
+				"l_quantity": cadb.GlobalDictCompression,
+			}},
+	}
+	run("SegmentBuild/MIXED", *iters, len(mixedDefs), func() map[string]float64 {
+		return segWorst(cadb.MeasuredDesignSizes(db, mixedDefs))
+	})
 
 	for _, scen := range cadb.MeasuredScenarios(sc) {
 		scen := scen

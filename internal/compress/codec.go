@@ -23,8 +23,10 @@ import (
 // uncompressed row codec is: values are truncated to n bytes and trailing
 // blanks are stripped on decode.
 
-// Codec returns the materializing page codec for the method, or nil when the
-// method is estimation-only (GlobalDict, RLE).
+// Codec returns the materializing page codec for the method. NONE/ROW/PAGE
+// are stateless singletons; GlobalDict and RLE return a fresh per-column
+// design codec per call, because GDICT carries segment-level dictionary
+// state — a codec instance must never be shared across segment builds.
 func Codec(m Method) storage.PageCodec {
 	switch m {
 	case None:
@@ -33,11 +35,14 @@ func Codec(m Method) storage.PageCodec {
 		return rowCodec{}
 	case Page:
 		return pageCodec{}
+	case GlobalDict, RLE:
+		return newColumnCodec(m, nil)
 	}
 	return nil
 }
 
 // HasCodec reports whether the method can be materialized into segments.
+// Every recommendable method now materializes.
 func HasCodec(m Method) bool { return Codec(m) != nil }
 
 // ---------------------------------------------------------------------------
@@ -341,98 +346,112 @@ func encodePageGroup(s *storage.Schema, rows []storage.Row) ([]byte, error) {
 	}
 	payload := make([]byte, 2, 512)
 	binary.BigEndian.PutUint16(payload[:2], uint16(n))
+	for ci, c := range s.Columns {
+		var err error
+		payload, err = appendPageColumn(payload, c, rows, ci)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
+// appendPageColumn appends one PAGE column section — null bitmap, prefix,
+// local dictionary, dictionary bitmap, values — exactly as encodePageGroup
+// has always laid it out. PAGE columns inside per-column design pages reuse
+// it, so parsePageColumn reads both.
+func appendPageColumn(payload []byte, c storage.Column, rows []storage.Row, ci int) ([]byte, error) {
+	n := len(rows)
 	bitmapLen := (n + 7) / 8
 	scratch := make([]byte, 0, 64)
-	for ci, c := range s.Columns {
-		// Null bitmap (bit j set = row j is NULL) and encoded values.
-		nullAt := len(payload)
-		for i := 0; i < bitmapLen; i++ {
-			payload = append(payload, 0)
+	// Null bitmap (bit j set = row j is NULL) and encoded values.
+	nullAt := len(payload)
+	for i := 0; i < bitmapLen; i++ {
+		payload = append(payload, 0)
+	}
+	vals := make([]string, n)
+	for j, r := range rows {
+		if r[ci].Null {
+			payload[nullAt+j/8] |= 1 << (uint(j) % 8)
+			continue
 		}
-		vals := make([]string, n)
-		for j, r := range rows {
-			if r[ci].Null {
-				payload[nullAt+j/8] |= 1 << (uint(j) % 8)
-				continue
-			}
-			scratch = valueBytes(c, r[ci], scratch[:0])
-			vals[j] = string(scratch)
+		scratch = valueBytes(c, r[ci], scratch[:0])
+		vals[j] = string(scratch)
+	}
+	// Common prefix across non-null values.
+	prefix := ""
+	first := true
+	for j := range vals {
+		if rows[j][ci].Null {
+			continue
 		}
-		// Common prefix across non-null values.
-		prefix := ""
-		first := true
-		for j := range vals {
-			if rows[j][ci].Null {
-				continue
-			}
-			if first {
-				prefix, first = vals[j], false
-				continue
-			}
-			prefix = commonPrefix(prefix, vals[j])
-			if prefix == "" {
-				break
-			}
+		if first {
+			prefix, first = vals[j], false
+			continue
 		}
-		payload = appendLenPrefix(payload, len(prefix))
-		payload = append(payload, prefix...)
-		// Local dictionary: suffixes occurring at least twice, codes assigned
-		// in first-occurrence order.
-		counts := make(map[string]int, n)
-		for j := range vals {
-			if !rows[j][ci].Null {
-				counts[vals[j][len(prefix):]]++
-			}
+		prefix = commonPrefix(prefix, vals[j])
+		if prefix == "" {
+			break
 		}
-		codes := make(map[string]int)
-		var dict []string
-		for j := range vals {
-			if rows[j][ci].Null {
-				continue
-			}
-			suffix := vals[j][len(prefix):]
-			if counts[suffix] >= 2 {
-				if _, ok := codes[suffix]; !ok {
-					codes[suffix] = len(dict)
-					dict = append(dict, suffix)
-				}
+	}
+	payload = appendLenPrefix(payload, len(prefix))
+	payload = append(payload, prefix...)
+	// Local dictionary: suffixes occurring at least twice, codes assigned
+	// in first-occurrence order.
+	counts := make(map[string]int, n)
+	for j := range vals {
+		if !rows[j][ci].Null {
+			counts[vals[j][len(prefix):]]++
+		}
+	}
+	codes := make(map[string]int)
+	var dict []string
+	for j := range vals {
+		if rows[j][ci].Null {
+			continue
+		}
+		suffix := vals[j][len(prefix):]
+		if counts[suffix] >= 2 {
+			if _, ok := codes[suffix]; !ok {
+				codes[suffix] = len(dict)
+				dict = append(dict, suffix)
 			}
 		}
-		if len(dict) > 0xFFFF {
-			return nil, fmt.Errorf("compress: page dictionary of %d entries", len(dict))
+	}
+	if len(dict) > 0xFFFF {
+		return nil, fmt.Errorf("compress: page dictionary of %d entries", len(dict))
+	}
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(dict)))
+	payload = append(payload, u16[:]...)
+	for _, suffix := range dict {
+		payload = appendLenPrefix(payload, len(suffix))
+		payload = append(payload, suffix...)
+	}
+	codeSize := 1
+	if len(dict) > 255 {
+		codeSize = 2
+	}
+	// Dictionary bitmap (bit j set = row j stored as a code), then the
+	// values themselves.
+	dictAt := len(payload)
+	for i := 0; i < bitmapLen; i++ {
+		payload = append(payload, 0)
+	}
+	for j := range vals {
+		if rows[j][ci].Null {
+			continue
 		}
-		var u16 [2]byte
-		binary.BigEndian.PutUint16(u16[:], uint16(len(dict)))
-		payload = append(payload, u16[:]...)
-		for _, suffix := range dict {
+		suffix := vals[j][len(prefix):]
+		if code, ok := codes[suffix]; ok {
+			payload[dictAt+j/8] |= 1 << (uint(j) % 8)
+			if codeSize == 2 {
+				payload = append(payload, byte(code>>8))
+			}
+			payload = append(payload, byte(code))
+		} else {
 			payload = appendLenPrefix(payload, len(suffix))
 			payload = append(payload, suffix...)
-		}
-		codeSize := 1
-		if len(dict) > 255 {
-			codeSize = 2
-		}
-		// Dictionary bitmap (bit j set = row j stored as a code), then the
-		// values themselves.
-		dictAt := len(payload)
-		for i := 0; i < bitmapLen; i++ {
-			payload = append(payload, 0)
-		}
-		for j := range vals {
-			if rows[j][ci].Null {
-				continue
-			}
-			suffix := vals[j][len(prefix):]
-			if code, ok := codes[suffix]; ok {
-				payload[dictAt+j/8] |= 1 << (uint(j) % 8)
-				if codeSize == 2 {
-					payload = append(payload, byte(code>>8))
-				}
-				payload = append(payload, byte(code))
-			} else {
-				payload = appendLenPrefix(payload, len(suffix))
-				payload = append(payload, suffix...)
-			}
 		}
 	}
 	return payload, nil

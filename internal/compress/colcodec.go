@@ -1,0 +1,1150 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"cadb/internal/storage"
+)
+
+// This file holds the per-column design codec: the materializing codec behind
+// GDICT, RLE and mixed per-column compression designs. Unlike the uniform
+// NONE/ROW/PAGE codecs (which encode whole rows), pages here are column-major
+// with independently framed sections, one per column, each encoded by that
+// column's method:
+//
+//	[u16 rowCount] then per column: [lenPrefix sectionLen][section body]
+//
+// Section bodies by method:
+//
+//	NONE:  [null bitmap][full-width value per row (u16 len + bytes for VARCHAR)]
+//	ROW:   [null bitmap][lenPrefix + minimal value bytes per non-null row]
+//	PAGE:  the exact per-column section of the uniform PAGE codec
+//	       (null bitmap, prefix, local dictionary, dict bitmap, values)
+//	GDICT: [mode u8] then either [codeWidth u8][null bitmap][fixed-width
+//	       codes per non-null row] against the segment-global dictionary
+//	       (mode 0) or a ROW-style plain body when the segment pre-pass
+//	       found dictionary encoding unprofitable (mode 1)
+//	RLE:   runs of [u16 header: bit 15 = NULL run, bits 0-14 = run length]
+//	       followed, for value runs, by lenPrefix + minimal value bytes
+//
+// The section length frame is what makes every method column-selective: a
+// decode skips unneeded columns in O(1) regardless of their method, so NONE
+// and ROW columns inside a mixed page enjoy the column skipping only PAGE had
+// in the row-major codecs.
+//
+// GDICT is stateful: the codec instance carries one dictionary per GDICT
+// column for the lifetime of the segment. Codes are assigned in first-
+// occurrence order over the row stream, and each page records the code width
+// of the largest code it actually holds — both properties depend only on the
+// stream prefix, which keeps chunked (SegmentWriter) encoding byte-identical
+// to a whole-slice build. PrepareSegment, run automatically by BuildSegment,
+// additionally scans the full row set up front so each GDICT column can fall
+// back to plain storage when the dictionary would not pay for itself (the
+// same min(dict, plain) policy the size model charges). After the segment is
+// built the dictionary is read-only, so concurrent decodes share it without
+// synchronization; per-decode memoization (entry values, predicate verdicts)
+// lives in call-local state.
+type columnCodec struct {
+	def       Method
+	overrides map[string]Method // lowercased column name -> method
+
+	resolveOnce sync.Once
+	resolved    []Method      // per-column method, schema order
+	dicts       []*gdictState // per-column dictionary; nil for non-GDICT
+	slotted     bool          // any non-RLE column: page pays the slot array
+	prepared    bool
+}
+
+// GDICT section modes.
+const (
+	gdictCoded = 0 // codeWidth + null bitmap + fixed-width codes
+	gdictPlain = 1 // ROW-style body (pre-pass found the dictionary unprofitable)
+)
+
+// rleMaxRun is the longest run one header can carry (bit 15 is the NULL flag).
+const rleMaxRun = 0x7FFF
+
+// gdictState is the segment-global dictionary of one GDICT column.
+type gdictState struct {
+	vals  []string       // code -> encoded value bytes
+	codes map[string]int // encoded value bytes -> code
+	plain bool           // pre-pass elected plain storage
+}
+
+func (st *gdictState) register(v string) int {
+	if code, ok := st.codes[v]; ok {
+		return code
+	}
+	code := len(st.vals)
+	st.vals = append(st.vals, v)
+	st.codes[v] = code
+	return code
+}
+
+// newColumnCodec returns a fresh design codec instance. Overrides equal to
+// the default method are dropped so the design is canonical.
+func newColumnCodec(def Method, overrides map[string]Method) *columnCodec {
+	var ov map[string]Method
+	for k, v := range overrides {
+		if v != def {
+			if ov == nil {
+				ov = make(map[string]Method, len(overrides))
+			}
+			ov[strings.ToLower(k)] = v
+		}
+	}
+	return &columnCodec{def: def, overrides: ov}
+}
+
+// DesignCodec returns the materializing codec for a per-column compression
+// design: a default method plus optional per-column overrides (keyed by
+// column name, case-insensitive). Uniform NONE/ROW/PAGE designs return the
+// row-major codecs unchanged; anything involving GDICT, RLE or a mixed
+// vector returns a fresh stateful column codec, so every segment build gets
+// its own dictionary state.
+func DesignCodec(def Method, overrides map[string]Method) storage.PageCodec {
+	cc := newColumnCodec(def, overrides)
+	if len(cc.overrides) == 0 {
+		switch def {
+		case None, Row, Page:
+			return Codec(def)
+		}
+	}
+	return cc
+}
+
+func (cc *columnCodec) Name() string {
+	if len(cc.overrides) == 0 {
+		return cc.def.String()
+	}
+	return "MIXED"
+}
+
+// resolve fixes the per-column method vector against the first schema the
+// codec sees. A codec instance serves exactly one segment (one schema);
+// resolution is once so concurrent decodes race-free share the result.
+func (cc *columnCodec) resolve(s *storage.Schema) {
+	cc.resolveOnce.Do(func() {
+		cc.resolved = make([]Method, len(s.Columns))
+		cc.dicts = make([]*gdictState, len(s.Columns))
+		for ci, c := range s.Columns {
+			m := cc.def
+			if o, ok := cc.overrides[strings.ToLower(c.Name)]; ok {
+				m = o
+			}
+			cc.resolved[ci] = m
+			if m == GlobalDict {
+				cc.dicts[ci] = &gdictState{codes: make(map[string]int)}
+			}
+			if m != RLE {
+				cc.slotted = true
+			}
+		}
+	})
+}
+
+// PrepareSegment is the segment-level pre-pass: it builds each GDICT column's
+// full dictionary in first-occurrence order and elects plain storage for
+// columns where the dictionary would not beat ROW-style plain values — the
+// same min(dictionary, plain) policy the size model charges. BuildSegment
+// calls it automatically; the streaming SegmentWriter cannot (no full row
+// set), so chunked GDICT builds always dictionary-encode.
+func (cc *columnCodec) PrepareSegment(s *storage.Schema, rows []storage.Row) error {
+	cc.resolve(s)
+	if cc.prepared {
+		return fmt.Errorf("compress: PrepareSegment called twice")
+	}
+	scratch := make([]byte, 0, 64)
+	for ci, st := range cc.dicts {
+		if st == nil {
+			continue
+		}
+		c := s.Columns[ci]
+		var plain, nonNull int64
+		for _, r := range rows {
+			if r[ci].Null {
+				continue
+			}
+			nonNull++
+			scratch = valueBytes(c, r[ci], scratch[:0])
+			plain += int64(lenPrefixSize(len(scratch)) + len(scratch))
+			st.register(string(scratch))
+		}
+		var dictBytes int64
+		for _, v := range st.vals {
+			dictBytes += int64(lenPrefixSize(len(v)) + len(v))
+		}
+		encoded := dictBytes + nonNull*int64(codeWidth(len(st.vals)))
+		st.plain = encoded >= plain
+	}
+	cc.prepared = true
+	return nil
+}
+
+// SegmentState serializes the codec's segment-level state (the global
+// dictionaries) for the CADBSEG2 state block: per column, a mode byte —
+// 0 stateless, 1 dictionary (u32 entry count + lenPrefix entries), 2 plain-
+// elected GDICT (dictionary dropped; pages carry plain sections). Designs
+// with no GDICT column have nothing to record and return nil.
+func (cc *columnCodec) SegmentState() []byte {
+	hasDict := false
+	for _, st := range cc.dicts {
+		if st != nil {
+			hasDict = true
+			break
+		}
+	}
+	if !hasDict {
+		return nil
+	}
+	var out []byte
+	for _, st := range cc.dicts {
+		switch {
+		case st == nil:
+			out = append(out, 0)
+		case st.plain:
+			out = append(out, 2)
+		default:
+			out = append(out, 1)
+			out = binary.BigEndian.AppendUint32(out, uint32(len(st.vals)))
+			for _, v := range st.vals {
+				out = appendLenPrefix(out, len(v))
+				out = append(out, v...)
+			}
+		}
+	}
+	return out
+}
+
+// LoadSegmentState rebuilds the codec's state from a CADBSEG2 state block,
+// enabling decode of a segment opened from disk in a fresh process. An empty
+// block is valid for designs (or empty segments) with nothing recorded.
+func (cc *columnCodec) LoadSegmentState(s *storage.Schema, state []byte) error {
+	cc.resolve(s)
+	if len(state) == 0 {
+		return nil
+	}
+	for ci := range s.Columns {
+		if len(state) < 1 {
+			return fmt.Errorf("compress: short segment state at column %d", ci)
+		}
+		mode := state[0]
+		state = state[1:]
+		st := cc.dicts[ci]
+		switch mode {
+		case 0:
+			if st != nil {
+				return fmt.Errorf("compress: GDICT column %d has stateless state", ci)
+			}
+		case 1, 2:
+			if st == nil {
+				return fmt.Errorf("compress: non-GDICT column %d has dictionary state", ci)
+			}
+			if mode == 2 {
+				st.plain = true
+				continue
+			}
+			if len(state) < 4 {
+				return fmt.Errorf("compress: short dictionary header at column %d", ci)
+			}
+			count := int(binary.BigEndian.Uint32(state))
+			state = state[4:]
+			st.vals = make([]string, 0, count)
+			for k := 0; k < count; k++ {
+				n, adv, err := readLenPrefix(state)
+				if err != nil {
+					return err
+				}
+				state = state[adv:]
+				if len(state) < n {
+					return fmt.Errorf("compress: short dictionary entry at column %d", ci)
+				}
+				v := string(state[:n])
+				state = state[n:]
+				st.codes[v] = len(st.vals)
+				st.vals = append(st.vals, v)
+			}
+		default:
+			return fmt.Errorf("compress: unknown state mode %d at column %d", mode, ci)
+		}
+	}
+	cc.prepared = true
+	return nil
+}
+
+// ColumnMethodIDs returns the per-column method bytes recorded in the
+// CADBSEG2 header's design vector.
+func (cc *columnCodec) ColumnMethodIDs(s *storage.Schema) []byte {
+	cc.resolve(s)
+	out := make([]byte, len(cc.resolved))
+	for i, m := range cc.resolved {
+		out[i] = byte(m)
+	}
+	return out
+}
+
+// DesignOf reports the default method and sorted per-column overrides of a
+// design codec (for -verbose breakdowns); ok is false for uniform row-major
+// codecs.
+func DesignOf(c storage.PageCodec) (def Method, overrides []string, ok bool) {
+	cc, isCol := c.(*columnCodec)
+	if !isCol {
+		return None, nil, false
+	}
+	for col, m := range cc.overrides {
+		overrides = append(overrides, col+"="+m.String())
+	}
+	sort.Strings(overrides)
+	return cc.def, overrides, true
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+func (cc *columnCodec) EncodeRows(s *storage.Schema, rows []storage.Row) ([]storage.EncodedPage, error) {
+	cc.resolve(s)
+	// Pages pack by compressed fit, exactly like the uniform PAGE codec:
+	// doubling then binary search over trial encodes. Trial encodes may
+	// register dictionary values for rows that land on a later page; that is
+	// harmless because codes are assigned in stream order either way.
+	var out []storage.EncodedPage
+	n := len(rows)
+	slotOverhead := func(k int) int {
+		if cc.slotted {
+			return k * storage.SlotSize
+		}
+		return 0 // pure-RLE segments store runs, not slotted rows
+	}
+	fits := func(payload []byte, k int) bool {
+		return len(payload)+slotOverhead(k) <= storage.UsablePageBytes
+	}
+	start := 0
+	for start < n {
+		payload, err := cc.encodeGroup(s, rows[start:start+1])
+		if err != nil {
+			return nil, err
+		}
+		if !fits(payload, 1) {
+			out = append(out, storage.EncodedPage{
+				Payload:        payload,
+				Rows:           1,
+				AccountedBytes: len(payload) + slotOverhead(1),
+			})
+			start++
+			continue
+		}
+		good, goodPayload := 1, payload
+		bad := -1
+		for k := 2; start+good < n && bad < 0; k *= 2 {
+			try := k
+			if start+try > n {
+				try = n - start
+			}
+			p, err := cc.encodeGroup(s, rows[start:start+try])
+			if err != nil {
+				return nil, err
+			}
+			if fits(p, try) {
+				good, goodPayload = try, p
+				if start+try == n {
+					break
+				}
+			} else {
+				bad = try
+			}
+		}
+		for bad >= 0 && bad-good > 1 {
+			mid := (good + bad) / 2
+			p, err := cc.encodeGroup(s, rows[start:start+mid])
+			if err != nil {
+				return nil, err
+			}
+			if fits(p, mid) {
+				good, goodPayload = mid, p
+			} else {
+				bad = mid
+			}
+		}
+		out = append(out, storage.EncodedPage{
+			Payload:        goodPayload,
+			Rows:           good,
+			AccountedBytes: len(goodPayload) + slotOverhead(good),
+		})
+		start += good
+	}
+	return out, nil
+}
+
+// encodeGroup encodes one page: the row count then each column's framed
+// section.
+func (cc *columnCodec) encodeGroup(s *storage.Schema, rows []storage.Row) ([]byte, error) {
+	n := len(rows)
+	if n > 0xFFFF {
+		return nil, fmt.Errorf("compress: page group of %d rows", n)
+	}
+	payload := make([]byte, 2, 512)
+	binary.BigEndian.PutUint16(payload[:2], uint16(n))
+	var body []byte
+	scratch := make([]byte, 0, 64)
+	for ci, c := range s.Columns {
+		body = body[:0]
+		var err error
+		switch cc.resolved[ci] {
+		case None:
+			body = appendNoneSection(body, c, rows, ci)
+		case Row:
+			body, scratch = appendRowSection(body, c, rows, ci, scratch)
+		case Page:
+			body, err = appendPageColumn(body, c, rows, ci)
+			if err != nil {
+				return nil, err
+			}
+		case GlobalDict:
+			body, scratch = cc.appendGDictSection(body, c, rows, ci, scratch)
+		case RLE:
+			body, scratch = appendRLESection(body, c, rows, ci, scratch)
+		default:
+			return nil, fmt.Errorf("compress: bad column method %d", cc.resolved[ci])
+		}
+		payload = appendLenPrefix(payload, len(body))
+		payload = append(payload, body...)
+	}
+	return payload, nil
+}
+
+// appendNoneSection stores the column uncompressed: a null bitmap plus every
+// row's full-width value (VARCHAR: u16 length + bytes; NULLs zero-filled).
+func appendNoneSection(dst []byte, c storage.Column, rows []storage.Row, ci int) []byte {
+	n := len(rows)
+	bitmapLen := (n + 7) / 8
+	nullAt := len(dst)
+	for i := 0; i < bitmapLen; i++ {
+		dst = append(dst, 0)
+	}
+	var buf [8]byte
+	for j, r := range rows {
+		v := r[ci]
+		if v.Null {
+			dst[nullAt+j/8] |= 1 << (uint(j) % 8)
+		}
+		switch c.Kind {
+		case storage.KindInt, storage.KindFloat:
+			var u uint64
+			if !v.Null {
+				if c.Kind == storage.KindInt {
+					u = uint64(v.Int)
+				} else {
+					u = floatBits(v.Float)
+				}
+			}
+			binary.BigEndian.PutUint64(buf[:], u)
+			dst = append(dst, buf[:8]...)
+		case storage.KindDate:
+			var u uint32
+			if !v.Null {
+				u = uint32(v.Int)
+			}
+			binary.BigEndian.PutUint32(buf[:4], u)
+			dst = append(dst, buf[:4]...)
+		case storage.KindString:
+			str := ""
+			if !v.Null {
+				str = v.Str
+			}
+			if c.FixedWidth > 0 {
+				if len(str) > c.FixedWidth {
+					str = str[:c.FixedWidth]
+				}
+				dst = append(dst, str...)
+				for k := len(str); k < c.FixedWidth; k++ {
+					dst = append(dst, ' ')
+				}
+			} else {
+				if len(str) > 0xFFFF {
+					str = str[:0xFFFF]
+				}
+				binary.BigEndian.PutUint16(buf[:2], uint16(len(str)))
+				dst = append(dst, buf[:2]...)
+				dst = append(dst, str...)
+			}
+		}
+	}
+	return dst
+}
+
+// appendRowSection stores the column ROW-compressed: a null bitmap plus a
+// length-prefixed minimal encoding per non-null row.
+func appendRowSection(dst []byte, c storage.Column, rows []storage.Row, ci int, scratch []byte) ([]byte, []byte) {
+	n := len(rows)
+	bitmapLen := (n + 7) / 8
+	nullAt := len(dst)
+	for i := 0; i < bitmapLen; i++ {
+		dst = append(dst, 0)
+	}
+	for j, r := range rows {
+		if r[ci].Null {
+			dst[nullAt+j/8] |= 1 << (uint(j) % 8)
+			continue
+		}
+		scratch = valueBytes(c, r[ci], scratch[:0])
+		dst = appendLenPrefix(dst, len(scratch))
+		dst = append(dst, scratch...)
+	}
+	return dst, scratch
+}
+
+// appendGDictSection stores the column as fixed-width codes against the
+// segment-global dictionary (or ROW-style plain when the pre-pass elected
+// it). The code width is sized by the largest code present on this page, so
+// chunked encodes reproduce whole-slice bytes.
+func (cc *columnCodec) appendGDictSection(dst []byte, c storage.Column, rows []storage.Row, ci int, scratch []byte) ([]byte, []byte) {
+	st := cc.dicts[ci]
+	if st.plain {
+		dst = append(dst, gdictPlain)
+		return appendRowSection(dst, c, rows, ci, scratch)
+	}
+	n := len(rows)
+	bitmapLen := (n + 7) / 8
+	codes := make([]int, 0, n)
+	maxCode := 0
+	for _, r := range rows {
+		if r[ci].Null {
+			continue
+		}
+		scratch = valueBytes(c, r[ci], scratch[:0])
+		code := st.register(string(scratch))
+		codes = append(codes, code)
+		if code > maxCode {
+			maxCode = code
+		}
+	}
+	width := 1
+	for maxCode >= 1<<(8*width) {
+		width++
+	}
+	dst = append(dst, gdictCoded, byte(width))
+	nullAt := len(dst)
+	for i := 0; i < bitmapLen; i++ {
+		dst = append(dst, 0)
+	}
+	k := 0
+	for j, r := range rows {
+		if r[ci].Null {
+			dst[nullAt+j/8] |= 1 << (uint(j) % 8)
+			continue
+		}
+		code := codes[k]
+		k++
+		for b := width - 1; b >= 0; b-- {
+			dst = append(dst, byte(code>>(8*b)))
+		}
+	}
+	return dst, scratch
+}
+
+// appendRLESection stores the column as runs of consecutive equal encoded
+// values. Run equality is on the encoded bytes (bit-exact, so -0.0 and +0.0
+// stay distinct); NULL runs carry no value bytes.
+func appendRLESection(dst []byte, c storage.Column, rows []storage.Row, ci int, scratch []byte) ([]byte, []byte) {
+	n := len(rows)
+	emit := func(runLen int, null bool, val []byte) {
+		for runLen > 0 {
+			chunk := runLen
+			if chunk > rleMaxRun {
+				chunk = rleMaxRun
+			}
+			hdr := uint16(chunk)
+			if null {
+				hdr |= 0x8000
+			}
+			dst = append(dst, byte(hdr>>8), byte(hdr))
+			if !null {
+				dst = appendLenPrefix(dst, len(val))
+				dst = append(dst, val...)
+			}
+			runLen -= chunk
+		}
+	}
+	var prev []byte
+	runLen := 0
+	runNull := false
+	for j := 0; j < n; j++ {
+		v := rows[j][ci]
+		if v.Null {
+			if runLen > 0 && runNull {
+				runLen++
+				continue
+			}
+			if runLen > 0 {
+				emit(runLen, runNull, prev)
+			}
+			runLen, runNull = 1, true
+			continue
+		}
+		scratch = valueBytes(c, v, scratch[:0])
+		if runLen > 0 && !runNull && string(prev) == string(scratch) {
+			runLen++
+			continue
+		}
+		if runLen > 0 {
+			emit(runLen, runNull, prev)
+		}
+		prev = append(prev[:0], scratch...)
+		runLen, runNull = 1, false
+	}
+	if runLen > 0 {
+		emit(runLen, runNull, prev)
+	}
+	return dst, scratch
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// DecodePage reconstructs every row of a page — a non-selective decode
+// expressed through the column-selective path.
+func (cc *columnCodec) DecodePage(s *storage.Schema, payload []byte, nrows int) ([]storage.Row, error) {
+	out, err := cc.DecodeColumns(s, payload, nrows, &storage.DecodeSpec{Needed: s.AllOrdinals()})
+	if err != nil {
+		return nil, err
+	}
+	return out.Rows, nil
+}
+
+// parseSections splits the page payload into per-column section bodies up to
+// and including column last.
+func parseSections(payload []byte, last int) ([][]byte, error) {
+	sections := make([][]byte, last+1)
+	rest := payload
+	for ci := 0; ci <= last; ci++ {
+		ln, adv, err := readLenPrefix(rest)
+		if err != nil {
+			return nil, err
+		}
+		rest = rest[adv:]
+		if len(rest) < ln {
+			return nil, fmt.Errorf("compress: short column section %d", ci)
+		}
+		sections[ci] = rest[:ln]
+		rest = rest[ln:]
+	}
+	return sections, nil
+}
+
+func (cc *columnCodec) DecodeColumns(s *storage.Schema, payload []byte, nrows int, spec *storage.DecodeSpec) (*storage.DecodedPage, error) {
+	cc.resolve(s)
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("compress: short %s page", cc.Name())
+	}
+	n := int(binary.BigEndian.Uint16(payload[:2]))
+	payload = payload[2:]
+	if n != nrows {
+		return nil, fmt.Errorf("compress: %s header says %d rows, directory says %d", cc.Name(), n, nrows)
+	}
+
+	sel := make([]bool, n)
+	selCount := 0
+	if spec.Slots == nil {
+		for j := range sel {
+			sel[j] = true
+		}
+		selCount = n
+	} else {
+		for _, sl := range spec.Slots {
+			if sl >= 0 && sl < n && !sel[sl] {
+				sel[sl] = true
+				selCount++
+			}
+		}
+	}
+
+	predsByCol := make(map[int][]storage.ColPredicate, len(spec.Preds))
+	last := -1
+	for _, p := range spec.Preds {
+		predsByCol[p.Col] = append(predsByCol[p.Col], p)
+		if p.Col > last {
+			last = p.Col
+		}
+	}
+	needSet := make(map[int]bool, len(spec.Needed))
+	for _, ci := range spec.Needed {
+		needSet[ci] = true
+		if ci > last {
+			last = ci
+		}
+	}
+	if last >= len(s.Columns) {
+		return nil, fmt.Errorf("compress: column %d out of range", last)
+	}
+
+	out := &storage.DecodedPage{}
+	if last < 0 {
+		out.TuplesDecoded = int64(selCount)
+		if selCount > 0 {
+			out.Slots = make([]int, 0, selCount)
+			out.Rows = make([]storage.Row, 0, selCount)
+			for j := 0; j < n; j++ {
+				if sel[j] {
+					out.Slots = append(out.Slots, j)
+					out.Rows = append(out.Rows, storage.Row{})
+				}
+			}
+		}
+		return out, nil
+	}
+	sections, err := parseSections(payload, last)
+	if err != nil {
+		return nil, err
+	}
+	counted := make(map[int]bool, len(spec.Needed))
+	scratch := make([]byte, 0, 64)
+
+	// Pass 1: evaluate pushed predicates column by column, narrowing the
+	// selection. Each method exploits its own layout: GDICT evaluates once
+	// per dictionary code, RLE once per run, PAGE once per local-dictionary
+	// entry; NONE/ROW walk the section but decode only selected rows.
+	for ci := 0; ci <= last; ci++ {
+		ps := predsByCol[ci]
+		if len(ps) == 0 || selCount == 0 {
+			continue
+		}
+		c := s.Columns[ci]
+		touched := false
+		selCount, scratch, touched, err = cc.filterSection(c, ci, sections[ci], n, ps, sel, selCount, scratch)
+		if err != nil {
+			return nil, err
+		}
+		if touched && !counted[ci] {
+			counted[ci] = true
+			out.ColumnsDecoded++
+		}
+	}
+
+	out.TuplesDecoded = int64(selCount)
+	if selCount == 0 {
+		return out, nil
+	}
+
+	// Pass 2: materialize the needed columns of the survivors.
+	outIdx := make([]int, n)
+	out.Slots = make([]int, 0, selCount)
+	for j := 0; j < n; j++ {
+		if sel[j] {
+			outIdx[j] = len(out.Slots)
+			out.Slots = append(out.Slots, j)
+		} else {
+			outIdx[j] = -1
+		}
+	}
+	out.Rows = make([]storage.Row, selCount)
+	for i := range out.Rows {
+		out.Rows[i] = make(storage.Row, len(spec.Needed))
+	}
+	for k, ci := range spec.Needed {
+		if !counted[ci] {
+			counted[ci] = true
+			out.ColumnsDecoded++
+		}
+		c := s.Columns[ci]
+		set := func(j int, v storage.Value) {
+			out.Rows[outIdx[j]][k] = v
+		}
+		scratch, err = cc.materializeSection(c, ci, sections[ci], n, sel, set, scratch)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// filterSection narrows sel by evaluating preds against one column section,
+// returning the new selection count and whether any value bytes were decoded
+// (columns decided from bitmaps alone are free).
+func (cc *columnCodec) filterSection(c storage.Column, ci int, body []byte, n int, preds []storage.ColPredicate, sel []bool, selCount int, scratch []byte) (int, []byte, bool, error) {
+	m := cc.resolved[ci]
+	if m == GlobalDict {
+		if len(body) < 1 {
+			return 0, scratch, false, fmt.Errorf("compress: short GDICT section")
+		}
+		if body[0] == gdictPlain {
+			m, body = Row, body[1:]
+		} else {
+			return cc.filterGDict(c, ci, body[1:], n, preds, sel, selCount, scratch)
+		}
+	}
+	switch m {
+	case None, Row:
+		// A predicated column fails every NULL row; decided from the bitmap.
+		bitmapLen := (n + 7) / 8
+		if len(body) < bitmapLen {
+			return 0, scratch, false, fmt.Errorf("compress: short %s section", m)
+		}
+		nulls := body[:bitmapLen]
+		for j := 0; j < n; j++ {
+			if sel[j] && nulls[j/8]&(1<<(uint(j)%8)) != 0 {
+				sel[j] = false
+				selCount--
+			}
+		}
+		if selCount == 0 {
+			return 0, scratch, false, nil
+		}
+		err := visitPlainSection(c, m, body, n, func(j int, v storage.Value) {
+			if !sel[j] {
+				return
+			}
+			for _, p := range preds {
+				if !p.Matches(v) {
+					sel[j] = false
+					selCount--
+					return
+				}
+			}
+		})
+		return selCount, scratch, true, err
+	case Page:
+		col, rest, err := parsePageColumn(body, n, (n+7)/8)
+		if err != nil {
+			return 0, scratch, false, err
+		}
+		_ = rest
+		return filterPageColumn(c, &col, n, preds, sel, selCount, scratch)
+	case RLE:
+		at := 0
+		j := 0
+		for j < n {
+			if len(body) < at+2 {
+				return 0, scratch, false, fmt.Errorf("compress: short RLE run header")
+			}
+			hdr := binary.BigEndian.Uint16(body[at:])
+			at += 2
+			runLen := int(hdr & rleMaxRun)
+			null := hdr&0x8000 != 0
+			if runLen == 0 || j+runLen > n {
+				return 0, scratch, false, fmt.Errorf("compress: RLE run of %d rows at row %d", runLen, j)
+			}
+			ok := false
+			if !null {
+				ln, adv, err := readLenPrefix(body[at:])
+				if err != nil {
+					return 0, scratch, false, err
+				}
+				at += adv
+				if len(body) < at+ln {
+					return 0, scratch, false, fmt.Errorf("compress: short RLE value")
+				}
+				v, err := decodeValueBytes(c, body[at:at+ln])
+				if err != nil {
+					return 0, scratch, false, err
+				}
+				at += ln
+				ok = true
+				for _, p := range preds {
+					if !p.Matches(v) {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				for r := j; r < j+runLen; r++ {
+					if sel[r] {
+						sel[r] = false
+						selCount--
+					}
+				}
+			}
+			j += runLen
+		}
+		return selCount, scratch, true, nil
+	}
+	return 0, scratch, false, fmt.Errorf("compress: bad column method %d", m)
+}
+
+// filterGDict evaluates predicates once per dictionary code present on the
+// page; the verdict memo is call-local so concurrent decodes never mutate
+// shared dictionary state.
+func (cc *columnCodec) filterGDict(c storage.Column, ci int, body []byte, n int, preds []storage.ColPredicate, sel []bool, selCount int, scratch []byte) (int, []byte, bool, error) {
+	st := cc.dicts[ci]
+	bitmapLen := (n + 7) / 8
+	if len(body) < 1+bitmapLen {
+		return 0, scratch, false, fmt.Errorf("compress: short GDICT section")
+	}
+	width := int(body[0])
+	if width < 1 || width > 4 {
+		return 0, scratch, false, fmt.Errorf("compress: GDICT code width %d", width)
+	}
+	nulls := body[1 : 1+bitmapLen]
+	codes := body[1+bitmapLen:]
+	verdict := make(map[int]bool)
+	at := 0
+	for j := 0; j < n; j++ {
+		if nulls[j/8]&(1<<(uint(j)%8)) != 0 {
+			if sel[j] {
+				sel[j] = false
+				selCount--
+			}
+			continue
+		}
+		if len(codes) < at+width {
+			return 0, scratch, false, fmt.Errorf("compress: short GDICT codes")
+		}
+		code := 0
+		for b := 0; b < width; b++ {
+			code = code<<8 | int(codes[at+b])
+		}
+		at += width
+		if !sel[j] {
+			continue
+		}
+		ok, seen := verdict[code]
+		if !seen {
+			if code >= len(st.vals) {
+				return 0, scratch, false, fmt.Errorf("compress: GDICT code %d out of range", code)
+			}
+			v, err := decodeValueBytes(c, []byte(st.vals[code]))
+			if err != nil {
+				return 0, scratch, false, err
+			}
+			ok = true
+			for _, p := range preds {
+				if !p.Matches(v) {
+					ok = false
+					break
+				}
+			}
+			verdict[code] = ok
+		}
+		if !ok {
+			sel[j] = false
+			selCount--
+		}
+	}
+	return selCount, scratch, true, nil
+}
+
+// materializeSection reconstructs the selected rows' values of one column,
+// decoding dictionary entries and run values at most once each.
+func (cc *columnCodec) materializeSection(c storage.Column, ci int, body []byte, n int, sel []bool, set func(j int, v storage.Value), scratch []byte) ([]byte, error) {
+	m := cc.resolved[ci]
+	if m == GlobalDict {
+		if len(body) < 1 {
+			return scratch, fmt.Errorf("compress: short GDICT section")
+		}
+		if body[0] == gdictPlain {
+			m, body = Row, body[1:]
+		} else {
+			st := cc.dicts[ci]
+			bitmapLen := (n + 7) / 8
+			rest := body[1:]
+			if len(rest) < 1+bitmapLen {
+				return scratch, fmt.Errorf("compress: short GDICT section")
+			}
+			width := int(rest[0])
+			if width < 1 || width > 4 {
+				return scratch, fmt.Errorf("compress: GDICT code width %d", width)
+			}
+			nulls := rest[1 : 1+bitmapLen]
+			codes := rest[1+bitmapLen:]
+			cache := make(map[int]storage.Value)
+			at := 0
+			for j := 0; j < n; j++ {
+				if nulls[j/8]&(1<<(uint(j)%8)) != 0 {
+					if sel[j] {
+						set(j, storage.NullValue(c.Kind))
+					}
+					continue
+				}
+				if len(codes) < at+width {
+					return scratch, fmt.Errorf("compress: short GDICT codes")
+				}
+				code := 0
+				for b := 0; b < width; b++ {
+					code = code<<8 | int(codes[at+b])
+				}
+				at += width
+				if !sel[j] {
+					continue
+				}
+				v, seen := cache[code]
+				if !seen {
+					if code >= len(st.vals) {
+						return scratch, fmt.Errorf("compress: GDICT code %d out of range", code)
+					}
+					var err error
+					v, err = decodeValueBytes(c, []byte(st.vals[code]))
+					if err != nil {
+						return scratch, err
+					}
+					cache[code] = v
+				}
+				set(j, v)
+			}
+			return scratch, nil
+		}
+	}
+	switch m {
+	case None, Row:
+		bitmapLen := (n + 7) / 8
+		if len(body) < bitmapLen {
+			return scratch, fmt.Errorf("compress: short %s section", m)
+		}
+		nulls := body[:bitmapLen]
+		for j := 0; j < n; j++ {
+			if sel[j] && nulls[j/8]&(1<<(uint(j)%8)) != 0 {
+				set(j, storage.NullValue(c.Kind))
+			}
+		}
+		return scratch, visitPlainSection(c, m, body, n, func(j int, v storage.Value) {
+			if sel[j] {
+				set(j, v)
+			}
+		})
+	case Page:
+		col, _, err := parsePageColumn(body, n, (n+7)/8)
+		if err != nil {
+			return scratch, err
+		}
+		return materializePageColumn(c, &col, n, sel, set, scratch)
+	case RLE:
+		at := 0
+		j := 0
+		for j < n {
+			if len(body) < at+2 {
+				return scratch, fmt.Errorf("compress: short RLE run header")
+			}
+			hdr := binary.BigEndian.Uint16(body[at:])
+			at += 2
+			runLen := int(hdr & rleMaxRun)
+			null := hdr&0x8000 != 0
+			if runLen == 0 || j+runLen > n {
+				return scratch, fmt.Errorf("compress: RLE run of %d rows at row %d", runLen, j)
+			}
+			var v storage.Value
+			if null {
+				v = storage.NullValue(c.Kind)
+			} else {
+				ln, adv, err := readLenPrefix(body[at:])
+				if err != nil {
+					return scratch, err
+				}
+				at += adv
+				if len(body) < at+ln {
+					return scratch, fmt.Errorf("compress: short RLE value")
+				}
+				v, err = decodeValueBytes(c, body[at:at+ln])
+				if err != nil {
+					return scratch, err
+				}
+				at += ln
+			}
+			for r := j; r < j+runLen; r++ {
+				if sel[r] {
+					set(r, v)
+				}
+			}
+			j += runLen
+		}
+		return scratch, nil
+	}
+	return scratch, fmt.Errorf("compress: bad column method %d", m)
+}
+
+// visitPlainSection walks a NONE or ROW column section in row order, calling
+// visit for every non-null row with its decoded value.
+func visitPlainSection(c storage.Column, m Method, body []byte, n int, visit func(j int, v storage.Value)) error {
+	bitmapLen := (n + 7) / 8
+	if len(body) < bitmapLen {
+		return fmt.Errorf("compress: short %s section", m)
+	}
+	nulls := body[:bitmapLen]
+	at := bitmapLen
+	isNull := func(j int) bool { return nulls[j/8]&(1<<(uint(j)%8)) != 0 }
+	if m == Row {
+		for j := 0; j < n; j++ {
+			if isNull(j) {
+				continue
+			}
+			ln, adv, err := readLenPrefix(body[at:])
+			if err != nil {
+				return err
+			}
+			at += adv
+			if len(body) < at+ln {
+				return fmt.Errorf("compress: short ROW section value")
+			}
+			v, err := decodeValueBytes(c, body[at:at+ln])
+			if err != nil {
+				return err
+			}
+			at += ln
+			visit(j, v)
+		}
+		return nil
+	}
+	for j := 0; j < n; j++ {
+		null := isNull(j)
+		switch c.Kind {
+		case storage.KindInt, storage.KindFloat:
+			if len(body) < at+8 {
+				return fmt.Errorf("compress: short NONE section")
+			}
+			if !null {
+				u := binary.BigEndian.Uint64(body[at:])
+				if c.Kind == storage.KindInt {
+					visit(j, storage.Value{Kind: storage.KindInt, Int: int64(u)})
+				} else {
+					visit(j, storage.Value{Kind: storage.KindFloat, Float: floatFromBits(u)})
+				}
+			}
+			at += 8
+		case storage.KindDate:
+			if len(body) < at+4 {
+				return fmt.Errorf("compress: short NONE section")
+			}
+			if !null {
+				u := binary.BigEndian.Uint32(body[at:])
+				visit(j, storage.Value{Kind: storage.KindDate, Int: int64(int32(u))})
+			}
+			at += 4
+		case storage.KindString:
+			if c.FixedWidth > 0 {
+				if len(body) < at+c.FixedWidth {
+					return fmt.Errorf("compress: short NONE section")
+				}
+				if !null {
+					raw := body[at : at+c.FixedWidth]
+					end := len(raw)
+					for end > 0 && raw[end-1] == ' ' {
+						end--
+					}
+					visit(j, storage.Value{Kind: storage.KindString, Str: string(raw[:end])})
+				}
+				at += c.FixedWidth
+			} else {
+				if len(body) < at+2 {
+					return fmt.Errorf("compress: short NONE section")
+				}
+				ln := int(binary.BigEndian.Uint16(body[at:]))
+				at += 2
+				if len(body) < at+ln {
+					return fmt.Errorf("compress: short NONE section")
+				}
+				if !null {
+					visit(j, storage.Value{Kind: storage.KindString, Str: string(body[at : at+ln])})
+				}
+				at += ln
+			}
+		}
+	}
+	return nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(u uint64) float64 { return math.Float64frombits(u) }

@@ -478,6 +478,131 @@ func strHighOutcome(pre, t string, orEq bool) predOutcome {
 	return outUnknown
 }
 
+// filterPageColumn narrows sel by evaluating preds against one parsed PAGE
+// column section: NULL rows fail outright, the common prefix decides what it
+// can for the whole page, and residual predicates evaluate once per local-
+// dictionary entry with row codes tested against the matching set. Returns
+// the new selection count and whether any value bytes were decoded (pages
+// decided from metadata alone are free). Shared by the uniform PAGE codec
+// and PAGE sections inside per-column design pages.
+func filterPageColumn(c storage.Column, col *pageColumn, n int, ps []storage.ColPredicate, sel []bool, selCount int, scratch []byte) (int, []byte, bool, error) {
+	// A predicated column fails every NULL row (three-valued logic) —
+	// decided from the null bitmap alone.
+	for j := 0; j < n; j++ {
+		if sel[j] && col.isNull(j) {
+			sel[j] = false
+			selCount--
+		}
+	}
+	// Try to decide each predicate from the common prefix.
+	var residual []storage.ColPredicate
+	none := false
+	for _, p := range ps {
+		switch prefixPredOutcome(c, p, col.prefix) {
+		case outNoneMatch:
+			none = true
+		case outAllMatch:
+			// Satisfied by every non-null row; nothing to evaluate.
+		default:
+			residual = append(residual, p)
+		}
+	}
+	if none {
+		for j := range sel {
+			sel[j] = false
+		}
+		return 0, scratch, false, nil
+	}
+	if len(residual) == 0 || selCount == 0 {
+		return selCount, scratch, false, nil
+	}
+	// Evaluate the residual predicates once per dictionary entry, then
+	// test row codes against the matching set; literal suffixes decode
+	// per occurrence.
+	match := make([]bool, len(col.dict))
+	for k, suffix := range col.dict {
+		var v storage.Value
+		var err error
+		v, scratch, err = decodePrefixed(c, col.prefix, suffix, scratch)
+		if err != nil {
+			return 0, scratch, true, err
+		}
+		ok := true
+		for _, p := range residual {
+			if !p.Matches(v) {
+				ok = false
+				break
+			}
+		}
+		match[k] = ok
+	}
+	err := col.visitValues(n, func(j, code int, lit []byte) error {
+		if !sel[j] {
+			return nil
+		}
+		if code >= 0 {
+			if !match[code] {
+				sel[j] = false
+				selCount--
+			}
+			return nil
+		}
+		var v storage.Value
+		var verr error
+		v, scratch, verr = decodePrefixed(c, col.prefix, lit, scratch)
+		if verr != nil {
+			return verr
+		}
+		for _, p := range residual {
+			if !p.Matches(v) {
+				sel[j] = false
+				selCount--
+				break
+			}
+		}
+		return nil
+	})
+	return selCount, scratch, true, err
+}
+
+// materializePageColumn reconstructs the selected rows' values of one parsed
+// PAGE column, decoding each dictionary entry at most once, delivering them
+// through set(row, value). Shared like filterPageColumn.
+func materializePageColumn(c storage.Column, col *pageColumn, n int, sel []bool, set func(j int, v storage.Value), scratch []byte) ([]byte, error) {
+	for j := 0; j < n; j++ {
+		if sel[j] && col.isNull(j) {
+			set(j, storage.NullValue(c.Kind))
+		}
+	}
+	dictVals := make([]storage.Value, len(col.dict))
+	dictDone := make([]bool, len(col.dict))
+	err := col.visitValues(n, func(j, code int, lit []byte) error {
+		if !sel[j] {
+			return nil
+		}
+		var v storage.Value
+		var verr error
+		if code >= 0 {
+			if !dictDone[code] {
+				v, scratch, verr = decodePrefixed(c, col.prefix, col.dict[code], scratch)
+				if verr != nil {
+					return verr
+				}
+				dictVals[code], dictDone[code] = v, true
+			}
+			set(j, dictVals[code])
+			return nil
+		}
+		v, scratch, verr = decodePrefixed(c, col.prefix, lit, scratch)
+		if verr != nil {
+			return verr
+		}
+		set(j, v)
+		return nil
+	})
+	return scratch, err
+}
+
 func (pageCodec) DecodeColumns(s *storage.Schema, payload []byte, nrows int, spec *storage.DecodeSpec) (*storage.DecodedPage, error) {
 	if len(payload) < 2 {
 		return nil, fmt.Errorf("compress: short PAGE page")
@@ -546,88 +671,14 @@ func (pageCodec) DecodeColumns(s *storage.Schema, payload []byte, nrows int, spe
 		if len(ps) == 0 || selCount == 0 {
 			continue
 		}
-		// A predicated column fails every NULL row (three-valued logic) —
-		// decided from the null bitmap alone.
-		for j := 0; j < n; j++ {
-			if sel[j] && col.isNull(j) {
-				sel[j] = false
-				selCount--
-			}
-		}
-		// Try to decide each predicate from the common prefix.
-		var residual []storage.ColPredicate
-		none := false
-		for _, p := range ps {
-			switch prefixPredOutcome(s.Columns[ci], p, col.prefix) {
-			case outNoneMatch:
-				none = true
-			case outAllMatch:
-				// Satisfied by every non-null row; nothing to evaluate.
-			default:
-				residual = append(residual, p)
-			}
-		}
-		if none {
-			for j := range sel {
-				sel[j] = false
-			}
-			selCount = 0
-			continue
-		}
-		if len(residual) == 0 || selCount == 0 {
-			continue
-		}
-		// Evaluate the residual predicates once per dictionary entry, then
-		// test row codes against the matching set; literal suffixes decode
-		// per occurrence.
-		if !counted[ci] {
-			counted[ci] = true
-			out.ColumnsDecoded++
-		}
-		match := make([]bool, len(col.dict))
-		for k, suffix := range col.dict {
-			var v storage.Value
-			v, scratch, err = decodePrefixed(s.Columns[ci], col.prefix, suffix, scratch)
-			if err != nil {
-				return nil, err
-			}
-			ok := true
-			for _, p := range residual {
-				if !p.Matches(v) {
-					ok = false
-					break
-				}
-			}
-			match[k] = ok
-		}
-		err = col.visitValues(n, func(j, code int, lit []byte) error {
-			if !sel[j] {
-				return nil
-			}
-			if code >= 0 {
-				if !match[code] {
-					sel[j] = false
-					selCount--
-				}
-				return nil
-			}
-			var v storage.Value
-			var verr error
-			v, scratch, verr = decodePrefixed(s.Columns[ci], col.prefix, lit, scratch)
-			if verr != nil {
-				return verr
-			}
-			for _, p := range residual {
-				if !p.Matches(v) {
-					sel[j] = false
-					selCount--
-					break
-				}
-			}
-			return nil
-		})
+		var touched bool
+		selCount, scratch, touched, err = filterPageColumn(s.Columns[ci], &col, n, ps, sel, selCount, scratch)
 		if err != nil {
 			return nil, err
+		}
+		if touched && !counted[ci] {
+			counted[ci] = true
+			out.ColumnsDecoded++
 		}
 	}
 
@@ -661,38 +712,12 @@ func (pageCodec) DecodeColumns(s *storage.Schema, payload []byte, nrows int, spe
 			counted[ci] = true
 			out.ColumnsDecoded++
 		}
-		c := s.Columns[ci]
-		for j := 0; j < n; j++ {
-			if sel[j] && col.isNull(j) {
-				out.Rows[outIdx[j]][k] = storage.NullValue(c.Kind)
-			}
-		}
-		dictVals := make([]storage.Value, len(col.dict))
-		dictDone := make([]bool, len(col.dict))
-		err := col.visitValues(n, func(j, code int, lit []byte) error {
-			if !sel[j] {
-				return nil
-			}
-			var v storage.Value
-			var verr error
-			if code >= 0 {
-				if !dictDone[code] {
-					v, scratch, verr = decodePrefixed(c, col.prefix, col.dict[code], scratch)
-					if verr != nil {
-						return verr
-					}
-					dictVals[code], dictDone[code] = v, true
-				}
-				out.Rows[outIdx[j]][k] = dictVals[code]
-				return nil
-			}
-			v, scratch, verr = decodePrefixed(c, col.prefix, lit, scratch)
-			if verr != nil {
-				return verr
-			}
+		k := k
+		set := func(j int, v storage.Value) {
 			out.Rows[outIdx[j]][k] = v
-			return nil
-		})
+		}
+		var err error
+		scratch, err = materializePageColumn(s.Columns[ci], col, n, sel, set, scratch)
 		if err != nil {
 			return nil, err
 		}

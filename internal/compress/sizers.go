@@ -196,9 +196,17 @@ func commonPrefix(a, b string) string {
 // fixed-width code sized by the column's distinct count. The engine keeps a
 // column plain when dictionary encoding would not help. Order-independent.
 func sizeGlobalDict(s *storage.Schema, rows []storage.Row) int64 {
-	bitmap := (len(s.Columns) + 7) / 8
+	// Mirrors the column-major codec layout: a slot array keeps leaf rows
+	// addressable, and each column section carries its own null bitmap at one
+	// bit per row — not the row-major ceil(cols/8) bytes per row of the
+	// row-oriented codecs — plus a 2-byte mode/width header (charged once per
+	// column; the per-page repetition and bitmap rounding are sub-percent).
+	if len(rows) == 0 {
+		return 0
+	}
 	var total int64
-	total += int64(len(rows) * (bitmap + storage.SlotSize))
+	total += int64(len(rows) * storage.SlotSize)
+	total += int64(len(s.Columns) * (2 + (len(rows)+7)/8))
 	scratch := make([]byte, 0, 64)
 	for ci, c := range s.Columns {
 		// Gather distinct encoded values and the plain encoded size.

@@ -117,6 +117,21 @@ type materialization struct {
 	fullRows int64
 	uncBytes int64 // uncompressed size of the sample index
 	timer    *time.Duration
+
+	// design caches the per-(column, method) size decomposition, built on the
+	// first mixed-design SampleCF over this structure. Every further design
+	// vector on the structure then sizes in O(columns) — the shared-sample
+	// reuse that makes greedy per-column refinement affordable.
+	designOnce sync.Once
+	design     *compress.DesignSizes
+}
+
+// designSizes returns the lazily built per-column decomposition.
+func (m *materialization) designSizes() *compress.DesignSizes {
+	m.designOnce.Do(func() {
+		m.design = compress.MeasureDesignSizes(m.schema, m.rows)
+	})
+	return m.design
 }
 
 // New creates an estimator.
@@ -281,7 +296,9 @@ func (e *Estimator) SampleCF(d *index.Def) (*Estimate, error) {
 		return nil, err
 	}
 	compSample := mat.uncBytes
-	if d.Method != compress.None {
+	if d.IsMixed() {
+		compSample = mat.designSizes().SizeFor(mat.schema, d.Method, d.ColMethods)
+	} else if d.Method != compress.None {
 		compSample = compress.SizeRows(mat.schema, mat.rows, d.Method)
 	}
 	cf := 1.0

@@ -246,13 +246,15 @@ func NewStore(db *catalog.Database, defs []*index.Def) (*Store, error) {
 		heapDef := &index.Def{Table: t.Name, Clustered: true}
 		if cl := clustered[key]; cl != nil {
 			heapDef.Method = cl.Method
+			heapDef.ColMethods = cl.ColMethods
 			// The clustered index is materialized as a key-ordered structure
 			// carrying every column plus a RID, so seeks can restore
 			// insertion order.
 			synth := &index.Def{
-				Table:   t.Name,
-				KeyCols: cl.KeyCols,
-				Method:  cl.Method,
+				Table:      t.Name,
+				KeyCols:    cl.KeyCols,
+				Method:     cl.Method,
+				ColMethods: cl.ColMethods,
 			}
 			for _, c := range t.Schema.Names() {
 				if !containsFoldStr(synth.KeyCols, c) {

@@ -39,12 +39,18 @@ func assertResultsIdentical(t *testing.T, label string, got, want *Result) {
 }
 
 // tpchDesign is a representative physical design covering every access-path
-// shape: a PAGE-compressed clustered index, ROW/NONE secondaries (covering
-// and not), plus a partial and an MV definition the store must tolerate.
+// shape: a mixed per-column clustered index (PAGE default with GDICT/RLE
+// column overrides), a mixed ROW secondary, plain ROW/NONE secondaries
+// (covering and not), plus a partial and an MV definition the store must
+// tolerate. The mixed members route the differential sweep — including its
+// UPDATE/DELETE invalidation and rebuild — through the column-major design
+// codec.
 func tpchDesign() []*index.Def {
 	return []*index.Def{
-		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Clustered: true, Method: compress.Page},
-		{Table: "lineitem", KeyCols: []string{"l_quantity"}, IncludeCols: []string{"l_extendedprice"}, Method: compress.Row},
+		{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Clustered: true, Method: compress.Page,
+			ColMethods: map[string]compress.Method{"l_shipmode": compress.GlobalDict, "l_linestatus": compress.RLE}},
+		{Table: "lineitem", KeyCols: []string{"l_quantity"}, IncludeCols: []string{"l_extendedprice"}, Method: compress.Row,
+			ColMethods: map[string]compress.Method{"l_extendedprice": compress.GlobalDict}},
 		{Table: "lineitem", KeyCols: []string{"l_shipmode"}, Method: compress.Row},
 		{Table: "orders", KeyCols: []string{"o_orderdate"}, IncludeCols: []string{"o_totalprice"}, Method: compress.None},
 		{Table: "lineitem", KeyCols: []string{"l_discount"},

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"cadb/internal/catalog"
 	"cadb/internal/compress"
+	"cadb/internal/core"
 	"cadb/internal/exec"
 	"cadb/internal/index"
 	"cadb/internal/workload"
@@ -149,5 +151,122 @@ func TestMeasuredDecodeBudgetPAGE(t *testing.T) {
 		if checked == 0 {
 			t.Fatalf("%s: workload has no selective single-table filter queries to guard", c.name)
 		}
+	}
+}
+
+// TestMixedDesignSizesWithinTolerance extends the size-model acceptance
+// bound to mixed per-column designs: the design-aware decomposition must
+// stay within 10% of the materialized segment.
+func TestMixedDesignSizesWithinTolerance(t *testing.T) {
+	sc := QuickScale()
+	cases := []struct {
+		name  string
+		sizes func() ([]MeasuredSize, error)
+	}{
+		{"tpch", func() ([]MeasuredSize, error) {
+			return MeasuredDesignSizes(newTPCHAt(sc), measuredTPCHMixedDesigns())
+		}},
+		{"sales", func() ([]MeasuredSize, error) {
+			return MeasuredDesignSizes(newSalesAt(sc), measuredSalesMixedDesigns())
+		}},
+	}
+	for _, c := range cases {
+		sizes, err := c.sizes()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, m := range sizes {
+			if m.Design == "" {
+				t.Errorf("%s %s: expected a mixed design label", c.name, m.Structure)
+			}
+			if e := math.Abs(m.ByteErr()); e > 0.10 {
+				t.Errorf("%s %s %s: size error %.1f%% (est %d, actual %d)",
+					c.name, m.Structure, m.MethodLabel(), 100*e, m.EstimatedBytes, m.MaterializedBytes)
+			}
+		}
+	}
+}
+
+// TestMixedScenarioDifferential is the mixed-design half of the oracle
+// identity sweep, kept -short friendly so the CI race job always runs the
+// executor's mixed-method decode paths under the race detector.
+func TestMixedScenarioDifferential(t *testing.T) {
+	sc := QuickScale()
+	ran := 0
+	for _, scen := range MeasuredScenarios(sc) {
+		if !strings.HasSuffix(scen.Name, "/mixed") {
+			continue
+		}
+		ran++
+		results, err := MeasuredExecution(scen.Mkdb, scen.WL, scen.Defs)
+		if err != nil {
+			t.Fatalf("%s: %v", scen.Name, err)
+		}
+		if len(results) == 0 {
+			t.Fatalf("%s: no statements measured", scen.Name)
+		}
+		for _, r := range results {
+			if !r.Identical {
+				t.Errorf("%s %s: mixed-design store result differs from the plain-row oracle", scen.Name, r.Label)
+			}
+		}
+	}
+	if ran != 2 {
+		t.Fatalf("expected 2 mixed scenarios, ran %d", ran)
+	}
+}
+
+// TestMixedDesignBeatsUniform pins the issue's acceptance criterion: on a
+// built-in workload there is a per-column design whose total cost beats
+// every uniform design at the same budget — including each single-method
+// restriction the pre-design-vector advisor was limited to.
+func TestMixedDesignBeatsUniform(t *testing.T) {
+	costs, err := MixedVsUniform(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mixed *DesignCost
+	for i := range costs {
+		if costs[i].Mixed {
+			mixed = &costs[i]
+		}
+	}
+	if mixed == nil {
+		t.Fatal("no per-column row")
+	}
+	for _, c := range costs {
+		if c.Mixed {
+			continue
+		}
+		if !(mixed.TotalCost < c.TotalCost) {
+			t.Errorf("per-column design (%.1f) must beat %s (%.1f) on total cost",
+				mixed.TotalCost, c.Label, c.TotalCost)
+		}
+	}
+}
+
+// TestAdvisorAdoptsMixedDesigns pins the search integration: with the
+// default options the full advisor run accepts per-column refinements and
+// recommends at least one mixed structure on the select-intensive TPC-H
+// workload.
+func TestAdvisorAdoptsMixedDesigns(t *testing.T) {
+	sc := QuickScale()
+	db := newTPCHAt(sc)
+	wl := workloads.SelectIntensive(workloads.MustTPCH())
+	rec, err := core.New(db, wl, core.DefaultOptions(db.TotalHeapBytes()/8)).Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Timing.Refinements == 0 {
+		t.Error("refinement sweep accepted no per-column changes")
+	}
+	mixed := 0
+	for _, h := range rec.Config.Indexes() {
+		if h.Def.IsMixed() {
+			mixed++
+		}
+	}
+	if mixed == 0 {
+		t.Error("recommendation contains no mixed per-column designs")
 	}
 }

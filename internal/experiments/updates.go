@@ -47,6 +47,12 @@ func ExtUpdateRecommend(db *catalog.Database, base *workload.Workload, w float64
 	wl := base.ReweightUpdates(w)
 	opts := core.DefaultOptions(int64(ExtUpdateBudgetFrac * float64(db.TotalHeapBytes())))
 	opts.Parallelism = parallelism
+	// This experiment reproduces the paper's ROW-vs-PAGE maintenance shift,
+	// so it runs with SQL Server's two packages and uniform designs; with
+	// GDICT/RLE in the mix PAGE is dominated outright and the shift has
+	// nothing to act on.
+	opts.Methods = []compress.Method{compress.Row, compress.Page}
+	opts.RefineColumns = false
 	return core.New(db, wl, opts).Recommend()
 }
 

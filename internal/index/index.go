@@ -63,7 +63,56 @@ type Def struct {
 	// MV, when set, makes this an index on the materialized view.
 	MV *MVDef
 	// Method is the compression method (compress.None when uncompressed).
+	// When ColMethods is non-empty it is the default of a per-column design.
 	Method compress.Method
+	// ColMethods optionally overrides Method per leaf column (keys are
+	// lower-cased column names), making this a mixed per-column compression
+	// design. Entries equal to Method are ignored.
+	ColMethods map[string]compress.Method
+}
+
+// MethodFor returns the compression method of one leaf column under the
+// definition's design.
+func (d *Def) MethodFor(col string) compress.Method {
+	if len(d.ColMethods) == 0 {
+		return d.Method
+	}
+	if m, ok := d.ColMethods[strings.ToLower(col)]; ok {
+		return m
+	}
+	return d.Method
+}
+
+// IsMixed reports whether the definition carries per-column overrides that
+// differ from the default method. Allocation-free: it sits on the cost
+// model's per-what-if α/β path.
+func (d *Def) IsMixed() bool {
+	for _, m := range d.ColMethods {
+		if m != d.Method {
+			return true
+		}
+	}
+	return false
+}
+
+// designSig canonicalizes the per-column overrides: sorted "col=METHOD"
+// entries for overrides that differ from the default, joined by commas.
+// Empty for uniform designs.
+func (d *Def) designSig() string {
+	if len(d.ColMethods) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(d.ColMethods))
+	for c, m := range d.ColMethods {
+		if m != d.Method {
+			parts = append(parts, strings.ToLower(c)+"="+m.String())
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
 }
 
 // Columns returns key + include columns (no duplicates, preserving order).
@@ -93,10 +142,23 @@ func (d *Def) IsPartial() bool { return len(d.Where) > 0 }
 // IsMV reports whether the index is on a materialized view.
 func (d *Def) IsMV() bool { return d.MV != nil }
 
-// WithMethod returns a copy of the definition using the given compression
-// method.
+// WithMethod returns a copy of the definition using the given uniform
+// compression method (any per-column overrides are dropped).
 func (d Def) WithMethod(m compress.Method) *Def {
 	d.Method = m
+	d.ColMethods = nil
+	return &d
+}
+
+// WithColMethod returns a copy of the definition with one column's method
+// overridden (the rest of the design is preserved).
+func (d Def) WithColMethod(col string, m compress.Method) *Def {
+	cm := make(map[string]compress.Method, len(d.ColMethods)+1)
+	for c, mm := range d.ColMethods {
+		cm[c] = mm
+	}
+	cm[strings.ToLower(col)] = m
+	d.ColMethods = cm
 	return &d
 }
 
@@ -127,14 +189,18 @@ func (d *Def) ID() string {
 		fmt.Fprintf(&b, " on mv{%s}", d.MV.Fingerprint())
 	}
 	fmt.Fprintf(&b, " %s", d.Method)
+	if sig := d.designSig(); sig != "" {
+		fmt.Fprintf(&b, "[%s]", sig)
+	}
 	return b.String()
 }
 
-// StructureID is ID without the compression method: variants of the same
+// StructureID is ID without the compression design: variants of the same
 // index share it.
 func (d *Def) StructureID() string {
 	c := *d
 	c.Method = compress.None
+	c.ColMethods = nil
 	id := c.ID()
 	return strings.TrimSuffix(id, " "+compress.None.String())
 }
@@ -159,7 +225,9 @@ func (d *Def) String() string {
 	if d.MV != nil {
 		s += " [MV " + d.MV.Name + "]"
 	}
-	if d.Method != compress.None {
+	if sig := d.designSig(); sig != "" {
+		s += " COMPRESS " + d.Method.String() + "[" + sig + "]"
+	} else if d.Method != compress.None {
 		s += " COMPRESS " + d.Method.String()
 	}
 	return s
@@ -323,7 +391,9 @@ func Build(db *catalog.Database, d *Def) (*Physical, error) {
 func BuildFromRows(schema *storage.Schema, rows []storage.Row, d *Def) *Physical {
 	unc := compress.SizeRows(schema, rows, compress.None)
 	bytes := unc
-	if d.Method != compress.None {
+	if d.IsMixed() {
+		bytes = compress.SizeRowsDesign(schema, rows, d.Method, d.ColMethods)
+	} else if d.Method != compress.None {
 		bytes = compress.SizeRows(schema, rows, d.Method)
 	}
 	return &Physical{

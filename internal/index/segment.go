@@ -40,7 +40,7 @@ func BuildSegmentIndex(db *catalog.Database, d *Def) (*SegmentIndex, error) {
 // BuildSegmentOver materializes a segment index over pre-built, pre-sorted
 // leaf rows.
 func BuildSegmentOver(schema *storage.Schema, rows []storage.Row, d *Def) (*SegmentIndex, error) {
-	codec := compress.Codec(d.Method)
+	codec := compress.DesignCodec(d.Method, d.ColMethods)
 	if codec == nil {
 		return nil, fmt.Errorf("index: method %s has no materializing codec", d.Method)
 	}

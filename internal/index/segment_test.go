@@ -132,12 +132,29 @@ func TestSeekPagesCoversAllMatches(t *testing.T) {
 	}
 }
 
-func TestBuildSegmentIndexRejectsEstimationOnlyMethods(t *testing.T) {
+// TestBuildSegmentIndexAllMethods: every recommendable method — and a mixed
+// per-column design — materializes to a scannable segment index.
+func TestBuildSegmentIndexAllMethods(t *testing.T) {
 	db := datagen.NewTPCH(datagen.TPCHConfig{LineitemRows: 500, Seed: 1})
-	for _, m := range []compress.Method{compress.GlobalDict, compress.RLE} {
-		d := &Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Method: m}
-		if _, err := BuildSegmentIndex(db, d); err == nil {
-			t.Fatalf("%s: expected an error (no materializing codec)", m)
+	defs := []*Def{}
+	for _, m := range append([]compress.Method{compress.None}, compress.Methods...) {
+		defs = append(defs, &Def{Table: "lineitem", KeyCols: []string{"l_shipdate"}, Method: m})
+	}
+	defs = append(defs, &Def{
+		Table: "lineitem", KeyCols: []string{"l_shipdate"}, Method: compress.Row,
+		ColMethods: map[string]compress.Method{"l_shipmode": compress.GlobalDict, "l_shipdate": compress.RLE},
+	})
+	for _, d := range defs {
+		si, err := BuildSegmentIndex(db, d)
+		if err != nil {
+			t.Fatalf("%s: BuildSegmentIndex: %v", d, err)
+		}
+		if si.Seg.Rows() != 500 {
+			t.Fatalf("%s: segment has %d rows, want 500", d, si.Seg.Rows())
+		}
+		rows, err := si.Seg.ScanAll()
+		if err != nil || len(rows) != 500 {
+			t.Fatalf("%s: ScanAll: %d rows, err %v", d, len(rows), err)
 		}
 	}
 }

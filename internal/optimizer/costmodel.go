@@ -84,6 +84,54 @@ func NewCostModel(db *catalog.Database) *CostModel {
 	}
 }
 
+// alphaOf returns the per-tuple-written compression CPU cost of the index's
+// design: Alpha of the uniform method, or — for a mixed per-column design —
+// the column-count-weighted mean of the per-column Alphas (a written tuple
+// re-encodes every leaf column, each paying its own method's share). Uniform
+// designs reduce exactly to the scalar lookup, so all existing costs are
+// unchanged.
+func (cm *CostModel) alphaOf(h *HypoIndex) float64 {
+	return cm.designMean(h, cm.Alpha)
+}
+
+// betaOf is the per-tuple-per-column decompression CPU cost of the index's
+// design, weighted the same way: reads touch columns, and each column decodes
+// under its own method.
+func (cm *CostModel) betaOf(h *HypoIndex) float64 {
+	return cm.designMean(h, cm.Beta)
+}
+
+func (cm *CostModel) designMean(h *HypoIndex, table map[compress.Method]float64) float64 {
+	if h == nil {
+		return table[compress.None]
+	}
+	d := h.Def
+	if !d.IsMixed() {
+		return table[d.Method]
+	}
+	cols := cm.leafColumns(d)
+	if len(cols) == 0 {
+		return table[d.Method]
+	}
+	var sum float64
+	for _, c := range cols {
+		sum += table[d.MethodFor(c)]
+	}
+	return sum / float64(len(cols))
+}
+
+// leafColumns lists the columns a leaf entry of the index carries: every
+// table column for a clustered index, key + include columns plus the row
+// locator otherwise.
+func (cm *CostModel) leafColumns(d *index.Def) []string {
+	if d.Clustered {
+		if t := cm.DB.Table(d.Table); t != nil {
+			return t.Schema.Names()
+		}
+	}
+	return append(d.Columns(), "__rid")
+}
+
 // AccessPath describes the chosen plan for one table of a query.
 type AccessPath struct {
 	Table   string
@@ -327,7 +375,7 @@ func (cm *CostModel) indexPath(t *catalog.Table, h *HypoIndex, preds []workload.
 	idxRows := float64(h.Rows)
 	pages := float64(h.Pages())
 	usedCols := countUsedCols(idxCols, needed)
-	beta := cm.Beta[methodOf(h)]
+	beta := cm.betaOf(h)
 	residualSel := CombinedSelectivity(t, remaining)
 	disc := cm.poolDiscount(h.Def.ID(), h.Bytes)
 
@@ -525,7 +573,7 @@ func mvMatches(mv *index.MVDef, q *workload.Query) ([]workload.Predicate, bool) 
 func (cm *CostModel) mvAccess(h *HypoIndex, residual []workload.Predicate, q *workload.Query) AccessPath {
 	rows := float64(h.Rows)
 	pages := float64(h.Pages())
-	beta := cm.Beta[methodOf(h)]
+	beta := cm.betaOf(h)
 	usedCols := len(h.Def.Columns())
 	if usedCols == 0 {
 		usedCols = 1
@@ -660,7 +708,7 @@ func (cm *CostModel) planInsert(ins *workload.Insert, cfg *Configuration) *Plan 
 	if cl != nil {
 		// Clustered insert: bulk sort + merge, plus compression CPU.
 		baseIO = cm.SeqPageIO * basePages * 2 * cl.CF()
-		baseCPU += cm.Alpha[methodOf(cl)] * n
+		baseCPU += cm.alphaOf(cl) * n
 	} else {
 		baseIO = cm.SeqPageIO * basePages
 	}
@@ -686,7 +734,7 @@ func (cm *CostModel) planInsert(ins *workload.Insert, cfg *Configuration) *Plan 
 		}
 		writePages := affected * entryWidth(h) / storage.UsablePageBytes * h.CF()
 		io := cm.SeqPageIO * writePages * 2
-		cpu := cm.CPUInsert*affected + cm.Alpha[methodOf(h)]*affected
+		cpu := cm.CPUInsert*affected + cm.alphaOf(h)*affected
 		plan.Total += io + cpu
 		plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: h, Kind: "index-maintain", Rows: affected, Cost: io + cpu})
 	}
@@ -740,7 +788,7 @@ func (cm *CostModel) planUpdate(u *workload.Update, cfg *Configuration) *Plan {
 	cl := cfg.Clustered(t.Name)
 	writePages := n * t.AvgRowWidth() / storage.UsablePageBytes
 	baseIO := cm.SeqPageIO * writePages
-	baseCPU := cm.CPUInsert*n + cm.Alpha[methodOf(cl)]*n
+	baseCPU := cm.CPUInsert*n + cm.alphaOf(cl)*n
 	if cl != nil && touchesAny(u, cl.Def.KeyCols) {
 		baseIO *= 2
 		baseCPU += cm.CPUInsert * n
@@ -786,7 +834,7 @@ func (cm *CostModel) planDelete(d *workload.Delete, cfg *Configuration) *Plan {
 	cl := cfg.Clustered(t.Name)
 	writePages := n * t.AvgRowWidth() / storage.UsablePageBytes
 	baseIO := cm.SeqPageIO * writePages
-	baseCPU := cm.CPUInsert*n + cm.Alpha[methodOf(cl)]*n
+	baseCPU := cm.CPUInsert*n + cm.alphaOf(cl)*n
 	plan.Total += baseIO + baseCPU
 	plan.Paths = append(plan.Paths, AccessPath{Table: t.Name, Index: cl, Kind: "base-delete", Rows: n, Cost: baseIO + baseCPU})
 
@@ -856,7 +904,7 @@ func (cm *CostModel) maintainCost(h *HypoIndex, affected float64, moves bool) fl
 		passes = 2
 	}
 	io := cm.RandPageIO*cm.treeHeight(float64(h.Pages())) + cm.SeqPageIO*writePages*passes
-	cpu := cm.CPUInsert*affected*passes + cm.Alpha[methodOf(h)]*affected
+	cpu := cm.CPUInsert*affected*passes + cm.alphaOf(h)*affected
 	return io + cpu
 }
 

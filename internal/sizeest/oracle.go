@@ -395,10 +395,14 @@ func (o *Batched) Admit(d *index.Def) (*estimator.Estimate, error) {
 	if est, ok := o.est.Cached(d); ok {
 		return est, nil
 	}
-	if d.Method == compress.None {
+	if d.Method == compress.None && !d.IsMixed() {
 		return o.est.EstimateUncompressed(d)
 	}
-	if o.plan == nil || !o.cfg.UseDeduction {
+	// Mixed per-column designs always sample: the deduction graph reasons
+	// about uniform methods (ORD-IND column-set deductions, per-method error
+	// bands) and does not model design vectors. The sample index is shared
+	// with the structure's uniform variants, so this stays cheap.
+	if o.plan == nil || !o.cfg.UseDeduction || d.IsMixed() {
 		o.admitSampled++
 		return o.est.SampleCF(d)
 	}

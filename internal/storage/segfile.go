@@ -13,7 +13,7 @@ import (
 // the raw page payloads. Pages are read back individually via ReadAt, so a
 // buffer pool can fault in exactly the pages a query touches.
 //
-// Layout (all integers big-endian):
+// Version 1 layout (all integers big-endian):
 //
 //	[0:8)    magic "CADBSEG1"
 //	[8:12)   format version (1)
@@ -25,12 +25,31 @@ import (
 //	         offset u64 | length u32 | rows u32 | accounted u32 | crc32 u32
 //	+4       CRC32 (IEEE) of everything before it
 //	then the page payloads at their directory offsets.
+//
+// Version 2 ("CADBSEG2", written for stateful codecs — GDICT, RLE and mixed
+// per-column designs) inserts two blocks between the codec name and the page
+// count:
+//
+//	u16 column count; per column: u8 name length | name | u8 method
+//	u32 state length | codec state block (the global dictionaries)
+//
+// Everything else — directory, checksums, payload placement — is identical,
+// and OpenSegmentFile keeps reading version 1 files unchanged.
 type SegmentFile struct {
 	f         *os.File
 	path      string
 	codecName string
 	rows      int64
 	entries   []segPageEntry
+	design    []SegColumnMethod // per-column method vector (v2 only)
+	state     []byte            // codec state block (v2 only)
+}
+
+// SegColumnMethod is one entry of a CADBSEG2 design vector: a column name and
+// its compression-method byte (the compress.Method value).
+type SegColumnMethod struct {
+	Name   string
+	Method byte
 }
 
 type segPageEntry struct {
@@ -41,26 +60,81 @@ type segPageEntry struct {
 	crc       uint32
 }
 
-var segMagic = [8]byte{'C', 'A', 'D', 'B', 'S', 'E', 'G', '1'}
+var (
+	segMagic  = [8]byte{'C', 'A', 'D', 'B', 'S', 'E', 'G', '1'}
+	segMagic2 = [8]byte{'C', 'A', 'D', 'B', 'S', 'E', 'G', '2'}
+)
 
-const segFileVersion = 1
+const (
+	segFileVersion  = 1
+	segFileVersion2 = 2
+)
+
+// segDesign extracts the design vector and state block a segment file must
+// record for its codec: nil for stateless codecs (written as version 1).
+func segDesign(c PageCodec, s *Schema) ([]SegColumnMethod, []byte) {
+	sc, ok := c.(StatefulCodec)
+	if !ok {
+		return nil, nil
+	}
+	ids := sc.ColumnMethodIDs(s)
+	design := make([]SegColumnMethod, len(s.Columns))
+	for i, col := range s.Columns {
+		design[i] = SegColumnMethod{Name: col.Name, Method: ids[i]}
+	}
+	return design, sc.SegmentState()
+}
+
+// segHeaderPrefix assembles the header bytes that precede the page directory:
+// version 1 when design is nil, version 2 otherwise.
+func segHeaderPrefix(name string, design []SegColumnMethod, state []byte, pageCount int, rows int64) ([]byte, error) {
+	if len(name) > 255 {
+		return nil, fmt.Errorf("storage: codec name %q too long", name)
+	}
+	var h []byte
+	if design == nil {
+		h = append(h, segMagic[:]...)
+		h = binary.BigEndian.AppendUint32(h, segFileVersion)
+		h = binary.BigEndian.AppendUint32(h, uint32(len(name)))
+		h = append(h, name...)
+	} else {
+		if len(design) > 0xFFFF {
+			return nil, fmt.Errorf("storage: design vector of %d columns", len(design))
+		}
+		h = append(h, segMagic2[:]...)
+		h = binary.BigEndian.AppendUint32(h, segFileVersion2)
+		h = binary.BigEndian.AppendUint32(h, uint32(len(name)))
+		h = append(h, name...)
+		h = binary.BigEndian.AppendUint16(h, uint16(len(design)))
+		for _, cm := range design {
+			if len(cm.Name) > 255 {
+				return nil, fmt.Errorf("storage: column name %q too long", cm.Name)
+			}
+			h = append(h, byte(len(cm.Name)))
+			h = append(h, cm.Name...)
+			h = append(h, cm.Method)
+		}
+		h = binary.BigEndian.AppendUint32(h, uint32(len(state)))
+		h = append(h, state...)
+	}
+	h = binary.BigEndian.AppendUint32(h, uint32(pageCount))
+	h = binary.BigEndian.AppendUint64(h, uint64(rows))
+	return h, nil
+}
 
 // WriteSegmentFile writes the segment's pages to path (truncating any
 // previous file) and returns an open handle for reads. The segment must
 // still hold its payloads (i.e. not already be spilled).
 func WriteSegmentFile(path string, seg *Segment) (*SegmentFile, error) {
 	name := seg.Codec.Name()
-	if len(name) > 255 {
-		return nil, fmt.Errorf("storage: codec name %q too long", name)
+	design, state := segDesign(seg.Codec, seg.Schema)
+	prefix, err := segHeaderPrefix(name, design, state, len(seg.pages), seg.rows)
+	if err != nil {
+		return nil, err
 	}
-	headerLen := 16 + len(name) + 4 + 8 + 24*len(seg.pages) + 4
+	headerLen := len(prefix) + 24*len(seg.pages) + 4
 	header := make([]byte, 0, headerLen)
-	header = append(header, segMagic[:]...)
-	header = binary.BigEndian.AppendUint32(header, segFileVersion)
-	header = binary.BigEndian.AppendUint32(header, uint32(len(name)))
-	header = append(header, name...)
-	header = binary.BigEndian.AppendUint32(header, uint32(len(seg.pages)))
-	header = binary.BigEndian.AppendUint64(header, uint64(seg.rows))
+	header = append(header, prefix...)
 
 	entries := make([]segPageEntry, len(seg.pages))
 	at := uint64(headerLen)
@@ -107,7 +181,7 @@ func WriteSegmentFile(path string, seg *Segment) (*SegmentFile, error) {
 		return nil, err
 	}
 	adviseRandom(f)
-	return &SegmentFile{f: f, path: path, codecName: name, rows: seg.rows, entries: entries}, nil
+	return &SegmentFile{f: f, path: path, codecName: name, rows: seg.rows, entries: entries, design: design, state: state}, nil
 }
 
 // OpenSegmentFile opens an existing segment file, validating the header
@@ -131,11 +205,18 @@ func readSegHeader(f *os.File, path string) (*SegmentFile, error) {
 	if _, err := f.ReadAt(fixed, 0); err != nil {
 		return nil, fmt.Errorf("storage: %s: short header: %w", path, err)
 	}
-	if [8]byte(fixed[:8]) != segMagic {
+	switch [8]byte(fixed[:8]) {
+	case segMagic:
+		if v := binary.BigEndian.Uint32(fixed[8:12]); v != segFileVersion {
+			return nil, fmt.Errorf("storage: %s: unsupported version %d", path, v)
+		}
+	case segMagic2:
+		if v := binary.BigEndian.Uint32(fixed[8:12]); v != segFileVersion2 {
+			return nil, fmt.Errorf("storage: %s: unsupported version %d", path, v)
+		}
+		return readSegHeaderV2(f, path, fixed)
+	default:
 		return nil, fmt.Errorf("storage: %s: bad magic", path)
-	}
-	if v := binary.BigEndian.Uint32(fixed[8:12]); v != segFileVersion {
-		return nil, fmt.Errorf("storage: %s: unsupported version %d", path, v)
 	}
 	nameLen := int(binary.BigEndian.Uint32(fixed[12:16]))
 	if nameLen > 255 {
@@ -162,6 +243,94 @@ func readSegHeader(f *os.File, path string) (*SegmentFile, error) {
 	if got := crc32.ChecksumIEEE(full); got != wantCRC {
 		return nil, fmt.Errorf("storage: %s: header checksum mismatch", path)
 	}
+	entries, err := parseSegDir(dir, n)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	return &SegmentFile{f: f, path: path, codecName: name, rows: rows, entries: entries}, nil
+}
+
+// readSegHeaderV2 parses a CADBSEG2 header. The variable-length design and
+// state blocks force incremental reads; every byte read is accumulated so
+// the trailing CRC covers the whole header, exactly like version 1.
+func readSegHeaderV2(f *os.File, path string, fixed []byte) (*SegmentFile, error) {
+	hdr := append([]byte(nil), fixed...)
+	at := int64(len(fixed))
+	read := func(n int) ([]byte, error) {
+		buf := make([]byte, n)
+		if n > 0 {
+			if _, err := f.ReadAt(buf, at); err != nil {
+				return nil, fmt.Errorf("storage: %s: short header: %w", path, err)
+			}
+		}
+		at += int64(n)
+		hdr = append(hdr, buf...)
+		return buf, nil
+	}
+	nameLen := int(binary.BigEndian.Uint32(fixed[12:16]))
+	if nameLen > 255 {
+		return nil, fmt.Errorf("storage: %s: codec name length %d", path, nameLen)
+	}
+	b, err := read(nameLen + 2)
+	if err != nil {
+		return nil, err
+	}
+	name := string(b[:nameLen])
+	colCount := int(binary.BigEndian.Uint16(b[nameLen:]))
+	design := make([]SegColumnMethod, colCount)
+	for i := range design {
+		lb, err := read(1)
+		if err != nil {
+			return nil, err
+		}
+		nb, err := read(int(lb[0]) + 1)
+		if err != nil {
+			return nil, err
+		}
+		design[i] = SegColumnMethod{Name: string(nb[:len(nb)-1]), Method: nb[len(nb)-1]}
+	}
+	sb, err := read(4)
+	if err != nil {
+		return nil, err
+	}
+	stateLen := int(binary.BigEndian.Uint32(sb))
+	if stateLen > 1<<30 {
+		return nil, fmt.Errorf("storage: %s: state block of %d bytes", path, stateLen)
+	}
+	state, err := read(stateLen)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := read(4 + 8)
+	if err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(cb[:4]))
+	rows := int64(binary.BigEndian.Uint64(cb[4:]))
+	dir := make([]byte, 24*n+4)
+	if _, err := f.ReadAt(dir, at); err != nil {
+		return nil, fmt.Errorf("storage: %s: short directory: %w", path, err)
+	}
+	hdr = append(hdr, dir[:24*n]...)
+	wantCRC := binary.BigEndian.Uint32(dir[24*n:])
+	if got := crc32.ChecksumIEEE(hdr); got != wantCRC {
+		return nil, fmt.Errorf("storage: %s: header checksum mismatch", path)
+	}
+	entries, err := parseSegDir(dir, n)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	if stateLen == 0 {
+		state = nil
+	}
+	return &SegmentFile{f: f, path: path, codecName: name, rows: rows, entries: entries, design: design, state: state}, nil
+}
+
+// parseSegDir decodes n 24-byte directory entries.
+func parseSegDir(dir []byte, n int) ([]segPageEntry, error) {
+	if len(dir) < 24*n {
+		return nil, fmt.Errorf("short directory")
+	}
 	entries := make([]segPageEntry, n)
 	for i := 0; i < n; i++ {
 		e := dir[24*i:]
@@ -173,7 +342,7 @@ func readSegHeader(f *os.File, path string) (*SegmentFile, error) {
 			crc:       binary.BigEndian.Uint32(e[20:24]),
 		}
 	}
-	return &SegmentFile{f: f, path: path, codecName: name, rows: rows, entries: entries}, nil
+	return entries, nil
 }
 
 // NumPages returns the page count.
@@ -184,6 +353,15 @@ func (sf *SegmentFile) Rows() int64 { return sf.rows }
 
 // CodecName returns the codec method name recorded in the header.
 func (sf *SegmentFile) CodecName() string { return sf.codecName }
+
+// Design returns the per-column method vector recorded in a CADBSEG2 header
+// (nil for version-1 files).
+func (sf *SegmentFile) Design() []SegColumnMethod { return sf.design }
+
+// State returns the codec state block recorded in a CADBSEG2 header (nil for
+// version-1 files and stateless designs). Feed it to the codec's
+// LoadSegmentState to decode the file's pages in a fresh process.
+func (sf *SegmentFile) State() []byte { return sf.state }
 
 // Path returns the file path.
 func (sf *SegmentFile) Path() string { return sf.path }

@@ -8,11 +8,13 @@ import (
 )
 
 // PageCodec turns rows into physical page payloads and back. Implementations
-// live in internal/compress (one per materializable compression method); the
-// codec owns the packing policy so order-dependent methods can mirror the
-// grouping their size model assumes.
+// live in internal/compress (one per materializable compression method, plus
+// the per-column design codec behind GDICT/RLE/mixed designs); the codec owns
+// the packing policy so order-dependent methods can mirror the grouping their
+// size model assumes.
 type PageCodec interface {
-	// Name is the method name ("NONE", "ROW", "PAGE").
+	// Name is the method name ("NONE", "ROW", "PAGE", "GDICT", "RLE") or
+	// "MIXED" for a per-column design.
 	Name() string
 	// EncodeRows packs the rows into page payloads. Each payload must be
 	// decodable by DecodePage on its own.
@@ -25,6 +27,34 @@ type PageCodec interface {
 	// FallbackDecodeColumns) so the interface stays uniform; the returned
 	// counters report the work actually done.
 	DecodeColumns(s *Schema, payload []byte, nrows int, spec *DecodeSpec) (*DecodedPage, error)
+}
+
+// SegmentPreparer is an optional PageCodec extension: a pre-pass over the
+// full row set before encoding begins. BuildSegment calls it automatically,
+// so a codec can make segment-scoped decisions (e.g. building a global
+// dictionary and electing per-column fallbacks) from complete information.
+// The streaming SegmentWriter never has the full row set and therefore never
+// prepares; codecs must stay correct — just possibly less optimal — without
+// the pre-pass.
+type SegmentPreparer interface {
+	PrepareSegment(s *Schema, rows []Row) error
+}
+
+// StatefulCodec is an optional PageCodec extension for codecs carrying
+// segment-level state that pages alone cannot reproduce (e.g. a global
+// dictionary). Segments built with a stateful codec are written in the
+// CADBSEG2 format, which records the per-column method vector and the state
+// block; LoadSegmentState rebuilds a fresh codec instance from that block so
+// a segment file opened in another process can be decoded.
+type StatefulCodec interface {
+	// SegmentState serializes the codec's segment-level state (nil when the
+	// design has none to record).
+	SegmentState() []byte
+	// LoadSegmentState rebuilds the state serialized by SegmentState.
+	LoadSegmentState(s *Schema, state []byte) error
+	// ColumnMethodIDs returns one compression-method byte per schema column —
+	// the design vector recorded in the CADBSEG2 header.
+	ColumnMethodIDs(s *Schema) []byte
 }
 
 // EncodedPage is one materialized page: the real payload bytes plus the
@@ -63,6 +93,7 @@ type Segment struct {
 	payloadBytes int64
 	physPages    int64
 	diskBytes    int64 // raw payload bytes (what a SegmentFile stores)
+	stateBytes   int64 // serialized codec state (global dictionaries)
 
 	// backing, when set, serves page payloads from disk through a buffer
 	// pool instead of memory (see Spill).
@@ -82,10 +113,19 @@ type segBacking struct {
 	closed atomic.Bool
 }
 
-// BuildSegment encodes the rows into a segment using the codec.
+// BuildSegment encodes the rows into a segment using the codec. Codecs that
+// implement SegmentPreparer get a pre-pass over the full row set first;
+// codecs that implement StatefulCodec have their serialized state charged
+// into PayloadBytes (the state travels in the segment file header, so it is
+// real bytes the size model must see, but not pool working set).
 func BuildSegment(s *Schema, rows []Row, c PageCodec) (*Segment, error) {
 	if c == nil {
 		return nil, fmt.Errorf("storage: nil page codec")
+	}
+	if p, ok := c.(SegmentPreparer); ok && len(rows) > 0 {
+		if err := p.PrepareSegment(s, rows); err != nil {
+			return nil, err
+		}
 	}
 	pages, err := c.EncodeRows(s, rows)
 	if err != nil {
@@ -103,6 +143,10 @@ func BuildSegment(s *Schema, rows []Row, c PageCodec) (*Segment, error) {
 	if seg.rows != int64(len(rows)) {
 		return nil, fmt.Errorf("storage: codec %s encoded %d of %d rows", c.Name(), seg.rows, len(rows))
 	}
+	if sc, ok := c.(StatefulCodec); ok && len(pages) > 0 {
+		seg.stateBytes = int64(len(sc.SegmentState()))
+		seg.payloadBytes += seg.stateBytes
+	}
 	return seg, nil
 }
 
@@ -117,8 +161,13 @@ func (g *Segment) PhysicalPages() int64 { return g.physPages }
 func (g *Segment) Rows() int64 { return g.rows }
 
 // PayloadBytes returns the accounted payload size (encoded bytes plus slot
-// overhead), comparable to compress.SizeRows.
+// overhead, plus any serialized codec state), comparable to
+// compress.SizeRows.
 func (g *Segment) PayloadBytes() int64 { return g.payloadBytes }
+
+// StateBytes returns the serialized codec-state size included in
+// PayloadBytes (0 for stateless codecs).
+func (g *Segment) StateBytes() int64 { return g.stateBytes }
 
 // Page returns the i-th encoded page.
 func (g *Segment) Page(i int) *EncodedPage { return &g.pages[i] }

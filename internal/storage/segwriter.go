@@ -136,14 +136,15 @@ func (w *SegmentWriter) Finish(pool *bufferpool.Pool) (*Segment, error) {
 	w.finished = true
 
 	name := w.codec.Name()
-	headerLen := 16 + len(name) + 4 + 8 + 24*len(w.entries) + 4
+	design, state := segDesign(w.codec, w.schema)
+	prefix, err := segHeaderPrefix(name, design, state, len(w.entries), w.rows)
+	if err != nil {
+		w.Abort()
+		return nil, err
+	}
+	headerLen := len(prefix) + 24*len(w.entries) + 4
 	header := make([]byte, 0, headerLen)
-	header = append(header, segMagic[:]...)
-	header = binary.BigEndian.AppendUint32(header, segFileVersion)
-	header = binary.BigEndian.AppendUint32(header, uint32(len(name)))
-	header = append(header, name...)
-	header = binary.BigEndian.AppendUint32(header, uint32(len(w.entries)))
-	header = binary.BigEndian.AppendUint64(header, uint64(w.rows))
+	header = append(header, prefix...)
 	for i := range w.entries {
 		w.entries[i].offset += uint64(headerLen)
 		header = binary.BigEndian.AppendUint64(header, w.entries[i].offset)
@@ -182,7 +183,7 @@ func (w *SegmentWriter) Finish(pool *bufferpool.Pool) (*Segment, error) {
 	w.spool = nil
 
 	adviseRandom(f)
-	sf := &SegmentFile{f: f, path: w.path, codecName: name, rows: w.rows, entries: w.entries}
+	sf := &SegmentFile{f: f, path: w.path, codecName: name, rows: w.rows, entries: w.entries, design: design, state: state}
 	seg := &Segment{Schema: w.schema, Codec: w.codec, pages: w.pages, rows: w.rows}
 	seg.starts = make([]int64, len(w.pages)+1)
 	for i := range w.pages {
@@ -190,6 +191,10 @@ func (w *SegmentWriter) Finish(pool *bufferpool.Pool) (*Segment, error) {
 		seg.payloadBytes += int64(w.pages[i].AccountedBytes)
 		seg.physPages += w.pages[i].PhysicalPages()
 		seg.diskBytes += int64(w.entries[i].length)
+	}
+	if len(w.pages) > 0 {
+		seg.stateBytes = int64(len(state))
+		seg.payloadBytes += seg.stateBytes
 	}
 	seg.backing = &segBacking{file: sf, pool: pool, fileID: pool.RegisterFile()}
 	return seg, nil
