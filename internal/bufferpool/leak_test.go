@@ -1,0 +1,61 @@
+package bufferpool
+
+import "testing"
+
+// TestPoolLeakDiagnostics intentionally leaks a pin through Get and asserts
+// the pool surfaces it: PinnedFrames/PinnedBytes in Stats is the runtime
+// twin of the static cadb-lint release check — a fetch whose release
+// closure is never invoked shows up here as a permanently pinned frame that
+// shrinks the pool's effective capacity.
+func TestPoolLeakDiagnostics(t *testing.T) {
+	p := New(300)
+	file := p.RegisterFile()
+	load := func(n int) func() ([]byte, error) {
+		return func() ([]byte, error) { return make([]byte, n), nil }
+	}
+
+	// A quiesced pool reports no pins.
+	if st := p.Stats(); st.PinnedFrames != 0 || st.PinnedBytes != 0 {
+		t.Fatalf("fresh pool reports pins: %+v", st)
+	}
+
+	// Leak: Get without Unpin.
+	k := Key{File: file, Page: 0}
+	if _, _, err := p.Get(k, load(100)); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.PinnedFrames != 1 || st.PinnedBytes != 100 {
+		t.Fatalf("leaked pin not diagnosed: PinnedFrames=%d PinnedBytes=%d", st.PinnedFrames, st.PinnedBytes)
+	}
+
+	// A second Get of the same page stacks a second pin on the same frame:
+	// still one pinned frame.
+	if _, _, err := p.Get(k, load(100)); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.PinnedFrames != 1 || st.PinnedBytes != 100 {
+		t.Fatalf("double-pinned frame miscounted: PinnedFrames=%d PinnedBytes=%d", st.PinnedFrames, st.PinnedBytes)
+	}
+
+	// The leak has teeth: the pinned frame cannot be evicted, so a page
+	// that needs its bytes fails to admit.
+	if _, _, err := p.Get(Key{File: file, Page: 1}, load(250)); err == nil {
+		t.Fatal("Get should fail: leaked pin holds 100 of 300 bytes")
+	}
+
+	// Releasing one of the two pins is not enough …
+	p.Unpin(k)
+	if st := p.Stats(); st.PinnedFrames != 1 {
+		t.Fatalf("frame with remaining pin dropped from diagnostics: %+v", st)
+	}
+	// … releasing the last one is: the diagnostic clears and the blocked
+	// admission now succeeds.
+	p.Unpin(k)
+	if st := p.Stats(); st.PinnedFrames != 0 || st.PinnedBytes != 0 {
+		t.Fatalf("pins not cleared after full release: %+v", st)
+	}
+	if _, _, err := p.Get(Key{File: file, Page: 1}, load(250)); err != nil {
+		t.Fatalf("admission still blocked after release: %v", err)
+	}
+	p.Unpin(Key{File: file, Page: 1})
+}

@@ -57,6 +57,15 @@ type Stats struct {
 	// PrefetchWasted counts prefetched pages that left the pool (evicted,
 	// invalidated, or never admitted) without ever serving a Get.
 	PrefetchWasted int64
+	// PinnedFrames and PinnedBytes are point-in-time (not cumulative): the
+	// frames currently pinned and their payload bytes at the moment of the
+	// Stats call. In a quiesced pool (no Get in flight, every fetch
+	// released) both must be zero — a nonzero value is the runtime
+	// signature of a leaked pin, the same bug the cadb-lint release check
+	// flags statically. Leaked pins are permanent: the frame can never be
+	// evicted, so the pool's effective capacity shrinks by PinnedBytes.
+	PinnedFrames int64
+	PinnedBytes  int64
 }
 
 // FileStats are the per-file hit/miss counters — the measured-hit-rate input
@@ -146,11 +155,19 @@ func (p *Pool) Bytes() int64 {
 
 // Stats returns a snapshot of the counters. The snapshot is internally
 // consistent: Gets == Hits + Misses holds at every observation point, even
-// while loads are in flight on other goroutines.
+// while loads are in flight on other goroutines. PinnedFrames/PinnedBytes
+// describe the instant of the call — the pool's leak diagnostic.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	for _, f := range p.ring {
+		if f.pins > 0 {
+			s.PinnedFrames++
+			s.PinnedBytes += int64(len(f.data))
+		}
+	}
+	return s
 }
 
 // FileStatsFor returns the cumulative hit/miss counters of one registered

@@ -313,10 +313,10 @@ func (a *Advisor) selectCandidates(hypos map[string]*optimizer.HypoIndex) []*opt
 				}
 			}
 		} else {
-			// Tie-break equal costs by index ID: relevantHypos returns map
-			// order and many relevant-but-unusable indexes cost exactly the
-			// base scan, so an unstable cost-only sort would make the top-k
-			// cut — and with it the recommendation — vary run to run.
+			// Tie-break equal costs by index ID: many relevant-but-unusable
+			// indexes cost exactly the base scan, so an unstable cost-only
+			// sort would make the top-k cut — and with it the
+			// recommendation — vary run to run.
 			sort.Slice(scoredList, func(i, j int) bool {
 				if scoredList[i].cost != scoredList[j].cost {
 					return scoredList[i].cost < scoredList[j].cost
@@ -341,7 +341,8 @@ func (a *Advisor) selectCandidates(hypos map[string]*optimizer.HypoIndex) []*opt
 }
 
 // relevantHypos returns the hypothetical indexes that could plausibly serve
-// the query (same table or matching MV fact).
+// the query (same table or matching MV fact), sorted by index ID so the
+// selection order never depends on map iteration.
 func (a *Advisor) relevantHypos(q *workload.Query, hypos map[string]*optimizer.HypoIndex) []*optimizer.HypoIndex {
 	var out []*optimizer.HypoIndex
 	for _, h := range hypos {
@@ -358,5 +359,6 @@ func (a *Advisor) relevantHypos(q *workload.Query, hypos map[string]*optimizer.H
 			}
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Def.ID() < out[j].Def.ID() })
 	return out
 }

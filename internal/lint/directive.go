@@ -1,0 +1,99 @@
+package lint
+
+// Suppression directives. A finding is intentional sometimes — a map range
+// whose order provably cannot leak, a Close whose error is meaningless. The
+// escape hatch is explicit, per line, per check, and must carry a reason so
+// the suppression documents the argument:
+//
+//	//cadb:lint-ignore <check> <reason>
+//
+// The directive covers findings of that check on its own line and on the
+// line immediately below (so it can sit above the flagged statement).
+// Malformed directives — unknown check, missing reason — are reported as
+// findings themselves rather than silently ignored.
+
+import (
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "cadb:lint-ignore"
+
+// directiveKey locates a directive: file and line.
+type directiveKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// directivesFor parses every suppression directive in the package and
+// returns the set of (file, line, check) keys they cover, plus findings for
+// malformed directives.
+func directivesFor(mod *Module, pkg *Package) (map[directiveKey]bool, []Finding) {
+	covered := make(map[directiveKey]bool)
+	var malformed []Finding
+	known := make(map[string]bool)
+	for _, c := range Checks() {
+		known[c.ID] = true
+	}
+	report := func(pos token.Pos, msg string) {
+		position := mod.Fset.Position(pos)
+		malformed = append(malformed, Finding{
+			Check:   "directive",
+			Pos:     position,
+			File:    position.Filename,
+			Line:    position.Line,
+			Col:     position.Column,
+			Message: msg,
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "lint-ignore directive names no check: //cadb:lint-ignore <check> <reason>")
+					continue
+				}
+				if !known[fields[0]] {
+					report(c.Pos(), "lint-ignore directive names unknown check "+fields[0])
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "lint-ignore "+fields[0]+" has no reason; suppressions must say why")
+					continue
+				}
+				pos := mod.Fset.Position(c.Pos())
+				covered[directiveKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return covered, malformed
+}
+
+// filterSuppressed drops findings covered by a directive on their line or
+// the line above.
+func filterSuppressed(findings []Finding, covered map[directiveKey]bool) []Finding {
+	if len(covered) == 0 {
+		return findings
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if f.Check != "directive" &&
+			(covered[directiveKey{f.File, f.Line, f.Check}] ||
+				covered[directiveKey{f.File, f.Line - 1, f.Check}]) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package lint
+
+// floatorder: closures fanned out by par.For (and wrappers) run
+// concurrently, one goroutine per slot. The contract that keeps parallel
+// and serial runs byte-identical is write-your-own-slot: fn(i) writes
+// results[i] and the caller reduces the slots serially in index order.
+// Accumulating inside the body instead makes the result depend on
+// goroutine arrival order — for float64 sums that changes the bits even
+// under a mutex, because float addition is not associative. Flagged inside
+// a fan-out body closure:
+//
+//   - sends on any channel (the receiver observes arrival order);
+//   - appends to a slice captured from outside the closure (arrival-order
+//     element order, and a data race besides);
+//   - compound assignment (or x = x + e) into a captured float (the
+//     float-sum-order invariant from PRs 1/5/6).
+//
+// Indexed writes like results[i] = v are the sanctioned pattern and pass.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func runFloatOrder(p *pass) {
+	p.eachFuncDecl(func(file *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !inList(p.calleeQualifiedName(call), p.cfg.FanoutFuncs) {
+				return true
+			}
+			fl, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+			if !ok {
+				return true // closure passed by name: analyzed where it is defined? no — skip
+			}
+			p.checkFanoutBody(fl)
+			return true
+		})
+	})
+}
+
+func (p *pass) checkFanoutBody(fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fl {
+			return true // nested closures inherit the same constraints
+		}
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			p.reportf(s.Pos(), "floatorder",
+				"channel send from a parallel fan-out body: the receiver reduces in goroutine-arrival order; write a per-slot result and reduce in slot order")
+		case *ast.AssignStmt:
+			p.checkFanoutAssign(fl, s)
+		}
+		return true
+	})
+}
+
+func (p *pass) checkFanoutAssign(fl *ast.FuncLit, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := ast.Unparen(as.Lhs[0])
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			// x.f += e or xs[0] += e with x captured is just as
+			// order-dependent; xs[i] += e (slot-indexed) is fine.
+			if ix, isIx := lhs.(*ast.IndexExpr); isIx && p.mentionsParamOf(fl, ix.Index) {
+				return
+			}
+			if root := rootIdent(lhs); root != nil && p.declaredOutside(root, fl, fl) && isFloat(p.pkg.Info.TypeOf(lhs)) {
+				p.reportf(as.Pos(), "floatorder",
+					"float accumulation into captured %s from a parallel fan-out body: the sum depends on goroutine interleaving; write per-slot results and reduce in slot order", exprString(lhs))
+			}
+			return
+		}
+		if isFloat(p.pkg.Info.TypeOf(lhs)) && p.declaredOutside(id, fl, fl) {
+			p.reportf(as.Pos(), "floatorder",
+				"float accumulation into captured %s from a parallel fan-out body: the sum depends on goroutine interleaving; write per-slot results and reduce in slot order", id.Name)
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok &&
+				isFloat(p.pkg.Info.TypeOf(as.Lhs[0])) && p.declaredOutside(id, fl, fl) &&
+				exprMentions(p, as.Rhs[0], p.objectOf(id)) {
+				p.reportf(as.Pos(), "floatorder",
+					"float accumulation into captured %s from a parallel fan-out body: the sum depends on goroutine interleaving; write per-slot results and reduce in slot order", id.Name)
+				return
+			}
+		}
+	}
+	// Captured-slice append: arrival-order growth (and a race). Appending
+	// into an element indexed by the closure's own parameter —
+	// extras[i] = append(extras[i], e) — is the sanctioned per-slot
+	// pattern and passes.
+	if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if _, ok := isAppendCall(as.Rhs[0]); ok {
+			lhs := ast.Unparen(as.Lhs[0])
+			if ix, ok := lhs.(*ast.IndexExpr); ok && p.mentionsParamOf(fl, ix.Index) {
+				return
+			}
+			if target := rootIdent(as.Lhs[0]); target != nil && p.declaredOutside(target, fl, fl) {
+				p.reportf(as.Pos(), "floatorder",
+					"append to captured %s from a parallel fan-out body: element order is goroutine-arrival order; write results[i] per slot instead", target.Name)
+			}
+		}
+	}
+}
+
+// mentionsParamOf reports whether e uses one of the closure's own
+// parameters — the slot index that makes an indexed write race-free and
+// order-independent.
+func (p *pass) mentionsParamOf(fl *ast.FuncLit, e ast.Expr) bool {
+	params := make(map[types.Object]bool)
+	for _, field := range fl.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.pkg.Info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	for _, obj := range p.identsIn(e) {
+		if params[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short selector chain for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[…]"
+	}
+	return "expr"
+}

@@ -1,0 +1,214 @@
+package lint
+
+// Shared AST/type utilities the checks lean on: qualified function names
+// (the currency of the chokepoint and fan-out allowlists), callee
+// resolution, and "where was this object declared" tests.
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// qualifiedFuncName renders a function declaration as
+// "pkgpath.Func" or "pkgpath.(*Recv).Method" / "pkgpath.Recv.Method" —
+// the format the allowlists use.
+func qualifiedFuncName(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return pkgPath + "." + fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	star := false
+	if se, ok := recv.(*ast.StarExpr); ok {
+		star = true
+		recv = se.X
+	}
+	// Strip generic type parameters if present.
+	if ix, ok := recv.(*ast.IndexExpr); ok {
+		recv = ix.X
+	}
+	name := "?"
+	if id, ok := recv.(*ast.Ident); ok {
+		name = id.Name
+	}
+	if star {
+		return pkgPath + ".(*" + name + ")." + fd.Name.Name
+	}
+	return pkgPath + "." + name + "." + fd.Name.Name
+}
+
+// calleeObject resolves the static callee of a call, or nil for dynamic
+// calls (function values, interface methods resolve to the interface
+// method object).
+func (p *pass) calleeObject(call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return p.pkg.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return p.pkg.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleeQualifiedName renders the callee as pkgpath.Name or
+// pkgpath.(*Recv).Name, matching qualifiedFuncName's format. Empty for
+// dynamic calls and builtins.
+func (p *pass) calleeQualifiedName(call *ast.CallExpr) string {
+	obj := p.calleeObject(call)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	pkgPath := fn.Pkg().Path()
+	recv := sig.Recv()
+	if recv == nil {
+		return pkgPath + "." + fn.Name()
+	}
+	rt := recv.Type()
+	star := ""
+	if ptr, ok := rt.(*types.Pointer); ok {
+		star = "*"
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if star != "" {
+		return pkgPath + ".(*" + named.Obj().Name() + ")." + fn.Name()
+	}
+	return pkgPath + "." + named.Obj().Name() + "." + fn.Name()
+}
+
+// inList reports whether s is one of list.
+func inList(s string, list []string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent walks selector/index/paren chains to the base identifier of an
+// lvalue: rootIdent(a.b[i].c) = a. Nil when the base is not a plain
+// identifier (a call result, say).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objectOf resolves an identifier to its object, through either a use or a
+// definition.
+func (p *pass) objectOf(id *ast.Ident) types.Object {
+	if obj := p.pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.pkg.Info.Defs[id]
+}
+
+// declaredOutside reports whether the identifier's object is declared
+// outside the [lo, hi] node span — i.e. the expression refers to state that
+// outlives the span (loop body, closure body).
+func (p *pass) declaredOutside(id *ast.Ident, lo, hi ast.Node) bool {
+	obj := p.objectOf(id)
+	if obj == nil {
+		return false
+	}
+	if obj.Pos() == 0 {
+		return true // package-level or imported
+	}
+	return obj.Pos() < lo.Pos() || obj.Pos() > hi.End()
+}
+
+// isAppendCall reports whether e is a call to the append builtin, returning
+// the call.
+func isAppendCall(e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil, false
+	}
+	return call, true
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedTypeIs reports whether t (or its pointee) is the named type
+// pkgPath.name.
+func namedTypeIs(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(ptr.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// eachFuncDecl visits every function declaration with a body in the
+// package.
+func (p *pass) eachFuncDecl(fn func(file *ast.File, fd *ast.FuncDecl)) {
+	for _, file := range p.pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(file, fd)
+			}
+		}
+	}
+}
+
+// identsIn collects the objects of all identifiers used in an expression.
+func (p *pass) identsIn(e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.objectOf(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isTestFile reports whether the position's file is a _test.go file. The
+// loader skips test files already; this is belt and braces for callers
+// handed explicit file lists.
+func isTestFile(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
+}

@@ -1,0 +1,252 @@
+package lint
+
+// Module loading without x/tools: package directories are discovered by
+// walking the module tree, files are selected through go/build (so build
+// tags and GOOS suffixes behave exactly like `go build`), parsed with
+// go/parser, and type-checked with go/types. Imports inside the module
+// resolve recursively through the same loader; standard-library imports are
+// type-checked from $GOROOT/src via go/importer's source importer. The whole
+// pipeline is stdlib-only, which keeps the module's no-external-deps
+// property intact.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	gopath "path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked, non-test package of the module (or a fixture
+// package loaded explicitly by LoadDir).
+type Package struct {
+	ImportPath string
+	Dir        string
+	Filenames  []string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Module is the loaded module: a shared FileSet, the import-path → directory
+// map discovered by walking the tree, and memoized type-checked packages.
+type Module struct {
+	Root string // directory containing go.mod
+	Path string // module path declared in go.mod
+
+	Fset    *token.FileSet
+	dirs    map[string]string // import path -> absolute dir
+	pkgs    map[string]*Package
+	loading map[string]bool
+	stdImp  types.Importer
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s", gomod)
+}
+
+// LoadModule discovers and prepares the module containing dir. Packages are
+// type-checked lazily; call Packages or LoadDir to force them.
+func LoadModule(dir string) (*Module, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	mpath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Root:    root,
+		Path:    mpath,
+		Fset:    token.NewFileSet(),
+		dirs:    make(map[string]string),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	m.stdImp = importer.ForCompiler(m.Fset, "source", nil)
+	if err := m.discover(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// discover records every candidate package directory under the module root,
+// skipping testdata, vendor, hidden and underscore-prefixed directories —
+// the same trees the go tool ignores.
+func (m *Module) discover() error {
+	return filepath.WalkDir(m.Root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != m.Root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		rel, err := filepath.Rel(m.Root, p)
+		if err != nil {
+			return err
+		}
+		ip := m.Path
+		if rel != "." {
+			ip = gopath.Join(m.Path, filepath.ToSlash(rel))
+		}
+		m.dirs[ip] = p
+		return nil
+	})
+}
+
+// Packages type-checks every package of the module (in deterministic import
+// path order) and returns them. Directories without buildable Go files are
+// skipped silently.
+func (m *Module) Packages() ([]*Package, error) {
+	paths := make([]string, 0, len(m.dirs))
+	for ip := range m.dirs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	for _, ip := range paths {
+		pkg, err := m.load(ip)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the single package in dir under the given import path.
+// It is how fixture packages (which live under testdata and are invisible to
+// Packages) enter the analysis.
+func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	m.dirs[importPath] = abs
+	return m.load(importPath)
+}
+
+// load parses and type-checks one package directory, memoized.
+func (m *Module) load(ip string) (*Package, error) {
+	if pkg, ok := m.pkgs[ip]; ok {
+		return pkg, nil
+	}
+	if m.loading[ip] {
+		return nil, fmt.Errorf("lint: import cycle through %s", ip)
+	}
+	m.loading[ip] = true
+	defer delete(m.loading, ip)
+
+	dir, ok := m.dirs[ip]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown package %s", ip)
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err // includes *build.NoGoError for empty dirs
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	filenames := make([]string, 0, len(names))
+	for _, name := range names {
+		fn := filepath.Join(dir, name)
+		f, err := parser.ParseFile(m.Fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		filenames = append(filenames, fn)
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: m,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, _ := conf.Check(ip, m.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", ip, typeErrs[0])
+	}
+	pkg := &Package{
+		ImportPath: ip,
+		Dir:        dir,
+		Filenames:  filenames,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	m.pkgs[ip] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths load through this
+// Module, everything else (the standard library) through the source
+// importer.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := m.dirs[path]; ok {
+		pkg, err := m.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.stdImp.Import(path)
+}

@@ -1,0 +1,155 @@
+package lint
+
+// maporder: in determinism-critical packages (enumeration, costing, size
+// estimation, sizing — the packages whose outputs must be byte-identical
+// run to run and at any Parallelism), Go's randomized map iteration order
+// must never feed an order-sensitive accumulation. Flagged inside a
+// `for … range m` over a map:
+//
+//   - appending to a slice declared outside the loop, unless that slice is
+//     passed to a sort.*/slices.Sort* call later in the same function (the
+//     canonical collect-keys-then-sort pattern);
+//   - accumulating into a float declared outside the loop (float addition
+//     is not associative, so the sum depends on iteration order);
+//   - sending on any channel (delivery order becomes map order).
+//
+// Integer accumulation and map writes are order-insensitive and not
+// flagged. Order-insensitive appends that genuinely need no sort are
+// suppressed with //cadb:lint-ignore maporder <reason>.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func runMapOrder(p *pass) {
+	if !inList(p.pkg.ImportPath, p.cfg.DeterminismPkgs) {
+		return
+	}
+	p.eachFuncDecl(func(file *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			p.checkMapRange(fd, rs)
+			return true
+		})
+	})
+}
+
+func (p *pass) checkMapRange(fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			p.reportf(s.Pos(), "maporder",
+				"channel send inside range over map: receiver observes map iteration order; iterate sorted keys instead")
+		case *ast.AssignStmt:
+			p.checkMapRangeAssign(fd, rs, s)
+		}
+		return true
+	})
+}
+
+func (p *pass) checkMapRangeAssign(fd *ast.FuncDecl, rs *ast.RangeStmt, as *ast.AssignStmt) {
+	// Float accumulation: x += e, x -= e, or x = x + e where x lives
+	// outside the loop.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok &&
+			isFloat(p.pkg.Info.TypeOf(lhs)) && p.declaredOutside(id, rs, rs) {
+			p.reportf(as.Pos(), "maporder",
+				"float accumulation into %s in map-iteration order: the sum depends on the random order; iterate sorted keys", id.Name)
+			return
+		}
+	case token.ASSIGN:
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok &&
+				isFloat(p.pkg.Info.TypeOf(as.Lhs[0])) && p.declaredOutside(id, rs, rs) &&
+				exprMentions(p, as.Rhs[0], p.objectOf(id)) {
+				if _, isApp := isAppendCall(as.Rhs[0]); !isApp {
+					p.reportf(as.Pos(), "maporder",
+						"float accumulation into %s in map-iteration order: the sum depends on the random order; iterate sorted keys", id.Name)
+					return
+				}
+			}
+		}
+	}
+	// Append accumulation: x = append(x, …) with x outside the loop.
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := isAppendCall(as.Rhs[0])
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	target := rootIdent(as.Lhs[0])
+	if target == nil || !p.declaredOutside(target, rs, rs) {
+		return
+	}
+	obj := p.objectOf(target)
+	if obj == nil {
+		return
+	}
+	if sortedLater(p, fd, rs, obj) {
+		return
+	}
+	p.reportf(as.Pos(), "maporder",
+		"append to %s in map-iteration order with no later sort in this function: result order is nondeterministic; sort it or iterate sorted keys", target.Name)
+}
+
+// exprMentions reports whether obj is used anywhere in e.
+func exprMentions(p *pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	for _, o := range p.identsIn(e) {
+		if o == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// sortedLater reports whether, after the range statement, the function
+// passes obj to a sort.* or slices.Sort* call — the collect-then-sort
+// pattern that restores determinism.
+func sortedLater(p *pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		callee := p.calleeObject(call)
+		fn, ok := callee.(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,421 @@
+package lint
+
+// release: any call returning a release/unpin closure alongside an error —
+// the shape of storage.(*Segment).FetchPage, which pins a page in the
+// buffer pool and hands back the only way to unpin it — must have that
+// closure invoked on every path. A leaked pin permanently shrinks the CLOCK
+// pool (pinned frames are never evicted), so one missed error branch slowly
+// strangles every later query. The check recognizes calls by signature
+// shape (a func() result next to an error result), then walks the control
+// flow after the assignment:
+//
+//   - `defer release()` anywhere on a path covers everything after it;
+//   - a plain `release()` statement covers the paths flowing through it;
+//   - returns inside an `if` guarding the call's own error are exempt (the
+//     closure is nil on the error path by the FetchPage contract);
+//   - any other return — or falling off the closure's scope — before a
+//     covering call is a finding.
+//
+// A release closure that escapes (stored, passed along, captured by a
+// nested function) is assumed managed by its new owner and skipped.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func runRelease(p *pass) {
+	p.eachFuncDecl(func(file *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sig := p.callSignature(call)
+			if sig == nil {
+				return true
+			}
+			relIdx, ok := releaseResultIndex(sig)
+			if !ok || len(as.Lhs) != sig.Results().Len() {
+				return true
+			}
+			p.checkReleaseAssign(fd, as, call, sig, relIdx)
+			return true
+		})
+	})
+}
+
+// callSignature returns the static result signature of the call, nil for
+// builtins, conversions and unresolvable callees.
+func (p *pass) callSignature(call *ast.CallExpr) *types.Signature {
+	t := p.pkg.Info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// releaseResultIndex finds the func() result of a signature that also
+// returns an error — the release-closure shape. Returns its index.
+func releaseResultIndex(sig *types.Signature) (int, bool) {
+	res := sig.Results()
+	relIdx, hasRel, hasErr := 0, false, false
+	for i := 0; i < res.Len(); i++ {
+		t := res.At(i).Type()
+		if fsig, ok := t.Underlying().(*types.Signature); ok &&
+			fsig.Params().Len() == 0 && fsig.Results().Len() == 0 && fsig.Recv() == nil {
+			if hasRel {
+				return 0, false // two closures: ambiguous, stay silent
+			}
+			relIdx, hasRel = i, true
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			hasErr = true
+		}
+	}
+	return relIdx, hasRel && hasErr
+}
+
+func (p *pass) checkReleaseAssign(fd *ast.FuncDecl, as *ast.AssignStmt, call *ast.CallExpr, sig *types.Signature, relIdx int) {
+	callName := "call"
+	if qn := p.calleeQualifiedName(call); qn != "" {
+		callName = qn
+	}
+	relExpr := ast.Unparen(as.Lhs[relIdx])
+	relID, ok := relExpr.(*ast.Ident)
+	if !ok {
+		return // stored straight into a field/slot: escapes
+	}
+	if relID.Name == "_" {
+		p.reportf(as.Pos(), "release",
+			"release closure from %s discarded with _: the pinned page can never be unpinned", callName)
+		return
+	}
+	relObj := p.objectOf(relID)
+	if relObj == nil {
+		return
+	}
+	// The error result's object, for exempting err-guard returns.
+	var errObj types.Object
+	for i := 0; i < sig.Results().Len(); i++ {
+		if named, ok := sig.Results().At(i).Type().(*types.Named); ok &&
+			named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				errObj = p.objectOf(id)
+			}
+		}
+	}
+
+	list, idx := stmtListContaining(fd.Body, as)
+	if list == nil {
+		return // assignment in an if-init or other exotic position
+	}
+	region := list[idx+1:]
+	regionEnd := as.End()
+	if n := len(list); n > 0 {
+		regionEnd = list[n-1].End()
+	}
+	// Any use of the closure outside the region, in a non-call position, or
+	// captured by a nested function literal means it escapes to an owner
+	// this flow analysis cannot track. Skip those.
+	var litSpans [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			litSpans = append(litSpans, [2]token.Pos{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	inFuncLit := func(pos token.Pos) bool {
+		for _, sp := range litSpans {
+			if pos >= sp[0] && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+	escapes := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || p.pkg.Info.Uses[id] != relObj {
+			return true
+		}
+		if id.End() <= as.TokPos {
+			return true // the LHS of a plain `=` form of this assignment
+		}
+		if id.Pos() < as.End() || id.End() > regionEnd ||
+			inFuncLit(id.Pos()) || !p.identIsCallee(fd, id) {
+			escapes = true
+		}
+		return true
+	})
+	if escapes {
+		return
+	}
+
+	r := &releaseFlow{p: p, relObj: relObj, errObj: errObj}
+	falls, released := r.list(region, false, false)
+	if r.bad != nil {
+		p.reportf(r.bad.Pos(), "release",
+			"return before %s's release closure %s is invoked: the pinned page leaks on this path; call it here or defer it", callName, relID.Name)
+		return
+	}
+	if falls && !released {
+		p.reportf(as.Pos(), "release",
+			"release closure %s from %s is not invoked on the fall-through path: the pinned page leaks; call it or defer it", relID.Name, callName)
+	}
+}
+
+// identIsCallee reports whether the use of id is as the function of a call
+// or defer/go statement — the only tracked, non-escaping uses.
+func (p *pass) identIsCallee(fd *ast.FuncDecl, id *ast.Ident) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if isCall && ast.Unparen(call.Fun) == id {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// stmtListContaining locates the innermost statement list that directly
+// contains target, returning the list and target's index in it.
+func stmtListContaining(body *ast.BlockStmt, target ast.Stmt) ([]ast.Stmt, int) {
+	var list []ast.Stmt
+	idx := -1
+	var visit func(stmts []ast.Stmt) bool
+	visit = func(stmts []ast.Stmt) bool {
+		for i, s := range stmts {
+			if s == target {
+				list, idx = stmts, i
+				return true
+			}
+		}
+		for _, s := range stmts {
+			if target.Pos() < s.Pos() || target.End() > s.End() {
+				continue
+			}
+			for _, inner := range childStmtLists(s) {
+				if visit(inner) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	visit(body.List)
+	return list, idx
+}
+
+// childStmtLists returns the direct statement lists nested in s.
+func childStmtLists(s ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, childStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, childStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// releaseFlow is the tiny abstract interpreter for release coverage. For a
+// statement list it computes whether control can fall through it and, if
+// so, whether the closure is guaranteed invoked on every falling path;
+// function exits reached before coverage are recorded in bad.
+type releaseFlow struct {
+	p      *pass
+	relObj types.Object
+	errObj types.Object
+	bad    ast.Node
+}
+
+func (r *releaseFlow) isRelCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && r.p.pkg.Info.Uses[id] == r.relObj
+}
+
+// condMentionsErr reports whether the condition involves the call's own
+// error variable — the guard under which the closure is nil by contract.
+func (r *releaseFlow) condMentionsErr(cond ast.Expr) bool {
+	if r.errObj == nil {
+		return false
+	}
+	for _, obj := range r.p.identsIn(cond) {
+		if obj == r.errObj {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *releaseFlow) note(n ast.Node) {
+	if r.bad == nil {
+		r.bad = n
+	}
+}
+
+func (r *releaseFlow) list(stmts []ast.Stmt, released, exempt bool) (falls, rel bool) {
+	rel = released
+	for _, s := range stmts {
+		var f bool
+		f, rel = r.stmt(s, rel, exempt)
+		if !f {
+			return false, rel
+		}
+	}
+	return true, rel
+}
+
+func (r *releaseFlow) stmt(s ast.Stmt, released, exempt bool) (falls, rel bool) {
+	switch s := s.(type) {
+	case *ast.DeferStmt:
+		if r.isRelCall(s.Call) {
+			return true, true
+		}
+		return true, released
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && r.isRelCall(call) {
+			return true, true
+		}
+		return true, released
+	case *ast.ReturnStmt:
+		if !released && !exempt {
+			r.note(s)
+		}
+		return false, released
+	case *ast.BranchStmt:
+		// break/continue/goto transfer control elsewhere in the function;
+		// whether release happens there is beyond this analysis, so we
+		// neither flag nor credit the path.
+		return false, released
+	case *ast.BlockStmt:
+		return r.list(s.List, released, exempt)
+	case *ast.IfStmt:
+		// An if that tests the call's own error splits the world into the
+		// path where the closure is valid and the path where it is nil by
+		// contract: returns on either side are exempt, and coverage holds
+		// if EITHER falling side established it. Ordinary ifs need both.
+		errCond := r.condMentionsErr(s.Cond)
+		bf, br := r.list(s.Body.List, released, exempt || errCond)
+		ef, er := true, released
+		if s.Else != nil {
+			ef, er = r.stmt(s.Else, released, exempt || errCond)
+		}
+		switch {
+		case bf && ef:
+			if errCond {
+				return true, br || er
+			}
+			return true, br && er
+		case bf:
+			return true, br
+		case ef:
+			return true, er
+		default:
+			return false, released
+		}
+	case *ast.ForStmt:
+		r.list(s.Body.List, released, exempt)
+		return true, released // body may run zero times: no coverage credit
+	case *ast.RangeStmt:
+		r.list(s.Body.List, released, exempt)
+		return true, released
+	case *ast.SwitchStmt:
+		return r.clauses(switchBodies(s.Body), hasDefaultClause(s.Body), released, exempt)
+	case *ast.TypeSwitchStmt:
+		return r.clauses(switchBodies(s.Body), hasDefaultClause(s.Body), released, exempt)
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				bodies = append(bodies, cc.Body)
+			}
+		}
+		return r.clauses(bodies, true, released, exempt) // select always takes a clause
+	case *ast.LabeledStmt:
+		return r.stmt(s.Stmt, released, exempt)
+	default:
+		return true, released
+	}
+}
+
+// clauses folds the per-clause outcomes of a switch/select: the statement
+// falls through if any clause does (or no default exists), and coverage
+// holds only if every falling path has it.
+func (r *releaseFlow) clauses(bodies [][]ast.Stmt, exhaustive bool, released, exempt bool) (falls, rel bool) {
+	anyFalls, allRel := false, true
+	for _, b := range bodies {
+		f, br := r.list(b, released, exempt)
+		if f {
+			anyFalls = true
+			allRel = allRel && br
+		}
+	}
+	if !exhaustive {
+		// No default: the switch may skip every clause.
+		anyFalls = true
+		allRel = allRel && released
+	}
+	if !anyFalls {
+		return false, released
+	}
+	return true, allRel
+}
+
+func switchBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+		}
+	}
+	return out
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}

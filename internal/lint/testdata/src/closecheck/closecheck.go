@@ -1,0 +1,38 @@
+// Package closecheck is a cadb-lint fixture: a bare statement-position
+// Close() returning exactly (error) is a finding; checked, deferred,
+// explicitly discarded, error-free, and suppressed closes are not.
+package closecheck
+
+import "os"
+
+func bad(f *os.File) {
+	f.Close() // want "error from f.Close.. dropped"
+}
+
+func checked(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferred(f *os.File) {
+	defer f.Close()
+}
+
+func bestEffort(f *os.File) {
+	_ = f.Close()
+}
+
+type quietCloser struct{}
+
+func (quietCloser) Close() {}
+
+func noErrorResult(q quietCloser) {
+	q.Close()
+}
+
+func suppressed(f *os.File) {
+	//cadb:lint-ignore closecheck fixture: demonstrates a valid suppression
+	f.Close()
+}

@@ -1,0 +1,29 @@
+// Package directive is a cadb-lint fixture for the suppression-directive
+// parser: malformed directives are findings themselves (check "directive"),
+// and a well-formed one suppresses the finding on the line below it. The
+// exact expectations live in TestDirectives, not in want comments, because
+// a want comment cannot share a line with the directive comment it targets.
+package directive
+
+import "os"
+
+func namesNoCheck() {
+	//cadb:lint-ignore
+}
+
+func unknownCheck() {
+	//cadb:lint-ignore nosuchcheck because reasons
+}
+
+func noReason() {
+	//cadb:lint-ignore closecheck
+}
+
+func validSuppression(f *os.File) {
+	//cadb:lint-ignore closecheck fixture: best-effort close is intended
+	f.Close()
+}
+
+func unsuppressed(f *os.File) {
+	f.Close()
+}

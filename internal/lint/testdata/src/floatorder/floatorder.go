@@ -1,0 +1,56 @@
+// Package floatorder is a cadb-lint fixture for the write-your-own-slot
+// contract of par.For bodies. The fixtures are type-checked, never run, so
+// the deliberate data races in the bad cases are inert.
+package floatorder
+
+import "cadb/internal/par"
+
+func goodSlots(xs []float64) float64 {
+	out := make([]float64, len(xs))
+	par.For(4, len(xs), func(i int) {
+		out[i] = xs[i] * 2
+	})
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	return sum
+}
+
+func goodPerSlotAppend(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	par.For(4, len(xs), func(i int) {
+		out[i] = append(out[i], xs[i]...)
+	})
+	return out
+}
+
+func badFloatAccum(xs []float64) float64 {
+	var sum float64
+	par.For(4, len(xs), func(i int) {
+		sum += xs[i] // want "float accumulation into captured sum"
+	})
+	return sum
+}
+
+func badAssignForm(xs []float64) float64 {
+	var sum float64
+	par.For(4, len(xs), func(i int) {
+		sum = sum + xs[i] // want "float accumulation into captured sum"
+	})
+	return sum
+}
+
+func badChannel(xs []float64, ch chan float64) {
+	par.For(4, len(xs), func(i int) {
+		ch <- xs[i] // want "channel send from a parallel fan-out body"
+	})
+}
+
+func badAppend(xs []float64) []float64 {
+	var out []float64
+	par.For(4, len(xs), func(i int) {
+		out = append(out, xs[i]) // want "append to captured out from a parallel fan-out body"
+	})
+	return out
+}

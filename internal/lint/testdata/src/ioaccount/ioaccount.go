@@ -1,0 +1,34 @@
+// Package ioaccount is a cadb-lint fixture. The analyzer test allowlists
+// allowedChokepoint as the only accounting chokepoint, so every other
+// mutation of an IOStats counter field is a finding.
+package ioaccount
+
+import "cadb/internal/storage"
+
+func rogueBump(io *storage.IOStats) {
+	io.PageReads++ // want "IOStats counter PageReads mutated in"
+}
+
+type scanState struct {
+	io storage.IOStats
+}
+
+func rogueFieldWrite(s *scanState) {
+	s.io.BytesRead += 512 // want "IOStats counter BytesRead mutated in"
+}
+
+func allowedChokepoint(io *storage.IOStats) {
+	io.PoolHits++
+}
+
+func readsAreFine(io *storage.IOStats) int64 {
+	return io.PageReads + io.PoolMisses
+}
+
+func addIsFine(total *storage.IOStats, part storage.IOStats) {
+	total.Add(part)
+}
+
+func wholeStructIsFine(res *storage.IOStats, measured storage.IOStats) {
+	*res = measured
+}

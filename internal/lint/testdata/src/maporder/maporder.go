@@ -1,0 +1,72 @@
+// Package maporder is a cadb-lint fixture. Every want comment is a golden
+// expectation: the analyzer test asserts a maporder finding on that line
+// whose message matches the quoted regex, and no findings anywhere else.
+package maporder
+
+import "sort"
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out in map-iteration order with no later sort"
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "float accumulation into total in map-iteration order"
+	}
+	return total
+}
+
+func floatAssignForm(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total = total + v // want "float accumulation into total in map-iteration order"
+	}
+	return total
+}
+
+func intAccum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func chanSend(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "channel send inside range over map"
+	}
+}
+
+func localAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func suppressedAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//cadb:lint-ignore maporder fixture: caller treats the result as a set
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package release is a cadb-lint fixture. fetch has the release-closure
+// shape (func() result next to an error result) that the check recognizes,
+// same as storage.(*Segment).FetchPage.
+package release
+
+func fetch() ([]byte, func(), error) {
+	return nil, func() {}, nil
+}
+
+func goodDefer() error {
+	b, release, err := fetch()
+	if err != nil {
+		return err
+	}
+	defer release()
+	_ = b
+	return nil
+}
+
+func goodBranches(flag bool) error {
+	_, release, err := fetch()
+	if err != nil {
+		return err
+	}
+	if flag {
+		release()
+		return nil
+	}
+	release()
+	return nil
+}
+
+func goodErrGuardedRelease() {
+	_, release, err := fetch()
+	if err == nil {
+		release()
+	}
+}
+
+func badDiscard() {
+	_, _, _ = fetch() // want "release closure from .*fetch discarded with _"
+}
+
+func badEarlyReturn(flag bool) error {
+	_, release, err := fetch()
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil // want "return before .*fetch's release closure release is invoked"
+	}
+	release()
+	return nil
+}
+
+func badLoopOnly(n int) {
+	_, release, err := fetch() // want "release closure release from .*fetch is not invoked on the fall-through path"
+	if err != nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		release()
+	}
+}
+
+// escaped closures are assumed managed by their new owner and not flagged.
+func escapes() func() {
+	_, release, err := fetch()
+	if err != nil {
+		return nil
+	}
+	return release
+}

@@ -167,17 +167,17 @@ func WriteSegmentFile(path string, seg *Segment) (*SegmentFile, error) {
 		return nil, err
 	}
 	if _, err := f.Write(header); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; the write error is the story
 		return nil, err
 	}
 	for i := range seg.pages {
 		if _, err := f.Write(seg.pages[i].Payload); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup; the write error is the story
 			return nil, err
 		}
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; the sync error is the story
 		return nil, err
 	}
 	adviseRandom(f)
@@ -193,7 +193,7 @@ func OpenSegmentFile(path string) (*SegmentFile, error) {
 	}
 	sf, err := readSegHeader(f, path)
 	if err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; the header error is the story
 		return nil, err
 	}
 	adviseRandom(f)

@@ -113,7 +113,7 @@ func (w *SegmentWriter) Rows() int64 { return w.rows + int64(len(w.pending)) }
 // Abort discards the build, removing the spool. Safe after Finish (no-op).
 func (w *SegmentWriter) Abort() {
 	if w.spool != nil {
-		w.spool.Close()
+		_ = w.spool.Close() // the spool is being discarded either way
 		os.Remove(w.spool.Name())
 		w.spool = nil
 	}
@@ -161,7 +161,7 @@ func (w *SegmentWriter) Finish(pool *bufferpool.Pool) (*Segment, error) {
 		return nil, err
 	}
 	fail := func(err error) (*Segment, error) {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; err is the story
 		os.Remove(w.path)
 		w.Abort()
 		return nil, err
@@ -178,7 +178,9 @@ func (w *SegmentWriter) Finish(pool *bufferpool.Pool) (*Segment, error) {
 	if err := f.Sync(); err != nil {
 		return fail(err)
 	}
-	w.spool.Close()
+	// The spool's bytes are already copied into f and synced; its close
+	// error cannot affect the finished segment.
+	_ = w.spool.Close()
 	os.Remove(w.spool.Name())
 	w.spool = nil
 
